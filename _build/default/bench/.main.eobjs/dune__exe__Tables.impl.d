@@ -1,0 +1,1 @@
+bench/tables.ml: Fmt Ipcp_core Ipcp_frontend Ipcp_opt Ipcp_suite List Sema

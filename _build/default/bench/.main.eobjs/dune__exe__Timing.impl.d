@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Bechamel Benchmark Float Fmt Hashtbl Instance Ipcp_core Ipcp_frontend Ipcp_gen Ipcp_ir Ipcp_suite List Measure Staged Test Time Toolkit

@@ -1,0 +1,16 @@
+(** The benchmark harness: regenerates every table and figure of the paper
+    over the synthetic suite, prints the §3.1.5 ablations, then runs the
+    bechamel timing benchmarks (one [Test.make] per artifact).
+
+    [dune exec bench/main.exe] — add [--no-timing] for the tables only. *)
+
+let () =
+  let timing = not (Array.exists (( = ) "--no-timing") Sys.argv) in
+  Tables.print_table1 ();
+  Tables.print_table2 ();
+  Tables.print_table3 ();
+  Tables.print_figure1 ();
+  Tables.print_ablation ();
+  Tables.print_extensions ();
+  Tables.print_cloning ();
+  if timing then Timing.run ()

@@ -1,0 +1,126 @@
+(** Bechamel timing harness: one [Test.make] per table and per ablation
+    axis.  Reported numbers are wall-clock per full regeneration of the
+    artifact (monotonic clock, OLS estimate). *)
+
+open Bechamel
+open Toolkit
+module Config = Ipcp_core.Config
+module Driver = Ipcp_core.Driver
+module Programs = Ipcp_suite.Programs
+
+let analyze_suite config () =
+  List.iter
+    (fun (p : Programs.program) ->
+      ignore
+        (Driver.analyze_source ~config ~file:p.Programs.name
+           p.Programs.source))
+    Programs.all
+
+let cfg_of jf = { Config.default with Config.jf }
+
+(* staged pipeline slices, for the cost decomposition *)
+let frontend_only () =
+  List.iter
+    (fun (p : Programs.program) ->
+      ignore
+        (Ipcp_frontend.Sema.parse_and_analyze ~file:p.Programs.name
+           p.Programs.source))
+    Programs.all
+
+let to_ssa () =
+  List.iter
+    (fun (p : Programs.program) ->
+      let symtab =
+        Ipcp_frontend.Sema.parse_and_analyze ~file:p.Programs.name
+          p.Programs.source
+      in
+      let cfgs = Ipcp_ir.Lower.lower_program symtab in
+      ignore (Ipcp_frontend.Names.SM.map Ipcp_ir.Ssa.convert cfgs))
+    Programs.all
+
+let gen_src n_procs =
+  Ipcp_gen.Generator.generate
+    ~params:
+      { Ipcp_gen.Generator.default with Ipcp_gen.Generator.n_procs; seed = 11 }
+    ()
+
+let tests =
+  Test.make_grouped ~name:"ipcp"
+    [
+      (* the three tables, end to end *)
+      Test.make ~name:"table1:characteristics"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun p -> ignore (Programs.characteristics p))
+               Programs.all));
+      Test.make ~name:"table2:all-jump-functions"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun (_, config) -> analyze_suite config ())
+               Config.table2));
+      Test.make ~name:"table3:mod-ablation"
+        (Staged.stage (fun () ->
+             analyze_suite { Config.default with Config.use_mod = false } ();
+             analyze_suite Config.default ()));
+      (* §3.1.5: per-jump-function construction + propagation cost *)
+      Test.make ~name:"jf:literal"
+        (Staged.stage (analyze_suite (cfg_of Config.Literal)));
+      Test.make ~name:"jf:intraprocedural"
+        (Staged.stage (analyze_suite (cfg_of Config.Intraconst)));
+      Test.make ~name:"jf:pass-through"
+        (Staged.stage (analyze_suite (cfg_of Config.Passthrough)));
+      Test.make ~name:"jf:polynomial"
+        (Staged.stage (analyze_suite (cfg_of Config.Polynomial)));
+      (* pipeline decomposition *)
+      Test.make ~name:"stage:frontend" (Staged.stage frontend_only);
+      Test.make ~name:"stage:frontend+ssa" (Staged.stage to_ssa);
+      (* scaling on generated programs *)
+      Test.make ~name:"scale:8-procs"
+        (let src = gen_src 8 in
+         Staged.stage (fun () ->
+             ignore (Driver.analyze_source ~file:"<g>" src)));
+      Test.make ~name:"scale:16-procs"
+        (let src = gen_src 16 in
+         Staged.stage (fun () ->
+             ignore (Driver.analyze_source ~file:"<g>" src)));
+      Test.make ~name:"scale:32-procs"
+        (let src = gen_src 32 in
+         Staged.stage (fun () ->
+             ignore (Driver.analyze_source ~file:"<g>" src)));
+    ]
+
+let run () =
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let res = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        let ns =
+          match Analyze.OLS.estimates o with
+          | Some [ t ] -> t
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      res []
+    |> List.sort compare
+  in
+  Fmt.pr "@.Timing (bechamel, monotonic clock; one Test.make per artifact)@.";
+  Fmt.pr "%-32s %14s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Fmt.str "%8.2f  s" (ns /. 1e9)
+        else if ns > 1e6 then Fmt.str "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Fmt.str "%8.2f us" (ns /. 1e3)
+        else Fmt.str "%8.0f ns" ns
+      in
+      Fmt.pr "%-32s %14s@." name pretty)
+    rows

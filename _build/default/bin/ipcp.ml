@@ -1,0 +1,325 @@
+(** The [ipcp] command-line driver.
+
+    Subcommands:
+    - [analyze]    run interprocedural constant propagation, print the
+                   CONSTANTS sets and the substitution count
+    - [substitute] print the transformed source with constants substituted
+    - [complete]   iterate propagation with dead-code elimination
+    - [intra]      the purely intraprocedural baseline count
+    - [run]        interpret a program
+    - [dump]       internal representations (tokens/ast/cfg/ssa/callgraph/
+                   mod/rjf/liveness/constants)
+    - [clone]      procedure-cloning advice from the CONSTANTS sets
+    - [suite]      print a bundled benchmark program
+    - [gen]        emit a random well-formed program *)
+
+open Cmdliner
+open Ipcp_frontend
+module Config = Ipcp_core.Config
+module Driver = Ipcp_core.Driver
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  match Diag.guard_s (fun () -> read_file path) with
+  | Ok s -> Ok s
+  | Error e -> Error e
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Fmt.epr "ipcp: %s@." e;
+      exit 1
+
+let parse_and_check path =
+  or_die
+    (Result.bind (load path) (fun src ->
+         Diag.guard_s (fun () -> Sema.parse_and_analyze ~file:path src)))
+
+(* ------------------------------------------------------------------ *)
+(* Shared options *)
+
+let jf_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "literal" -> Ok Config.Literal
+    | "intra" | "intraprocedural" -> Ok Config.Intraconst
+    | "pass" | "pass-through" | "passthrough" -> Ok Config.Passthrough
+    | "poly" | "polynomial" -> Ok Config.Polynomial
+    | _ -> Error (`Msg (Fmt.str "unknown jump function kind %S" s))
+  in
+  Arg.conv (parse, fun ppf k -> Fmt.string ppf (Config.jf_kind_name k))
+
+let jf_arg =
+  let doc =
+    "Forward jump function implementation: literal, intra, pass, or poly."
+  in
+  Arg.(value & opt jf_conv Config.Passthrough & info [ "jf" ] ~doc)
+
+let no_mod =
+  Arg.(value & flag & info [ "no-mod" ] ~doc:"Disable interprocedural MOD information (worst-case call effects).")
+
+let no_retjf =
+  Arg.(value & flag & info [ "no-return-jfs" ] ~doc:"Disable return jump functions.")
+
+let symret =
+  Arg.(value & flag & info [ "symbolic-returns" ] ~doc:"Evaluate return jump functions symbolically over the caller's entry values (extension beyond the paper).")
+
+let config_term =
+  let make jf no_mod no_retjf symret =
+    {
+      Config.jf;
+      return_jfs = not no_retjf;
+      use_mod = not no_mod;
+      symbolic_returns = symret;
+    }
+  in
+  Term.(const make $ jf_arg $ no_mod $ no_retjf $ symret)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze_cmd =
+  let run config path =
+    let symtab = parse_and_check path in
+    let t = Driver.analyze ~config symtab in
+    Fmt.pr "configuration: %a@." Config.pp config;
+    List.iter
+      (fun p ->
+        let cs = Driver.constants t p in
+        if not (Names.SM.is_empty cs) then
+          Fmt.pr "CONSTANTS(%s) = {%a}@." p
+            Fmt.(
+              list ~sep:(any ", ") (fun ppf (n, c) -> Fmt.pf ppf "(%s, %d)" n c))
+            (Names.SM.bindings cs))
+      symtab.Symtab.order;
+    let sub = Ipcp_opt.Substitute.apply t in
+    Fmt.pr "constants substituted: %d@." sub.Ipcp_opt.Substitute.total;
+    let census = Driver.census t in
+    Fmt.pr
+      "jump functions built: %d constant, %d pass-through, %d polynomial, %d bottom@."
+      census.Driver.n_const census.Driver.n_passthrough census.Driver.n_poly
+      census.Driver.n_bottom;
+    Fmt.pr "solver: %d pops, %d jump-function evaluations, %d lowerings@."
+      t.Driver.solver.Ipcp_core.Solver.stats.Ipcp_core.Solver.pops
+      t.Driver.solver.Ipcp_core.Solver.stats.Ipcp_core.Solver.jf_evals
+      t.Driver.solver.Ipcp_core.Solver.stats.Ipcp_core.Solver.lowerings
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Run interprocedural constant propagation.")
+    Term.(const run $ config_term $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* substitute *)
+
+let substitute_cmd =
+  let run config path =
+    let symtab = parse_and_check path in
+    let t = Driver.analyze ~config symtab in
+    let sub = Ipcp_opt.Substitute.apply t in
+    Fmt.pr "%s" (Pretty.program_to_string sub.Ipcp_opt.Substitute.program);
+    Fmt.epr "! %d constants substituted@." sub.Ipcp_opt.Substitute.total
+  in
+  Cmd.v
+    (Cmd.info "substitute"
+       ~doc:"Print the source with interprocedural constants substituted.")
+    Term.(const run $ config_term $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* complete *)
+
+let complete_cmd =
+  let run config path =
+    let src = or_die (load path) in
+    let r = Ipcp_opt.Complete.run ~config src in
+    Fmt.pr "%s" r.Ipcp_opt.Complete.final_source;
+    Fmt.epr "! complete propagation: %d constants in %d round(s)@."
+      r.Ipcp_opt.Complete.count r.Ipcp_opt.Complete.rounds
+  in
+  Cmd.v
+    (Cmd.info "complete"
+       ~doc:
+         "Iterate constant propagation with dead-code elimination to a \
+          fixpoint.")
+    Term.(const run $ config_term $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* intra *)
+
+let intra_cmd =
+  let run no_mod path =
+    let symtab = parse_and_check path in
+    Fmt.pr "intraprocedural constants substituted: %d@."
+      (Ipcp_opt.Intra.count ~use_mod:(not no_mod) symtab)
+  in
+  Cmd.v
+    (Cmd.info "intra" ~doc:"Purely intraprocedural constant propagation baseline.")
+    Term.(const run $ no_mod $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd =
+  let input_arg =
+    Arg.(value & opt (list int) [] & info [ "input" ] ~doc:"Comma-separated integers consumed by READ.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed for undefined-variable values.")
+  in
+  let run input seed path =
+    let symtab = parse_and_check path in
+    let r = Ipcp_interp.Interp.run ~seed ~input symtab in
+    List.iter (fun v -> Fmt.pr "%d@." v) r.Ipcp_interp.Interp.output;
+    Fmt.epr "! %a after %d steps@." Ipcp_interp.Interp.pp_status
+      r.Ipcp_interp.Interp.status r.Ipcp_interp.Interp.steps_used
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Interpret a program.")
+    Term.(const run $ input_arg $ seed_arg $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dump *)
+
+let dump_cmd =
+  let what_arg =
+    Arg.(
+      value
+      & opt (enum [ ("ast", `Ast); ("cfg", `Cfg); ("ssa", `Ssa); ("callgraph", `Cg); ("mod", `Mod); ("rjf", `Rjf); ("liveness", `Live); ("vals", `Vals) ]) `Ssa
+      & info [ "what" ] ~doc:"One of ast, cfg, ssa, callgraph, mod, rjf, liveness, vals.")
+  in
+  let run config what path =
+    let symtab = parse_and_check path in
+    match what with
+    | `Ast ->
+        List.iter
+          (fun p -> Fmt.pr "%a@." Pretty.pp_proc (Symtab.proc symtab p).Symtab.proc)
+          symtab.Symtab.order
+    | `Cfg ->
+        let cfgs = Ipcp_ir.Lower.lower_program symtab in
+        Names.SM.iter (fun _ cfg -> Fmt.pr "%a@." Ipcp_ir.Cfg.pp cfg) cfgs
+    | `Ssa ->
+        let cfgs = Ipcp_ir.Lower.lower_program symtab in
+        Names.SM.iter
+          (fun _ cfg -> Fmt.pr "%a@." Ipcp_ir.Cfg.pp (Ipcp_ir.Ssa.convert cfg))
+          cfgs
+    | `Cg ->
+        let cfgs = Ipcp_ir.Lower.lower_program symtab in
+        let cg =
+          Ipcp_callgraph.Callgraph.build ~main:symtab.Symtab.main
+            ~order:symtab.Symtab.order cfgs
+        in
+        Fmt.pr "%a" Ipcp_callgraph.Callgraph.pp cg
+    | `Mod ->
+        let cfgs = Ipcp_ir.Lower.lower_program symtab in
+        let cg =
+          Ipcp_callgraph.Callgraph.build ~main:symtab.Symtab.main
+            ~order:symtab.Symtab.order cfgs
+        in
+        Fmt.pr "%a" Ipcp_summary.Modref.pp
+          (Ipcp_summary.Modref.compute symtab cfgs cg)
+    | `Rjf ->
+        let t = Driver.analyze ~config symtab in
+        Fmt.pr "%a" Ipcp_core.Returnjf.pp t.Driver.rjfs
+    | `Live ->
+        let cfgs = Ipcp_ir.Lower.lower_program symtab in
+        Names.SM.iter
+          (fun p cfg ->
+            let psym = Symtab.proc symtab p in
+            let live =
+              Ipcp_ir.Liveness.compute
+                ~formals:(Symtab.formals psym)
+                ~globals:(Symtab.global_names symtab)
+                cfg
+            in
+            Array.iteri
+              (fun i s ->
+                Fmt.pr "%s B%d live-in: %a@." p i
+                  Fmt.(list ~sep:(any " ") string)
+                  (Names.SS.elements s))
+              live.Ipcp_ir.Liveness.live_in)
+          cfgs
+    | `Vals ->
+        let t = Driver.analyze ~config symtab in
+        Fmt.pr "%a" Ipcp_core.Solver.pp t.Driver.solver
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Dump internal representations.")
+    Term.(const run $ config_term $ what_arg $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* clone *)
+
+let clone_cmd =
+  let run config path =
+    let symtab = parse_and_check path in
+    let t = Driver.analyze ~config symtab in
+    match Ipcp_core.Cloning.advise t with
+    | [] -> Fmt.pr "no profitable cloning opportunities@."
+    | advs -> List.iter (Fmt.pr "%a" Ipcp_core.Cloning.pp_advice) advs
+  in
+  Cmd.v
+    (Cmd.info "clone"
+       ~doc:"Suggest procedure clones from divergent constant vectors.")
+    Term.(const run $ config_term $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* suite / gen *)
+
+let suite_cmd =
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Program name (omit to list).")
+  in
+  let run name =
+    match name with
+    | None ->
+        List.iter
+          (fun (p : Ipcp_suite.Programs.program) ->
+            Fmt.pr "%-11s %s@." p.Ipcp_suite.Programs.name
+              p.Ipcp_suite.Programs.notes)
+          Ipcp_suite.Programs.all
+    | Some n -> (
+        match Ipcp_suite.Programs.by_name n with
+        | Some p -> Fmt.pr "%s" p.Ipcp_suite.Programs.source
+        | None ->
+            Fmt.epr "ipcp: unknown suite program %s@." n;
+            exit 1)
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"List or print the bundled benchmark programs.")
+    Term.(const run $ name_arg)
+
+let gen_cmd =
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Generator seed.") in
+  let procs_arg = Arg.(value & opt int 5 & info [ "procs" ] ~doc:"Number of procedures.") in
+  let run seed n_procs =
+    Fmt.pr "%s"
+      (Ipcp_gen.Generator.generate
+         ~params:{ Ipcp_gen.Generator.default with Ipcp_gen.Generator.seed; n_procs }
+         ())
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a random well-formed program.")
+    Term.(const run $ seed_arg $ procs_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "interprocedural constant propagation with jump functions" in
+  let info = Cmd.info "ipcp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd;
+            substitute_cmd;
+            complete_cmd;
+            intra_cmd;
+            run_cmd;
+            dump_cmd;
+            clone_cmd;
+            suite_cmd;
+            gen_cmd;
+          ]))

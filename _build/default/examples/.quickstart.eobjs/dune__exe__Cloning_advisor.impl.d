@@ -1,0 +1,1 @@
+examples/cloning_advisor.ml: Fmt Ipcp_core Ipcp_frontend List Names Sema

@@ -1,0 +1,1 @@
+examples/cloning_advisor.mli:

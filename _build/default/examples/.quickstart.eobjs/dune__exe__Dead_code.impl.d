@@ -1,0 +1,1 @@
+examples/dead_code.ml: Fmt Ipcp_core Ipcp_frontend Ipcp_opt Sema

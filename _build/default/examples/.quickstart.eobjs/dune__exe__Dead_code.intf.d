@@ -1,0 +1,1 @@
+examples/dead_code.mli:

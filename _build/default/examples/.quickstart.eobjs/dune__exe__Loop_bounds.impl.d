@@ -1,0 +1,1 @@
+examples/loop_bounds.ml: Ast Fmt Ipcp_core Ipcp_frontend Ipcp_opt List Sema Symtab

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Ipcp_core Ipcp_frontend Ipcp_opt List Names Pretty Sema Symtab

@@ -1,0 +1,1 @@
+examples/subscripts.ml: Ast Fmt Hashtbl Ipcp_core Ipcp_frontend Ipcp_vn List Option Sema Symtab

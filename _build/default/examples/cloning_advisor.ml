@@ -1,0 +1,61 @@
+(** Goal-directed procedure cloning (Metzger–Stroud; §5 of the paper):
+    when two call sites deliver {e different} constants to the same
+    procedure, the meet destroys both — but cloning the procedure per
+    constant vector recovers them.
+
+    This example analyses a BLAS-style kernel invoked with stride 1 from
+    one phase and stride 4 from another, shows that the merged analysis
+    learns nothing, and prints the advisor's cloning plan.
+
+    Run with: [dune exec examples/cloning_advisor.exe] *)
+
+open Ipcp_frontend
+module Driver = Ipcp_core.Driver
+module Cloning = Ipcp_core.Cloning
+
+let source =
+  {|
+PROGRAM blas
+  INTEGER x(64)
+  CALL phase1(x)
+  CALL phase2(x)
+END
+
+SUBROUTINE phase1(v)
+  INTEGER v(64)
+  ! dense phase: unit stride
+  CALL axpy(v, 64, 1)
+  CALL axpy(v, 64, 1)
+END
+
+SUBROUTINE phase2(v)
+  INTEGER v(64)
+  ! strided phase
+  CALL axpy(v, 16, 4)
+END
+
+SUBROUTINE axpy(v, n, stride)
+  INTEGER v(64), n, stride, i
+  i = 1
+  WHILE (i .LE. n)
+    v(i) = v(i) * 2
+    i = i + stride
+  ENDWHILE
+END
+|}
+
+let () =
+  let symtab = Sema.parse_and_analyze ~file:"<cloning>" source in
+  let t = Driver.analyze symtab in
+  let cs = Driver.constants t "axpy" in
+  Fmt.pr "merged CONSTANTS(axpy) = {%a}   (the meet of 64/1 and 16/4 edges)@."
+    Fmt.(list ~sep:(any ", ") (fun ppf (n, c) -> Fmt.pf ppf "(%s, %d)" n c))
+    (Names.SM.bindings cs);
+  Fmt.pr "@.";
+  match Cloning.advise t with
+  | [] -> Fmt.pr "no cloning opportunities found@."
+  | advs ->
+      List.iter (Fmt.pr "%a" Cloning.pp_advice) advs;
+      Fmt.pr
+        "@.With the clones in place, each variant sees constant n and \
+         stride — the stride-1 clone's loop is vectorisable.@."

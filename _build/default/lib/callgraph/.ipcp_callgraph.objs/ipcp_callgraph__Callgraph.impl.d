@@ -1,0 +1,1 @@
+lib/callgraph/callgraph.ml: Fmt Ipcp_frontend Ipcp_ir List Option SM SS

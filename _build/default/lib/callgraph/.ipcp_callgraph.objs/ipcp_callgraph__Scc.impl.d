@@ -1,0 +1,1 @@
+lib/callgraph/scc.ml: Callgraph Hashtbl Ipcp_frontend List SM

@@ -1,0 +1,79 @@
+(** Tarjan's strongly-connected-components algorithm on the call graph.
+
+    The condensation (SCCs in reverse topological order) drives the
+    bottom-up passes: MOD/REF summary propagation and return-jump-function
+    generation both walk callees before callers, iterating within an SCC
+    until its summaries stabilise (recursion). *)
+
+open Ipcp_frontend.Names
+
+type t = {
+  components : string list list;
+      (** reverse topological order: every callee's component appears
+          before (or equal to) its caller's *)
+  comp_of : int SM.t;  (** procedure -> index into [components] *)
+}
+
+let compute (cg : Callgraph.t) : t =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (Callgraph.callees cg v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec popc acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if w = v then w :: acc else popc (w :: acc)
+        | [] -> assert false
+      in
+      comps := popc [] :: !comps
+    end
+  in
+  List.iter (fun p -> if not (Hashtbl.mem index p) then strongconnect p) cg.Callgraph.procs;
+  (* Tarjan emits components in reverse topological order of the
+     condensation when collected in discovery-completion order; since we
+     prepended, [!comps] is topological (callers first) — reverse it. *)
+  let components = List.rev !comps in
+  let comp_of =
+    List.fold_left
+      (fun (i, m) comp ->
+        (i + 1, List.fold_left (fun m p -> SM.add p i m) m comp))
+      (0, SM.empty) components
+    |> snd
+  in
+  { components; comp_of }
+
+(** Does procedure [p] take part in recursion (an SCC of size > 1, or a
+    self-loop)? *)
+let is_recursive (cg : Callgraph.t) (t : t) p =
+  match List.nth_opt t.components (SM.find p t.comp_of) with
+  | Some [ _ ] -> List.mem p (Callgraph.callees cg p)
+  | Some _ -> true
+  | None -> false
+
+(** Components with every callee before its caller: the bottom-up order. *)
+let bottom_up t = t.components
+
+(** Callers before callees: the top-down order. *)
+let top_down t = List.rev t.components

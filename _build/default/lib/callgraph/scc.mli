@@ -1,0 +1,22 @@
+(** Tarjan's strongly-connected components over the call graph.  The
+    condensation orders the bottom-up passes (MOD/REF, return jump
+    functions): callees before callers. *)
+
+open Ipcp_frontend.Names
+
+type t = {
+  components : string list list;
+      (** reverse topological: every callee's component before its
+          caller's *)
+  comp_of : int SM.t;
+}
+
+val compute : Callgraph.t -> t
+
+val is_recursive : Callgraph.t -> t -> string -> bool
+(** Part of an SCC of size > 1, or a self-loop. *)
+
+val bottom_up : t -> string list list
+(** Callees before callers. *)
+
+val top_down : t -> string list list

@@ -1,0 +1,1 @@
+lib/core/bindgraph.ml: Clattice Ipcp_callgraph Ipcp_frontend Ipcp_ir Jumpfn List Map Option Queue SM SS Solver

@@ -1,0 +1,1 @@
+lib/core/bindgraph.mli: Ipcp_callgraph Ipcp_frontend Jumpfn Solver

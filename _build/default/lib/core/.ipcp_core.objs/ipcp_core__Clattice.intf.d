@@ -1,0 +1,1 @@
+lib/core/clattice.mli: Fmt

@@ -1,0 +1,1 @@
+lib/core/cloning.ml: Clattice Driver Fmt Ipcp_callgraph Ipcp_frontend Ipcp_ir Jumpfn List Option SM Solver

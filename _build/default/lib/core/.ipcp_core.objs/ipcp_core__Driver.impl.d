@@ -1,0 +1,1 @@
+lib/core/driver.ml: Clattice Config Ipcp_callgraph Ipcp_frontend Ipcp_ir Ipcp_summary Jumpfn List Returnjf SM Solver Symeval

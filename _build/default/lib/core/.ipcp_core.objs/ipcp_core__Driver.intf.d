@@ -1,0 +1,1 @@
+lib/core/driver.mli: Config Ipcp_callgraph Ipcp_frontend Ipcp_ir Ipcp_summary Jumpfn Returnjf Solver Symeval

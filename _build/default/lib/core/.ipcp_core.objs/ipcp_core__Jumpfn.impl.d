@@ -1,0 +1,1 @@
+lib/core/jumpfn.ml: Array Clattice Config Fmt Fun Ipcp_frontend Ipcp_ir Ipcp_vn List SM SS Symeval

@@ -1,0 +1,1 @@
+lib/core/jumpfn.mli: Clattice Config Fmt Ipcp_frontend Ipcp_ir Ipcp_vn Symeval

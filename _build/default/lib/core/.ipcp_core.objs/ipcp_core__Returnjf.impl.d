@@ -1,0 +1,1 @@
+lib/core/returnjf.ml: Array Fmt Ipcp_callgraph Ipcp_frontend Ipcp_ir Ipcp_summary Ipcp_vn List Map Option SM SS Symeval

@@ -1,0 +1,1 @@
+lib/core/returnjf.mli: Fmt Ipcp_callgraph Ipcp_frontend Ipcp_ir Ipcp_summary Map Symeval

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Clattice Fmt Hashtbl Ipcp_callgraph Ipcp_frontend Ipcp_ir Jumpfn List Option Queue SM

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Clattice Fmt Ipcp_callgraph Ipcp_frontend Jumpfn

@@ -1,0 +1,1 @@
+lib/core/symeval.ml: Array Clattice Fmt Hashtbl Ipcp_frontend Ipcp_ir Ipcp_vn List Option SM SS

@@ -1,0 +1,1 @@
+lib/core/symeval.mli: Clattice Fmt Hashtbl Ipcp_frontend Ipcp_ir Ipcp_vn

@@ -1,0 +1,15 @@
+(** The binding-multigraph formulation of the interprocedural propagation
+    (the §2 "alternative formulation ... based on the binding multi-graph"
+    of Cooper–Kennedy).  Nodes are (procedure, parameter) pairs; lowering
+    a node re-evaluates exactly the jump functions that read it.  Computes
+    the same fixpoint as {!Solver.solve} (differentially tested) with a
+    different work profile. *)
+
+module Symtab = Ipcp_frontend.Symtab
+module Callgraph = Ipcp_callgraph.Callgraph
+
+val solve :
+  symtab:Symtab.t ->
+  cg:Callgraph.t ->
+  jfs:Jumpfn.site_jfs list Ipcp_frontend.Names.SM.t ->
+  Solver.t

@@ -1,0 +1,26 @@
+(** The constant-propagation lattice of the paper's Figure 1.
+
+    Elements are ⊤ (no information yet), a single integer constant, or ⊥
+    (not known to be constant).  The lattice is infinite but of depth 2:
+    a value can be lowered at most twice, which is what bounds the
+    interprocedural propagation (§3.1.5). *)
+
+type t = Top | Const of int | Bottom
+
+val equal : t -> t -> bool
+
+val meet : t -> t -> t
+(** The meet (⊓) of Figure 1: [⊤ ⊓ x = x]; [c ⊓ c = c]; [ci ⊓ cj = ⊥] when
+    [ci ≠ cj]; [⊥ ⊓ x = ⊥]. *)
+
+val is_const : t -> int option
+
+val leq : t -> t -> bool
+(** Partial order induced by [meet]: [leq a b] iff [a ⊓ b = a]. *)
+
+val height : t -> int
+(** Number of times the element can still be lowered (2, 1 or 0). *)
+
+val pp : t Fmt.t
+
+val to_string : t -> string

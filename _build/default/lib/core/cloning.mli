@@ -1,0 +1,22 @@
+(** Procedure-cloning advisor (Metzger–Stroud / Cooper–Hall–Kennedy, §5):
+    when different call sites deliver different constant vectors to one
+    procedure, the meet is ⊥ — cloning per vector recovers the lost
+    constants. *)
+
+type clone_group = {
+  cg_vector : (string * int) list;  (** constants this clone would see *)
+  cg_sites : int list;  (** call-site ids routed to this clone *)
+}
+
+type advice = {
+  a_proc : string;
+  a_groups : clone_group list;
+  a_gained : int;
+      (** (parameter, clone) pairs constant after cloning but ⊥ before *)
+}
+
+val advise : Driver.t -> advice list
+(** Cloning advice for every procedure whose edge split gains constants,
+    sorted by gain descending. *)
+
+val pp_advice : advice Fmt.t

@@ -1,0 +1,49 @@
+(** Analysis configurations.
+
+    One configuration selects a forward jump-function implementation and
+    toggles the other ingredients the paper's study varies: return jump
+    functions (Table 2), interprocedural MOD information (Table 3), and the
+    dead-code-elimination loop of "complete propagation" (Table 3).
+
+    [symbolic_returns] is an extension beyond the paper: it evaluates
+    return jump functions symbolically over the caller's entry values
+    instead of requiring intraprocedurally constant actuals (the paper
+    notes its implementation "can never evaluate as constant" a return jump
+    function that depends on the calling procedure's parameters; this flag
+    lifts that limitation, approximating the gated-single-assignment
+    variant sketched in §4.2). *)
+
+type jf_kind = Literal | Intraconst | Passthrough | Polynomial
+
+let jf_kind_name = function
+  | Literal -> "literal"
+  | Intraconst -> "intraprocedural"
+  | Passthrough -> "pass-through"
+  | Polynomial -> "polynomial"
+
+type t = {
+  jf : jf_kind;
+  return_jfs : bool;
+  use_mod : bool;
+  symbolic_returns : bool;
+}
+
+let default =
+  { jf = Passthrough; return_jfs = true; use_mod = true; symbolic_returns = false }
+
+(** The configurations of the paper's Table 2, in column order. *)
+let table2 =
+  [
+    ("polynomial+R", { default with jf = Polynomial });
+    ("pass-through+R", { default with jf = Passthrough });
+    ("intraprocedural+R", { default with jf = Intraconst });
+    ("literal+R", { default with jf = Literal });
+    ("polynomial", { default with jf = Polynomial; return_jfs = false });
+    ("pass-through", { default with jf = Passthrough; return_jfs = false });
+  ]
+
+let pp ppf t =
+  Fmt.pf ppf "%s%s%s%s" (jf_kind_name t.jf)
+    (if t.return_jfs then "+retjf" else "")
+    (if t.use_mod then "+mod" else "-mod")
+    (if t.symbolic_returns then "+symret" else "")

@@ -1,0 +1,25 @@
+(** Analysis configurations: the axes the paper's study varies. *)
+
+(** The four forward jump-function implementations of §3.1, in increasing
+    order of the constants they can propagate. *)
+type jf_kind = Literal | Intraconst | Passthrough | Polynomial
+
+val jf_kind_name : jf_kind -> string
+
+type t = {
+  jf : jf_kind;
+  return_jfs : bool;  (** §3.2 return jump functions (Table 2) *)
+  use_mod : bool;  (** interprocedural MOD information (Table 3) *)
+  symbolic_returns : bool;
+      (** extension: evaluate return jump functions symbolically over the
+          caller's entry values instead of requiring constant actuals *)
+}
+
+val default : t
+(** The paper's recommended configuration: pass-through jump functions,
+    return jump functions, MOD information. *)
+
+val table2 : (string * t) list
+(** The six configurations of Table 2, in column order. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,144 @@
+(** The four-stage interprocedural constant propagation pipeline.
+
+    Following the paper's §4.1, execution proceeds in four stages:
+
+    1. {e generation of return jump functions} — a bottom-up walk of the
+       call graph ({!Returnjf.compute});
+    2. {e generation of forward jump functions} — a pass over every
+       procedure's SSA form and value numbering ({!Symeval} and
+       {!Jumpfn.of_site});
+    3. {e interprocedural propagation of constants} — the worklist solver
+       ({!Solver.solve});
+    4. {e recording the results} — CONSTANTS sets, plus the entry-bound
+       re-evaluation used by the substitution pass ({!final_eval}).
+
+    The preparatory analyses (lowering, SSA conversion, call graph, MOD/REF
+    summaries) run before stage 1. *)
+
+open Ipcp_frontend.Names
+module Symtab = Ipcp_frontend.Symtab
+module Sema = Ipcp_frontend.Sema
+module Cfg = Ipcp_ir.Cfg
+module Ssa = Ipcp_ir.Ssa
+module Lower = Ipcp_ir.Lower
+module Callgraph = Ipcp_callgraph.Callgraph
+module Modref = Ipcp_summary.Modref
+
+type t = {
+  config : Config.t;
+  symtab : Symtab.t;
+  cfgs : Cfg.t SM.t;
+  convs : Ssa.conv SM.t;
+  cg : Callgraph.t;
+  modref : Modref.t option;
+  rjfs : Returnjf.t;
+  evals : Symeval.t SM.t;  (** stage-2 symbolic evaluations (unbound) *)
+  jfs : Jumpfn.site_jfs list SM.t;  (** caller -> its sites' jump functions *)
+  solver : Solver.t;
+}
+
+let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
+  (* preparation *)
+  let cfgs = Lower.lower_program symtab in
+  let convs = SM.map Ssa.convert_full cfgs in
+  let cg =
+    Callgraph.build ~main:symtab.Symtab.main ~order:symtab.Symtab.order cfgs
+  in
+  let modref =
+    if config.Config.use_mod then Some (Modref.compute symtab cfgs cg)
+    else None
+  in
+  (* stage 1: return jump functions *)
+  let rjfs =
+    if config.Config.return_jfs then
+      Returnjf.compute ~symtab ~modref ~convs ~cg
+        ~symbolic:config.Config.symbolic_returns
+    else Returnjf.empty
+  in
+  (* stage 2: forward jump functions *)
+  let policy =
+    Returnjf.policy ~symtab ~modref ~rjfs
+      ~symbolic:config.Config.symbolic_returns
+  in
+  let evals =
+    SM.mapi
+      (fun p (conv : Ssa.conv) ->
+        Symeval.run ~symtab ~psym:(Symtab.proc symtab p) ~policy conv.Ssa.ssa)
+      convs
+  in
+  let jfs =
+    SM.mapi
+      (fun _p (ev : Symeval.t) ->
+        List.map
+          (Jumpfn.of_site ~symtab ~kind:config.Config.jf ev)
+          ev.Symeval.cfg.Cfg.sites)
+      evals
+  in
+  (* stage 3: interprocedural propagation *)
+  let solver = Solver.solve ~symtab ~cg ~jfs in
+  { config; symtab; cfgs; convs; cg; modref; rjfs; evals; jfs; solver }
+
+(** CONSTANTS(p). *)
+let constants t p = Solver.constants t.solver p
+
+(** Total number of (procedure, parameter) pairs proven constant. *)
+let total_constants t =
+  SM.fold
+    (fun p _ acc -> acc + SM.cardinal (constants t p))
+    t.symtab.Symtab.procs 0
+
+(** Stage 4 helper: re-evaluate procedure [p] with its entry values bound
+    to the propagation's fixpoint.  Every SSA name whose value folds to a
+    constant here is a substitution candidate; the substitution pass maps
+    their use-sites back to source locations. *)
+let final_eval t p : Symeval.t =
+  let psym = Symtab.proc t.symtab p in
+  let conv = SM.find p t.convs in
+  let policy =
+    Returnjf.policy ~symtab:t.symtab ~modref:t.modref ~rjfs:t.rjfs
+      ~symbolic:t.config.Config.symbolic_returns
+  in
+  let entry_binding name =
+    match Solver.val_of t.solver p name with
+    | Clattice.Const c -> Some (Symeval.const c)
+    | _ -> None (* stays symbolic: entry value unknown *)
+  in
+  Symeval.run ~entry_binding ~symtab:t.symtab ~psym ~policy conv.Ssa.ssa
+
+(* ------------------------------------------------------------------ *)
+(* Convenience front ends *)
+
+(** Parse, check and analyze a complete source text. *)
+let analyze_source ?config ~file src =
+  let symtab = Sema.parse_and_analyze ~file src in
+  (symtab, analyze ?config symtab)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics for the cost ablation (§3.1.5) *)
+
+type jf_census = {
+  n_bottom : int;
+  n_const : int;
+  n_passthrough : int;
+  n_poly : int;
+  total_cost : int;  (** Σ cost(J) over all jump functions built *)
+}
+
+let census t : jf_census =
+  SM.fold
+    (fun _ sjs acc ->
+      List.fold_left
+        (fun acc (sj : Jumpfn.site_jfs) ->
+          List.fold_left
+            (fun acc (_, jf) ->
+              let acc = { acc with total_cost = acc.total_cost + Jumpfn.cost jf } in
+              match jf with
+              | Jumpfn.Jbottom -> { acc with n_bottom = acc.n_bottom + 1 }
+              | Jumpfn.Jconst _ -> { acc with n_const = acc.n_const + 1 }
+              | Jumpfn.Jvar _ ->
+                  { acc with n_passthrough = acc.n_passthrough + 1 }
+              | Jumpfn.Jexpr _ -> { acc with n_poly = acc.n_poly + 1 })
+            acc sj.Jumpfn.jfs)
+        acc sjs)
+    t.jfs
+    { n_bottom = 0; n_const = 0; n_passthrough = 0; n_poly = 0; total_cost = 0 }

@@ -1,0 +1,176 @@
+(** Forward jump functions.
+
+    For a call site [s] in procedure [p] and an actual parameter [y] (an
+    actual argument or a global variable transmitted implicitly), the jump
+    function [J_s^y] gives the value of [y] at [s] as a function of [p]'s
+    entry values.  The four implementations of the paper are represented as
+    restrictions of the symbolic value computed by {!Symeval}:
+
+    - {b literal}: a constant only when the {e syntactic} actual is an
+      integer literal token ("a textual scan of the call sites"); misses
+      globals entirely;
+    - {b intraprocedural}: a constant when [gcp(y,s)] folds; globals too;
+    - {b pass-through}: additionally [J_s^y = x] when [y]'s value {e is}
+      the entry value of formal-or-global [x];
+    - {b polynomial}: the full symbolic expression over the entry values.
+
+    Each restricted class propagates a subset of the constants of the next
+    (tested as a qcheck property).  Jump functions are built once, before
+    interprocedural propagation begins, and merely {e evaluated} during it. *)
+
+open Ipcp_frontend.Names
+module Instr = Ipcp_ir.Instr
+module Symtab = Ipcp_frontend.Symtab
+module Symexpr = Ipcp_vn.Symexpr
+module Ast = Ipcp_frontend.Ast
+
+type t =
+  | Jbottom
+  | Jconst of int
+  | Jvar of string  (** pass-through of an entry value *)
+  | Jexpr of Symexpr.t  (** polynomial of entry values *)
+
+let equal a b =
+  match (a, b) with
+  | Jbottom, Jbottom -> true
+  | Jconst x, Jconst y -> x = y
+  | Jvar x, Jvar y -> x = y
+  | Jexpr x, Jexpr y -> Symexpr.equal x y
+  | _ -> false
+
+(** The support of the jump function: the entry values it reads. *)
+let support = function
+  | Jbottom | Jconst _ -> SS.empty
+  | Jvar x -> SS.singleton x
+  | Jexpr e -> Symexpr.support e
+
+let pp ppf = function
+  | Jbottom -> Fmt.string ppf "⊥"
+  | Jconst c -> Fmt.int ppf c
+  | Jvar x -> Fmt.string ppf x
+  | Jexpr e -> Symexpr.pp ppf e
+
+(** An abstract cost of evaluating the function once, used by the §3.1.5
+    cost ablation: constants are free, a pass-through is one lookup, a
+    polynomial costs its structural size. *)
+let cost = function
+  | Jbottom | Jconst _ -> 1
+  | Jvar _ -> 2
+  | Jexpr e -> 2 + Symexpr.size e
+
+(* ------------------------------------------------------------------ *)
+(* Construction: restrict a symbolic value to a jump-function class *)
+
+let of_value (kind : Config.jf_kind) ~(syntactic : Ast.expr option)
+    (v : Symeval.value) : t =
+  let const_or_bottom () =
+    match Symeval.is_const v with Some c -> Jconst c | None -> Jbottom
+  in
+  match kind with
+  | Config.Literal -> (
+      match syntactic with
+      | Some (Ast.Int (n, _)) -> Jconst n
+      | _ -> Jbottom)
+  | Config.Intraconst -> const_or_bottom ()
+  | Config.Passthrough -> (
+      match Symeval.is_const v with
+      | Some c -> Jconst c
+      | None -> (
+          match v with
+          | Symeval.Sexp e -> (
+              match Symexpr.as_sym e with Some x -> Jvar x | None -> Jbottom)
+          | _ -> Jbottom))
+  | Config.Polynomial -> (
+      match v with
+      | Symeval.Sexp e -> (
+          match Symexpr.is_const e with
+          | Some c -> Jconst c
+          | None -> (
+              match Symexpr.as_sym e with
+              | Some x -> Jvar x
+              | None -> Jexpr e))
+      | Symeval.Top ->
+          (* only arises from values defined under conditions that are
+             themselves never evaluated; treat conservatively *)
+          Jbottom
+      | Symeval.Bottom -> Jbottom)
+
+(* ------------------------------------------------------------------ *)
+(* Per-site jump function sets *)
+
+(** The parameters of the callee that receive a value along a call edge:
+    its scalar formals (by name) and every scalar global. *)
+type param = { p_name : string; p_kind : [ `Formal of int | `Global ] }
+
+type site_jfs = {
+  sj_site : Instr.site;
+  jfs : (param * t) list;
+}
+
+(** Build the jump functions for one call site, given the symbolic
+    evaluation of the calling procedure. *)
+let of_site ~(symtab : Symtab.t) ~(kind : Config.jf_kind) (ev : Symeval.t)
+    (s : Instr.site) : site_jfs =
+  let view = Symeval.site_view ev s in
+  let callee_psym =
+    match Symtab.find_proc symtab s.Instr.callee with
+    | Some p -> p
+    | None -> invalid_arg ("Jumpfn.of_site: unknown callee " ^ s.Instr.callee)
+  in
+  let syntactic = Array.of_list s.Instr.syntactic in
+  let formals =
+    List.mapi
+      (fun j f ->
+        if Symtab.is_array (Symtab.var_exn callee_psym f) then None
+        else
+          let v = view.Symeval.actual j in
+          let syn =
+            if j < Array.length syntactic then Some syntactic.(j) else None
+          in
+          Some ({ p_name = f; p_kind = `Formal j }, of_value kind ~syntactic:syn v))
+      (Symtab.formals callee_psym)
+    |> List.filter_map Fun.id
+  in
+  let globals =
+    List.filter_map
+      (fun g ->
+        match SM.find_opt g symtab.Symtab.globals with
+        | Some { Symtab.gdim = None; _ } ->
+            let jf =
+              match kind with
+              | Config.Literal ->
+                  (* the literal technique "misses any constant globals
+                     which are passed implicitly at the call site" *)
+                  Jbottom
+              | _ -> of_value kind ~syntactic:None (view.Symeval.global_at g)
+            in
+            Some ({ p_name = g; p_kind = `Global }, jf)
+        | _ -> None)
+      (Symtab.global_names symtab)
+  in
+  { sj_site = s; jfs = formals @ globals }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation during interprocedural propagation *)
+
+(** [eval jf env] evaluates the jump function against the caller's current
+    VAL set.  ⊤ supports yield ⊤ (no information has reached the caller
+    yet); ⊥ supports yield ⊥; otherwise the expression folds. *)
+let eval (jf : t) (env : string -> Clattice.t) : Clattice.t =
+  match jf with
+  | Jbottom -> Clattice.Bottom
+  | Jconst c -> Clattice.Const c
+  | Jvar x -> env x
+  | Jexpr e ->
+      let sup = SS.elements (Symexpr.support e) in
+      if List.exists (fun s -> env s = Clattice.Bottom) sup then
+        Clattice.Bottom
+      else if List.exists (fun s -> env s = Clattice.Top) sup then
+        Clattice.Top
+      else
+        let lookup s =
+          match env s with Clattice.Const c -> Some c | _ -> None
+        in
+        (match Symexpr.eval lookup e with
+        | Some c -> Clattice.Const c
+        | None -> Clattice.Bottom)

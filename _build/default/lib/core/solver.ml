@@ -1,0 +1,161 @@
+(** Interprocedural propagation of VAL sets over the call graph.
+
+    This is the worklist scheme of the paper's §2/§4.1: with each procedure
+    we associate VAL — a map from its scalar formals and the program's
+    scalar globals to the constant lattice, initialised to ⊤.  The main
+    program's entry is seeded (DATA-initialised globals are constants,
+    everything else ⊥).  Each call edge folds the evaluation of its jump
+    functions into the callee's VAL via the lattice meet; lowering a value
+    re-enqueues the callee so the jump functions that depend on it are
+    re-evaluated.  Because a value can be lowered at most twice, the
+    process terminates after O(Σ_s Σ_y cost(J_s^y)) work.
+
+    CONSTANTS(p) is read off the fixpoint: the parameters whose VAL is a
+    constant. *)
+
+open Ipcp_frontend.Names
+module Symtab = Ipcp_frontend.Symtab
+module Callgraph = Ipcp_callgraph.Callgraph
+
+type stats = {
+  mutable pops : int;  (** worklist pops *)
+  mutable jf_evals : int;  (** jump-function evaluations *)
+  mutable jf_eval_cost : int;  (** Σ cost(J) over evaluations *)
+  mutable lowerings : int;  (** VAL entries lowered *)
+}
+
+type t = {
+  vals : Clattice.t SM.t SM.t;  (** procedure -> parameter -> value *)
+  stats : stats;
+}
+
+(** Parameters tracked for procedure [p]: scalar formals plus every scalar
+    global of the program. *)
+let params_of (symtab : Symtab.t) (psym : Symtab.proc_sym) : string list =
+  let formals =
+    List.filter
+      (fun f -> not (Symtab.is_array (Symtab.var_exn psym f)))
+      (Symtab.formals psym)
+  in
+  let globals =
+    List.filter
+      (fun g ->
+        match SM.find_opt g symtab.Symtab.globals with
+        | Some { Symtab.gdim = None; _ } -> true
+        | _ -> false)
+      (Symtab.global_names symtab)
+  in
+  formals @ globals
+
+(** The main program's entry values: globals are DATA constants or ⊥. *)
+let main_seed (symtab : Symtab.t) : Clattice.t SM.t =
+  List.fold_left
+    (fun acc g ->
+      match SM.find_opt g symtab.Symtab.globals with
+      | Some { Symtab.gdim = None; init; _ } ->
+          let v =
+            match init with
+            | Some c -> Clattice.Const c
+            | None -> Clattice.Bottom (* undefined at program start *)
+          in
+          SM.add g v acc
+      | _ -> acc)
+    SM.empty
+    (Symtab.global_names symtab)
+
+let solve ~(symtab : Symtab.t) ~(cg : Callgraph.t)
+    ~(jfs : Jumpfn.site_jfs list SM.t) : t =
+  let stats = { pops = 0; jf_evals = 0; jf_eval_cost = 0; lowerings = 0 } in
+  let vals =
+    ref
+      (List.fold_left
+         (fun acc p ->
+           let psym = Symtab.proc symtab p in
+           let init =
+             List.fold_left
+               (fun m name -> SM.add name Clattice.Top m)
+               SM.empty (params_of symtab psym)
+           in
+           SM.add p init acc)
+         SM.empty cg.Callgraph.procs)
+  in
+  (* seed the main program *)
+  let () =
+    let main = cg.Callgraph.main in
+    let seeded =
+      SM.union
+        (fun _ _ seed -> Some seed)
+        (SM.find main !vals) (main_seed symtab)
+    in
+    vals := SM.add main seeded !vals
+  in
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 16 in
+  let enqueue p =
+    if not (Hashtbl.mem queued p) then begin
+      Hashtbl.replace queued p ();
+      Queue.add p queue
+    end
+  in
+  List.iter enqueue cg.Callgraph.procs;
+  while not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    Hashtbl.remove queued p;
+    stats.pops <- stats.pops + 1;
+    let env name =
+      Option.value ~default:Clattice.Bottom
+        (SM.find_opt name (SM.find p !vals))
+    in
+    List.iter
+      (fun (sj : Jumpfn.site_jfs) ->
+        let q = sj.Jumpfn.sj_site.Ipcp_ir.Instr.callee in
+        let qvals = ref (SM.find q !vals) in
+        let lowered = ref false in
+        List.iter
+          (fun ((param : Jumpfn.param), jf) ->
+            stats.jf_evals <- stats.jf_evals + 1;
+            stats.jf_eval_cost <- stats.jf_eval_cost + Jumpfn.cost jf;
+            let v = Jumpfn.eval jf env in
+            let name = param.Jumpfn.p_name in
+            let cur =
+              Option.value ~default:Clattice.Top (SM.find_opt name !qvals)
+            in
+            let nv = Clattice.meet cur v in
+            if not (Clattice.equal nv cur) then begin
+              qvals := SM.add name nv !qvals;
+              stats.lowerings <- stats.lowerings + 1;
+              lowered := true
+            end)
+          sj.Jumpfn.jfs;
+        if !lowered then begin
+          vals := SM.add q !qvals !vals;
+          enqueue q
+        end)
+      (Option.value ~default:[] (SM.find_opt p jfs))
+  done;
+  { vals = !vals; stats }
+
+(** CONSTANTS(p): the (name, value) pairs known constant on entry to [p]. *)
+let constants (t : t) p : int SM.t =
+  match SM.find_opt p t.vals with
+  | None -> SM.empty
+  | Some m ->
+      SM.fold
+        (fun name v acc ->
+          match v with Clattice.Const c -> SM.add name c acc | _ -> acc)
+        m SM.empty
+
+let val_of (t : t) p name : Clattice.t =
+  match SM.find_opt p t.vals with
+  | None -> Clattice.Bottom
+  | Some m -> Option.value ~default:Clattice.Bottom (SM.find_opt name m)
+
+let pp ppf (t : t) =
+  SM.iter
+    (fun p m ->
+      Fmt.pf ppf "VAL(%s): %a@." p
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (n, v) ->
+              Fmt.pf ppf "%s=%a" n Clattice.pp v))
+        (SM.bindings m))
+    t.vals

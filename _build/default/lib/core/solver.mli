@@ -1,0 +1,43 @@
+(** Interprocedural propagation of VAL sets over the call graph: the
+    worklist scheme of §2/§4.1.  Each call edge folds the evaluation of
+    its jump functions into the callee's VAL via the lattice meet;
+    lowering a value re-enqueues the callee.  CONSTANTS(p) is read off the
+    fixpoint. *)
+
+module Symtab = Ipcp_frontend.Symtab
+module Callgraph = Ipcp_callgraph.Callgraph
+
+type stats = {
+  mutable pops : int;  (** worklist pops *)
+  mutable jf_evals : int;  (** jump-function evaluations *)
+  mutable jf_eval_cost : int;  (** Σ cost(J) over evaluations *)
+  mutable lowerings : int;  (** VAL entries lowered (≤ 2 × entries) *)
+}
+
+type t = {
+  vals : Clattice.t Ipcp_frontend.Names.SM.t Ipcp_frontend.Names.SM.t;
+      (** procedure -> parameter -> value *)
+  stats : stats;
+}
+
+val params_of : Symtab.t -> Symtab.proc_sym -> string list
+(** Parameters tracked for a procedure: its scalar formals plus every
+    scalar global of the program (the paper's extended definition of
+    "parameter"). *)
+
+val main_seed : Symtab.t -> Clattice.t Ipcp_frontend.Names.SM.t
+(** The main program's entry values: DATA-initialised globals are
+    constants, everything else ⊥. *)
+
+val solve :
+  symtab:Symtab.t ->
+  cg:Callgraph.t ->
+  jfs:Jumpfn.site_jfs list Ipcp_frontend.Names.SM.t ->
+  t
+
+val constants : t -> string -> int Ipcp_frontend.Names.SM.t
+(** CONSTANTS(p): the (name, value) pairs known constant on entry. *)
+
+val val_of : t -> string -> string -> Clattice.t
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/dataflow/dataflow.ml: Array Fmt Ipcp_ir List

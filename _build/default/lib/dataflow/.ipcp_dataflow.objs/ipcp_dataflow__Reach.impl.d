@@ -1,0 +1,1 @@
+lib/dataflow/reach.ml: Array Dataflow Fmt Ipcp_frontend Ipcp_ir List Set

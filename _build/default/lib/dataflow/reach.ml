@@ -1,0 +1,81 @@
+(** Reaching definitions, as an instance of the generic {!Dataflow} solver.
+
+    A definition point is identified by [(block id, instruction index)]; the
+    pseudo-definition [(-1, -1)] stands for the variable's value on entry to
+    the procedure.  The lattice is the powerset of definition points ordered
+    by inclusion (meet = union: a definition reaches a point if it reaches
+    it along {e some} path). *)
+
+module Cfg = Ipcp_ir.Cfg
+module Instr = Ipcp_ir.Instr
+
+type def_point = { d_var : string; d_block : int; d_index : int }
+
+let entry_def v = { d_var = v; d_block = -1; d_index = -1 }
+
+module DP = Set.Make (struct
+  type t = def_point
+
+  let compare = compare
+end)
+
+module L = struct
+  type t = DP.t option
+  (** [None] is ⊤ (unvisited); [Some s] the set of reaching definitions. *)
+
+  let top = None
+
+  let meet a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (DP.union a b)
+
+  let equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some a, Some b -> DP.equal a b
+    | _ -> false
+
+  let pp ppf = function
+    | None -> Fmt.string ppf "⊤"
+    | Some s -> Fmt.pf ppf "{%d defs}" (DP.cardinal s)
+end
+
+module Solver = Dataflow.Make (L)
+
+type t = {
+  blocks_in : DP.t array;
+  blocks_out : DP.t array;
+}
+
+let kill_gen (s : DP.t) ~bid ~idx instr =
+  match Instr.def instr with
+  | Some v ->
+      let s = DP.filter (fun d -> d.d_var <> v) s in
+      DP.add { d_var = v; d_block = bid; d_index = idx } s
+  | None -> s
+
+let compute (cfg : Cfg.t) : t =
+  let entry_set =
+    Cfg.all_vars cfg |> Ipcp_frontend.Names.SS.elements |> List.map entry_def
+    |> DP.of_list
+  in
+  let transfer bid v =
+    let s = match v with None -> DP.empty | Some s -> s in
+    let _, s =
+      List.fold_left
+        (fun (idx, s) i -> (idx + 1, kill_gen s ~bid ~idx i))
+        (0, s) cfg.Cfg.blocks.(bid).Cfg.instrs
+    in
+    Some s
+  in
+  let r = Solver.solve cfg ~init:(Some entry_set) ~transfer in
+  let unwrap = function None -> DP.empty | Some s -> s in
+  {
+    blocks_in = Array.map unwrap r.Solver.inv;
+    blocks_out = Array.map unwrap r.Solver.outv;
+  }
+
+(** Definitions of [v] reaching the entry of block [bid]. *)
+let reaching_defs t ~bid v =
+  DP.elements (DP.filter (fun d -> d.d_var = v) t.blocks_in.(bid))

@@ -1,0 +1,1 @@
+lib/frontend/diag.ml: Fmt Format Loc Result

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Diag Lexing List Loc String Token

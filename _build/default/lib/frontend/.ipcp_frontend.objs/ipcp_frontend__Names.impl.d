@@ -1,0 +1,1 @@
+lib/frontend/names.ml: List Map Set String

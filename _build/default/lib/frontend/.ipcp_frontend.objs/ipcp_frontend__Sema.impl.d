@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Ast Diag Hashtbl List Loc Names Option Parser SM SS Symtab

@@ -1,0 +1,1 @@
+lib/frontend/symtab.ml: Ast Fmt List Names SM

@@ -1,0 +1,251 @@
+(** Abstract syntax of MiniFortran.
+
+    MiniFortran is the FORTRAN-77-shaped source language this repository
+    analyzes.  It keeps exactly the features interprocedural constant
+    propagation observes: integer scalars and arrays, [COMMON] globals,
+    [PARAMETER] named constants, [DATA] static initialisation, by-reference
+    parameter passing, subroutines and integer functions, and structured
+    control flow ([IF]/[ELSEIF]/[ELSE], [DO], [WHILE]).
+
+    Every expression and statement carries a {!Loc.t}; the substitution pass
+    keys its rewrites on the location of each variable use. *)
+
+type unop = Neg
+
+type binop = Add | Sub | Mul | Div | Pow
+
+(** Intrinsic integer functions.  They are ordinary total functions of their
+    arguments (except that [Mod] with a zero second argument faults), so the
+    polynomial jump function can carry them as opaque-but-evaluable nodes. *)
+type intrinsic = Imod | Imax | Imin | Iabs
+
+type relop = Req | Rne | Rlt | Rle | Rgt | Rge
+
+type expr =
+  | Int of int * Loc.t
+  | Var of string * Loc.t  (** scalar variable or [PARAMETER] constant *)
+  | Index of string * expr * Loc.t
+      (** [a(e)]: array element, or — before {!Sema} resolves names — a
+          function call of one argument *)
+  | Callf of string * expr list * Loc.t  (** user function call *)
+  | Intrin of intrinsic * expr list * Loc.t
+  | Unop of unop * expr * Loc.t
+  | Binop of binop * expr * expr * Loc.t
+
+type cond =
+  | Rel of relop * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+  | Btrue
+  | Bfalse
+
+type lvalue =
+  | Lvar of string * Loc.t
+  | Lindex of string * expr * Loc.t
+
+type stmt =
+  | Assign of lvalue * expr * Loc.t
+  | If of (cond * stmt list) list * stmt list * Loc.t
+      (** guarded branches ([IF]/[ELSEIF]...) and the [ELSE] arm (possibly
+          empty) *)
+  | Do of string * expr * expr * expr option * stmt list * Loc.t
+      (** [DO v = lo, hi [, step]] ... [ENDDO]; [step] defaults to 1 and must
+          be a nonzero compile-time constant (checked by {!Sema}) *)
+  | While of cond * stmt list * Loc.t
+  | Call of string * expr list * Loc.t
+  | Return of Loc.t
+  | Print of expr list * Loc.t
+  | Read of lvalue list * Loc.t
+  | Stop of Loc.t
+  | Continue of Loc.t  (** no-op *)
+
+type decl =
+  | Dinteger of (string * expr option) list * Loc.t
+      (** [INTEGER x, a(n)]: scalars and arrays; the dimension expression
+          must fold to a positive constant *)
+  | Dcommon of string * (string * expr option) list * Loc.t
+      (** [COMMON /blk/ x, a(n)]: declares globals (and implicitly types
+          them INTEGER) *)
+  | Dparameter of (string * expr) list * Loc.t
+  | Ddata of (string * int) list * Loc.t
+
+type proc_kind = Main | Subroutine | Function
+
+type proc = {
+  name : string;
+  kind : proc_kind;
+  formals : string list;
+  decls : decl list;
+  body : stmt list;
+  loc : Loc.t;
+}
+
+type program = proc list
+
+(* -------------------------------------------------------------------- *)
+(* Accessors *)
+
+let expr_loc = function
+  | Int (_, l)
+  | Var (_, l)
+  | Index (_, _, l)
+  | Callf (_, _, l)
+  | Intrin (_, _, l)
+  | Unop (_, _, l)
+  | Binop (_, _, _, l) ->
+      l
+
+let lvalue_loc = function Lvar (_, l) | Lindex (_, _, l) -> l
+
+let lvalue_name = function Lvar (n, _) | Lindex (n, _, _) -> n
+
+let stmt_loc = function
+  | Assign (_, _, l)
+  | If (_, _, l)
+  | Do (_, _, _, _, _, l)
+  | While (_, _, l)
+  | Call (_, _, l)
+  | Return l
+  | Print (_, l)
+  | Read (_, l)
+  | Stop l
+  | Continue l ->
+      l
+
+let intrinsic_name = function
+  | Imod -> "mod"
+  | Imax -> "max"
+  | Imin -> "min"
+  | Iabs -> "abs"
+
+let intrinsic_of_name = function
+  | "mod" -> Some Imod
+  | "max" -> Some Imax
+  | "min" -> Some Imin
+  | "abs" -> Some Iabs
+  | _ -> None
+
+let intrinsic_arity = function Imod | Imax | Imin -> 2 | Iabs -> 1
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "**"
+
+let relop_name = function
+  | Req -> ".EQ."
+  | Rne -> ".NE."
+  | Rlt -> ".LT."
+  | Rle -> ".LE."
+  | Rgt -> ".GT."
+  | Rge -> ".GE."
+
+(* -------------------------------------------------------------------- *)
+(* Integer evaluation helpers shared by the interpreter, the constant
+   folder, and the symbolic evaluator.  Division and modulus by zero have no
+   result. *)
+
+(** [eval_binop op a b] evaluates an integer operation, returning [None] on a
+    fault (division or modulus by zero).  [Pow] with a negative exponent
+    follows integer-FORTRAN convention: the result is 0 unless the base is
+    1 or -1. *)
+let eval_binop op a b =
+  match op with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Mul -> Some (a * b)
+  | Div -> if b = 0 then None else Some (a / b)
+  | Pow ->
+      if b >= 0 then (
+        let r = ref 1 in
+        for _ = 1 to b do
+          r := !r * a
+        done;
+        Some !r)
+      else if a = 1 then Some 1
+      else if a = -1 then Some (if b mod 2 = 0 then 1 else -1)
+      else if a = 0 then None
+      else Some 0
+
+let eval_unop Neg a = -a
+
+let eval_intrin i args =
+  match (i, args) with
+  | Imod, [ a; b ] -> if b = 0 then None else Some (a mod b)
+  | Imax, [ a; b ] -> Some (max a b)
+  | Imin, [ a; b ] -> Some (min a b)
+  | Iabs, [ a ] -> Some (abs a)
+  | _ -> None
+
+let eval_relop op a b =
+  match op with
+  | Req -> a = b
+  | Rne -> a <> b
+  | Rlt -> a < b
+  | Rle -> a <= b
+  | Rgt -> a > b
+  | Rge -> a >= b
+
+(* -------------------------------------------------------------------- *)
+(* Traversals *)
+
+(** [iter_stmts f stmts] applies [f] to every statement, recursing into
+    nested bodies. *)
+let rec iter_stmts f stmts =
+  List.iter
+    (fun s ->
+      f s;
+      match s with
+      | If (branches, els, _) ->
+          List.iter (fun (_, b) -> iter_stmts f b) branches;
+          iter_stmts f els
+      | Do (_, _, _, _, body, _) | While (_, body, _) -> iter_stmts f body
+      | Assign _ | Call _ | Return _ | Print _ | Read _ | Stop _ | Continue _
+        ->
+          ())
+    stmts
+
+(** [iter_exprs f stmts] applies [f] to every top-level expression occurring
+    in the statements (including loop bounds, call arguments, condition
+    operands and array subscripts in lvalues), recursing into nested
+    statement bodies but not into subexpressions — [f] may recurse itself. *)
+let iter_exprs f stmts =
+  let lv = function Lvar _ -> () | Lindex (_, e, _) -> f e in
+  let rec cond = function
+    | Rel (_, a, b) ->
+        f a;
+        f b
+    | And (a, b) | Or (a, b) ->
+        cond a;
+        cond b
+    | Not c -> cond c
+    | Btrue | Bfalse -> ()
+  in
+  iter_stmts
+    (fun s ->
+      match s with
+      | Assign (l, e, _) ->
+          lv l;
+          f e
+      | If (branches, _, _) -> List.iter (fun (c, _) -> cond c) branches
+      | Do (_, lo, hi, st, _, _) ->
+          f lo;
+          f hi;
+          Option.iter f st
+      | While (c, _, _) -> cond c
+      | Call (_, args, _) -> List.iter f args
+      | Print (es, _) -> List.iter f es
+      | Read (ls, _) -> List.iter lv ls
+      | Return _ | Stop _ | Continue _ -> ())
+    stmts
+
+(** All [Call] statements (not function calls) in a body, outermost-in. *)
+let calls_of_body body =
+  let acc = ref [] in
+  iter_stmts
+    (fun s -> match s with Call (n, args, l) -> acc := (n, args, l) :: !acc | _ -> ())
+    body;
+  List.rev !acc

@@ -1,0 +1,38 @@
+(** Diagnostics: uniform error reporting for every phase of the analyzer.
+
+    All phases raise [Error] with a phase tag, a location and a message.
+    [guard] converts the exception into a [result] for callers (tests, the
+    CLI) that prefer not to catch exceptions. *)
+
+type phase =
+  | Lex
+  | Parse
+  | Sema
+  | Lower
+  | Analysis
+  | Runtime  (** interpreter faults: division by zero, bad subscript, ... *)
+
+let phase_name = function
+  | Lex -> "lexical error"
+  | Parse -> "syntax error"
+  | Sema -> "semantic error"
+  | Lower -> "lowering error"
+  | Analysis -> "analysis error"
+  | Runtime -> "runtime error"
+
+type t = { phase : phase; loc : Loc.t; msg : string }
+
+exception Error of t
+
+let error phase loc fmt =
+  Format.kasprintf (fun msg -> raise (Error { phase; loc; msg })) fmt
+
+let pp ppf { phase; loc; msg } =
+  Fmt.pf ppf "%a: %s: %s" Loc.pp loc (phase_name phase) msg
+
+let to_string d = Fmt.str "%a" pp d
+
+let guard f = match f () with v -> Ok v | exception Error d -> Result.Error d
+
+(** [guard_s f] is [guard f] with the error rendered to a string. *)
+let guard_s f = Result.map_error to_string (guard f)

@@ -1,0 +1,58 @@
+{
+(* Lexer for MiniFortran.  Free-form source; statements end at newline;
+   [!] starts a comment that runs to the end of the line; keywords and
+   identifiers are case-insensitive. *)
+
+let loc_of lexbuf =
+  let p = Lexing.lexeme_start_p lexbuf in
+  Loc.make ~file:p.Lexing.pos_fname ~line:p.Lexing.pos_lnum
+    ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol + 1)
+
+let fail lexbuf fmt = Diag.error Diag.Lex (loc_of lexbuf) fmt
+}
+
+let blank = [' ' '\t' '\r']
+let digit = ['0'-'9']
+let alpha = ['a'-'z' 'A'-'Z']
+let ident = alpha (alpha | digit | '_')*
+
+rule token = parse
+  | blank+            { token lexbuf }
+  | '!' [^ '\n']*     { token lexbuf }
+  | '\n'              { Lexing.new_line lexbuf; Token.NEWLINE }
+  | '&' blank* ('!' [^ '\n']*)? '\n'
+                      { Lexing.new_line lexbuf; token lexbuf }
+                      (* '&' at end of line continues the statement *)
+  | digit+ as n       { match int_of_string_opt n with
+                        | Some v -> Token.INT v
+                        | None -> fail lexbuf "integer literal too large: %s" n }
+  | ident as w        { Token.of_word w }
+  | '.' (alpha+ as w) '.'
+                      { match List.assoc_opt (String.lowercase_ascii w) Token.dotted with
+                        | Some t -> t
+                        | None -> fail lexbuf "unknown dotted operator .%s." w }
+  | "**"              { Token.POW }
+  | '('               { Token.LPAREN }
+  | ')'               { Token.RPAREN }
+  | ','               { Token.COMMA }
+  | '='               { Token.ASSIGN }
+  | '+'               { Token.PLUS }
+  | '-'               { Token.MINUS }
+  | '*'               { Token.STAR }
+  | '/'               { Token.SLASH }
+  | eof               { Token.EOF }
+  | _ as c            { fail lexbuf "unexpected character %C" c }
+
+{
+(** [tokenize ~file src] lexes the whole of [src], returning tokens paired
+    with their source locations.  The trailing [EOF] token is included. *)
+let tokenize ~file src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  let rec go acc =
+    let t = token lexbuf in
+    let l = loc_of lexbuf in
+    if t = Token.EOF then List.rev ((t, l) :: acc) else go ((t, l) :: acc)
+  in
+  go []
+}

@@ -1,0 +1,39 @@
+(** Source locations.
+
+    Every AST node carries a location so that diagnostics, and more
+    importantly the constant-substitution pass, can refer back to the exact
+    occurrence in the source text.  Locations are compared structurally; the
+    [id] field disambiguates distinct occurrences that happen to share a
+    file/line/column (which cannot arise from the lexer, but can arise from
+    synthesized nodes). *)
+
+type t = {
+  file : string;  (** originating file, or a pseudo-name such as ["<suite>"] *)
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+}
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let compare = Stdlib.compare
+
+let equal a b = compare a b = 0
+
+let pp ppf { file; line; col } = Fmt.pf ppf "%s:%d:%d" file line col
+
+let to_string l = Fmt.str "%a" pp l
+
+(** Locations are used as keys by the substitution pass. *)
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

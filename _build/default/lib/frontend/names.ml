@@ -1,0 +1,9 @@
+(** String-keyed maps and sets, shared by every phase. *)
+
+module SM = Map.Make (String)
+module SS = Set.Make (String)
+
+(** [keys m] in increasing key order. *)
+let keys m = SM.fold (fun k _ acc -> k :: acc) m [] |> List.rev
+
+let of_list kvs = List.fold_left (fun m (k, v) -> SM.add k v m) SM.empty kvs

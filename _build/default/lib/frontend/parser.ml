@@ -1,0 +1,581 @@
+(** Recursive-descent parser for MiniFortran.
+
+    The grammar is statement-per-line (the lexer produces [NEWLINE] tokens);
+    declarations must precede executable statements inside each program
+    unit, as in FORTRAN.  The only point that needs backtracking is the
+    condition syntax, where ["("] may open either an arithmetic
+    subexpression or a parenthesised condition. *)
+
+open Ast
+
+type state = {
+  toks : (Token.t * Loc.t) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.toks.(st.pos)
+
+let peek_loc st = snd st.toks.(st.pos)
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1)
+  else Token.EOF
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let err st fmt = Diag.error Diag.Parse (peek_loc st) fmt
+
+let expect st t =
+  if Token.equal (peek st) t then advance st
+  else
+    err st "expected %s but found %s" (Token.to_string t)
+      (Token.to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT n ->
+      advance st;
+      n
+  | t -> err st "expected identifier but found %s" (Token.to_string t)
+
+let skip_newlines st =
+  while Token.equal (peek st) Token.NEWLINE do
+    advance st
+  done
+
+(** Statement terminator: every statement ends with a newline (or EOF). *)
+let end_of_stmt st =
+  match peek st with
+  | Token.NEWLINE -> skip_newlines st
+  | Token.EOF -> ()
+  | t -> err st "expected end of statement but found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let rec loop acc =
+    let l = peek_loc st in
+    match peek st with
+    | Token.PLUS ->
+        advance st;
+        loop (Binop (Add, acc, parse_multiplicative st, l))
+    | Token.MINUS ->
+        advance st;
+        loop (Binop (Sub, acc, parse_multiplicative st, l))
+    | _ -> acc
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop acc =
+    let l = peek_loc st in
+    match peek st with
+    | Token.STAR ->
+        advance st;
+        loop (Binop (Mul, acc, parse_power st, l))
+    | Token.SLASH ->
+        advance st;
+        loop (Binop (Div, acc, parse_power st, l))
+    | _ -> acc
+  in
+  loop (parse_power st)
+
+and parse_power st =
+  (* right-associative, binds tighter than unary minus on the left:
+     [-a**b] is [-(a**b)], as in FORTRAN *)
+  let base = parse_unary st in
+  match peek st with
+  | Token.POW ->
+      let l = peek_loc st in
+      advance st;
+      Binop (Pow, base, parse_power st, l)
+  | _ -> base
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS ->
+      let l = peek_loc st in
+      advance st;
+      Unop (Neg, parse_unary st, l)
+  | Token.PLUS ->
+      advance st;
+      parse_unary st
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let l = peek_loc st in
+  match peek st with
+  | Token.INT n ->
+      advance st;
+      Int (n, l)
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | Token.IDENT n -> (
+      advance st;
+      match peek st with
+      | Token.LPAREN ->
+          advance st;
+          let args = parse_arg_list st in
+          expect st Token.RPAREN;
+          (* [a(i)] is an array element or a call; Sema resolves.  Calls
+             with >1 argument cannot be array elements, so they become
+             [Callf] at once (possibly an intrinsic, also resolved in
+             Sema). *)
+          (match args with
+          | [ a ] -> Index (n, a, l)
+          | _ -> Callf (n, args, l))
+      | _ -> Var (n, l))
+  | t -> err st "expected expression but found %s" (Token.to_string t)
+
+and parse_arg_list st =
+  if Token.equal (peek st) Token.RPAREN then []
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      if Token.equal (peek st) Token.COMMA then (
+        advance st;
+        loop (e :: acc))
+      else List.rev (e :: acc)
+    in
+    loop []
+
+(* ------------------------------------------------------------------ *)
+(* Conditions *)
+
+let relop_of_token = function
+  | Token.EQ -> Some Req
+  | Token.NE -> Some Rne
+  | Token.LT -> Some Rlt
+  | Token.LE -> Some Rle
+  | Token.GT -> Some Rgt
+  | Token.GE -> Some Rge
+  | _ -> None
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let rec loop acc =
+    match peek st with
+    | Token.OR ->
+        advance st;
+        loop (Or (acc, parse_and st))
+    | _ -> acc
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop acc =
+    match peek st with
+    | Token.AND ->
+        advance st;
+        loop (And (acc, parse_not st))
+    | _ -> acc
+  in
+  loop (parse_not st)
+
+and parse_not st =
+  match peek st with
+  | Token.NOT ->
+      advance st;
+      Not (parse_not st)
+  | Token.TRUE ->
+      advance st;
+      Btrue
+  | Token.FALSE ->
+      advance st;
+      Bfalse
+  | _ -> parse_rel st
+
+and parse_rel st =
+  (* Try [expr relop expr]; on failure, fall back to a parenthesised
+     condition.  The fallback only applies when the next token is "(". *)
+  let save = st.pos in
+  match
+    let e1 = parse_expr st in
+    match relop_of_token (peek st) with
+    | Some op ->
+        advance st;
+        let e2 = parse_expr st in
+        `Rel (Rel (op, e1, e2))
+    | None -> `NoRel
+  with
+  | `Rel c -> c
+  | `NoRel ->
+      st.pos <- save;
+      parse_paren_cond st
+  | exception Diag.Error _ when Token.equal (fst st.toks.(save)) Token.LPAREN
+    ->
+      st.pos <- save;
+      parse_paren_cond st
+
+and parse_paren_cond st =
+  expect st Token.LPAREN;
+  let c = parse_cond st in
+  expect st Token.RPAREN;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let parse_lvalue st =
+  let l = peek_loc st in
+  let n = expect_ident st in
+  match peek st with
+  | Token.LPAREN ->
+      advance st;
+      let i = parse_expr st in
+      expect st Token.RPAREN;
+      Lindex (n, i, l)
+  | _ -> Lvar (n, l)
+
+(* Tokens that terminate a statement block. *)
+let block_end = function
+  | Token.ELSE | Token.ELSEIF | Token.ENDIF | Token.ENDDO | Token.ENDWHILE
+  | Token.END | Token.EOF ->
+      true
+  | _ -> false
+
+let rec parse_stmts st =
+  skip_newlines st;
+  let rec loop acc =
+    if block_end (peek st) then List.rev acc
+    else
+      let s = parse_stmt st in
+      loop (s :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  let l = peek_loc st in
+  match peek st with
+  | Token.IF -> parse_if st l
+  | Token.DO -> parse_do st l
+  | Token.WHILE -> parse_while st l
+  | Token.CALL ->
+      let s = parse_call st l in
+      end_of_stmt st;
+      s
+  | Token.IDENT _ ->
+      let s = parse_assign st l in
+      end_of_stmt st;
+      s
+  | Token.RETURN ->
+      advance st;
+      end_of_stmt st;
+      Return l
+  | Token.STOP ->
+      advance st;
+      end_of_stmt st;
+      Stop l
+  | Token.CONTINUE ->
+      advance st;
+      end_of_stmt st;
+      Continue l
+  | Token.PRINT ->
+      let s = parse_print st l in
+      end_of_stmt st;
+      s
+  | Token.READ ->
+      let s = parse_read st l in
+      end_of_stmt st;
+      s
+  | Token.INTEGER | Token.COMMON | Token.PARAMETER | Token.DATA ->
+      err st "declarations must precede executable statements"
+  | t -> err st "expected statement but found %s" (Token.to_string t)
+
+and parse_assign st l =
+  let lv = parse_lvalue st in
+  expect st Token.ASSIGN;
+  let e = parse_expr st in
+  Assign (lv, e, l)
+
+and parse_call st l =
+  expect st Token.CALL;
+  let n = expect_ident st in
+  let args =
+    match peek st with
+    | Token.LPAREN ->
+        advance st;
+        let args = parse_arg_list st in
+        expect st Token.RPAREN;
+        args
+    | _ -> []
+  in
+  Call (n, args, l)
+
+and parse_print st l =
+  expect st Token.PRINT;
+  (* accept the FORTRAN-style [PRINT *, ...] format marker *)
+  (if Token.equal (peek st) Token.STAR then (
+     advance st;
+     expect st Token.COMMA));
+  let rec loop acc =
+    let e = parse_expr st in
+    if Token.equal (peek st) Token.COMMA then (
+      advance st;
+      loop (e :: acc))
+    else List.rev (e :: acc)
+  in
+  Print (loop [], l)
+
+and parse_read st l =
+  expect st Token.READ;
+  (if Token.equal (peek st) Token.STAR then (
+     advance st;
+     expect st Token.COMMA));
+  let rec loop acc =
+    let lv = parse_lvalue st in
+    if Token.equal (peek st) Token.COMMA then (
+      advance st;
+      loop (lv :: acc))
+    else List.rev (lv :: acc)
+  in
+  Read (loop [], l)
+
+and parse_if st l =
+  expect st Token.IF;
+  expect st Token.LPAREN;
+  let c = parse_cond st in
+  expect st Token.RPAREN;
+  match peek st with
+  | Token.THEN ->
+      advance st;
+      end_of_stmt st;
+      let first = parse_stmts st in
+      let rec arms acc =
+        match peek st with
+        | Token.ELSEIF ->
+            advance st;
+            expect st Token.LPAREN;
+            let c' = parse_cond st in
+            expect st Token.RPAREN;
+            expect st Token.THEN;
+            end_of_stmt st;
+            let b = parse_stmts st in
+            arms ((c', b) :: acc)
+        | Token.ELSE ->
+            advance st;
+            end_of_stmt st;
+            let b = parse_stmts st in
+            expect st Token.ENDIF;
+            end_of_stmt st;
+            (List.rev acc, b)
+        | Token.ENDIF ->
+            advance st;
+            end_of_stmt st;
+            (List.rev acc, [])
+        | t ->
+            err st "expected ELSEIF, ELSE or ENDIF but found %s"
+              (Token.to_string t)
+      in
+      let branches, els = arms [ (c, first) ] in
+      If (branches, els, l)
+  | _ ->
+      (* logical IF: a single statement on the same line *)
+      let s = parse_stmt st in
+      If ([ (c, [ s ]) ], [], l)
+
+and parse_do st l =
+  expect st Token.DO;
+  let v = expect_ident st in
+  expect st Token.ASSIGN;
+  let lo = parse_expr st in
+  expect st Token.COMMA;
+  let hi = parse_expr st in
+  let step =
+    if Token.equal (peek st) Token.COMMA then (
+      advance st;
+      Some (parse_expr st))
+    else None
+  in
+  end_of_stmt st;
+  let body = parse_stmts st in
+  expect st Token.ENDDO;
+  end_of_stmt st;
+  Do (v, lo, hi, step, body, l)
+
+and parse_while st l =
+  expect st Token.WHILE;
+  expect st Token.LPAREN;
+  let c = parse_cond st in
+  expect st Token.RPAREN;
+  end_of_stmt st;
+  let body = parse_stmts st in
+  expect st Token.ENDWHILE;
+  end_of_stmt st;
+  While (c, body, l)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let parse_decl_items st =
+  (* ident [ "(" expr ")" ] { "," ident [ "(" expr ")" ] } *)
+  let item () =
+    let n = expect_ident st in
+    match peek st with
+    | Token.LPAREN ->
+        advance st;
+        let d = parse_expr st in
+        expect st Token.RPAREN;
+        (n, Some d)
+    | _ -> (n, None)
+  in
+  let rec loop acc =
+    let it = item () in
+    if Token.equal (peek st) Token.COMMA then (
+      advance st;
+      loop (it :: acc))
+    else List.rev (it :: acc)
+  in
+  loop []
+
+let parse_data_value st =
+  expect st Token.SLASH;
+  let v =
+    match peek st with
+    | Token.MINUS -> (
+        advance st;
+        match peek st with
+        | Token.INT n ->
+            advance st;
+            -n
+        | t -> err st "expected integer in DATA but found %s" (Token.to_string t))
+    | Token.INT n ->
+        advance st;
+        n
+    | t -> err st "expected integer in DATA but found %s" (Token.to_string t)
+  in
+  expect st Token.SLASH;
+  v
+
+let parse_decl st =
+  let l = peek_loc st in
+  match peek st with
+  | Token.INTEGER ->
+      advance st;
+      let items = parse_decl_items st in
+      end_of_stmt st;
+      Dinteger (items, l)
+  | Token.COMMON ->
+      advance st;
+      expect st Token.SLASH;
+      let blk = expect_ident st in
+      expect st Token.SLASH;
+      let items = parse_decl_items st in
+      end_of_stmt st;
+      Dcommon (blk, items, l)
+  | Token.PARAMETER ->
+      advance st;
+      expect st Token.LPAREN;
+      let rec loop acc =
+        let n = expect_ident st in
+        expect st Token.ASSIGN;
+        let e = parse_expr st in
+        if Token.equal (peek st) Token.COMMA then (
+          advance st;
+          loop ((n, e) :: acc))
+        else List.rev ((n, e) :: acc)
+      in
+      let items = loop [] in
+      expect st Token.RPAREN;
+      end_of_stmt st;
+      Dparameter (items, l)
+  | Token.DATA ->
+      advance st;
+      let rec loop acc =
+        let n = expect_ident st in
+        let v = parse_data_value st in
+        if Token.equal (peek st) Token.COMMA then (
+          advance st;
+          loop ((n, v) :: acc))
+        else List.rev ((n, v) :: acc)
+      in
+      let items = loop [] in
+      end_of_stmt st;
+      Ddata (items, l)
+  | t -> err st "expected declaration but found %s" (Token.to_string t)
+
+let is_decl_start = function
+  | Token.COMMON | Token.PARAMETER | Token.DATA -> true
+  | _ -> false
+
+let parse_decls st =
+  (* [INTEGER] is a declaration keyword here; the unit-header case
+     ([INTEGER FUNCTION]) is consumed before [parse_decls] is called. *)
+  let rec loop acc =
+    skip_newlines st;
+    if is_decl_start (peek st) || Token.equal (peek st) Token.INTEGER then
+      loop (parse_decl st :: acc)
+    else List.rev acc
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Program units *)
+
+let parse_formals st =
+  match peek st with
+  | Token.LPAREN ->
+      advance st;
+      if Token.equal (peek st) Token.RPAREN then (
+        advance st;
+        [])
+      else
+        let rec loop acc =
+          let n = expect_ident st in
+          if Token.equal (peek st) Token.COMMA then (
+            advance st;
+            loop (n :: acc))
+          else (
+            expect st Token.RPAREN;
+            List.rev (n :: acc))
+        in
+        loop []
+  | _ -> []
+
+let parse_unit st =
+  skip_newlines st;
+  let l = peek_loc st in
+  let kind, name, formals =
+    match peek st with
+    | Token.PROGRAM ->
+        advance st;
+        let n = expect_ident st in
+        (Main, n, [])
+    | Token.SUBROUTINE ->
+        advance st;
+        let n = expect_ident st in
+        (Subroutine, n, parse_formals st)
+    | Token.INTEGER when Token.equal (peek2 st) Token.FUNCTION ->
+        advance st;
+        advance st;
+        let n = expect_ident st in
+        (Function, n, parse_formals st)
+    | t -> err st "expected PROGRAM, SUBROUTINE or INTEGER FUNCTION, found %s"
+             (Token.to_string t)
+  in
+  end_of_stmt st;
+  let decls = parse_decls st in
+  let body = parse_stmts st in
+  expect st Token.END;
+  (match peek st with Token.NEWLINE -> skip_newlines st | _ -> ());
+  { name; kind; formals; decls; body; loc = l }
+
+let parse_tokens toks =
+  let st = { toks = Array.of_list toks; pos = 0 } in
+  let rec loop acc =
+    skip_newlines st;
+    if Token.equal (peek st) Token.EOF then List.rev acc
+    else loop (parse_unit st :: acc)
+  in
+  loop []
+
+(** [parse ~file src] lexes and parses a complete MiniFortran source text.
+    Raises {!Diag.Error} on malformed input. *)
+let parse ~file src = parse_tokens (Lexer.tokenize ~file src)

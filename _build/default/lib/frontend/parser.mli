@@ -1,0 +1,7 @@
+(** Recursive-descent parser for MiniFortran (statement-per-line;
+    declarations precede executable statements inside each unit). *)
+
+val parse_tokens : (Token.t * Loc.t) list -> Ast.program
+
+val parse : file:string -> string -> Ast.program
+(** Lex and parse a complete source text.  Raises {!Diag.Error}. *)

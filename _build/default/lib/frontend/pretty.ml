@@ -1,0 +1,169 @@
+(** Pretty-printer for MiniFortran.
+
+    The output is valid MiniFortran: [Parser.parse (print p)] succeeds and
+    yields a program that prints identically (tested by a qcheck property).
+    The substitution pass uses this printer to emit the transformed source
+    the paper describes ("a transformed version of the original source in
+    which the interprocedural constants are textually substituted"). *)
+
+open Ast
+
+let prec_of = function
+  | Binop (Pow, _, _, _) -> 30
+  | Unop _ -> 25
+  | Binop ((Mul | Div), _, _, _) -> 20
+  | Binop ((Add | Sub), _, _, _) -> 10
+  | Int _ | Var _ | Index _ | Callf _ | Intrin _ -> 100
+
+let rec pp_expr ppf e = pp_prec 0 ppf e
+
+and pp_prec outer ppf e =
+  let p = prec_of e in
+  let atom ppf () =
+    match e with
+    | Int (n, _) -> Fmt.int ppf n
+    | Var (x, _) -> Fmt.string ppf x
+    | Index (a, i, _) -> Fmt.pf ppf "%s(%a)" a pp_expr i
+    | Callf (f, args, _) ->
+        Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp_expr) args
+    | Intrin (i, args, _) ->
+        Fmt.pf ppf "%s(%a)" (intrinsic_name i)
+          Fmt.(list ~sep:(any ", ") pp_expr)
+          args
+    | Unop (Neg, e, _) -> Fmt.pf ppf "-%a" (pp_prec 25) e
+    | Binop (Pow, a, b, _) ->
+        (* right-associative: parenthesise a left operand of equal prec *)
+        Fmt.pf ppf "%a ** %a" (pp_prec 31) a (pp_prec 30) b
+    | Binop (op, a, b, _) ->
+        Fmt.pf ppf "%a %s %a" (pp_prec p) a (binop_name op) (pp_prec (p + 1)) b
+  in
+  if p < outer then Fmt.pf ppf "(%a)" atom () else atom ppf ()
+
+let rec pp_cond ppf c = pp_cond_prec 0 ppf c
+
+and pp_cond_prec outer ppf c =
+  let p = match c with Or _ -> 1 | And _ -> 2 | _ -> 3 in
+  let atom ppf () =
+    match c with
+    | Rel (op, a, b) ->
+        Fmt.pf ppf "%a %s %a" pp_expr a (relop_name op) pp_expr b
+    | And (a, b) ->
+        Fmt.pf ppf "%a .AND. %a" (pp_cond_prec 2) a (pp_cond_prec 3) b
+    | Or (a, b) ->
+        Fmt.pf ppf "%a .OR. %a" (pp_cond_prec 1) a (pp_cond_prec 2) b
+    | Not c -> Fmt.pf ppf ".NOT. %a" (pp_cond_prec 3) c
+    | Btrue -> Fmt.string ppf ".TRUE."
+    | Bfalse -> Fmt.string ppf ".FALSE."
+  in
+  if p < outer then Fmt.pf ppf "(%a)" atom () else atom ppf ()
+
+let pp_lvalue ppf = function
+  | Lvar (x, _) -> Fmt.string ppf x
+  | Lindex (a, i, _) -> Fmt.pf ppf "%s(%a)" a pp_expr i
+
+let indent ppf n = Fmt.string ppf (String.make n ' ')
+
+let rec pp_stmt ind ppf s =
+  match s with
+  | Assign (lv, e, _) ->
+      Fmt.pf ppf "%a%a = %a@." indent ind pp_lvalue lv pp_expr e
+  | If ([ (c, [ single ]) ], [], _)
+    when match single with
+         | Assign _ | Call _ | Return _ | Stop _ | Continue _ | Print _
+         | Read _ ->
+             true
+         | _ -> false ->
+      (* logical IF, printed on one line *)
+      Fmt.pf ppf "%aIF (%a) %a" indent ind pp_cond c (pp_stmt 0) single
+  | If (branches, els, _) ->
+      List.iteri
+        (fun i (c, body) ->
+          if i = 0 then Fmt.pf ppf "%aIF (%a) THEN@." indent ind pp_cond c
+          else Fmt.pf ppf "%aELSEIF (%a) THEN@." indent ind pp_cond c;
+          pp_body (ind + 2) ppf body)
+        branches;
+      if els <> [] then (
+        Fmt.pf ppf "%aELSE@." indent ind;
+        pp_body (ind + 2) ppf els);
+      Fmt.pf ppf "%aENDIF@." indent ind
+  | Do (v, lo, hi, step, body, _) ->
+      (match step with
+      | None -> Fmt.pf ppf "%aDO %s = %a, %a@." indent ind v pp_expr lo pp_expr hi
+      | Some s ->
+          Fmt.pf ppf "%aDO %s = %a, %a, %a@." indent ind v pp_expr lo pp_expr
+            hi pp_expr s);
+      pp_body (ind + 2) ppf body;
+      Fmt.pf ppf "%aENDDO@." indent ind
+  | While (c, body, _) ->
+      Fmt.pf ppf "%aWHILE (%a)@." indent ind pp_cond c;
+      pp_body (ind + 2) ppf body;
+      Fmt.pf ppf "%aENDWHILE@." indent ind
+  | Call (n, [], _) -> Fmt.pf ppf "%aCALL %s@." indent ind n
+  | Call (n, args, _) ->
+      Fmt.pf ppf "%aCALL %s(%a)@." indent ind n
+        Fmt.(list ~sep:(any ", ") pp_expr)
+        args
+  | Return _ -> Fmt.pf ppf "%aRETURN@." indent ind
+  | Print (es, _) ->
+      Fmt.pf ppf "%aPRINT *, %a@." indent ind Fmt.(list ~sep:(any ", ") pp_expr) es
+  | Read (lvs, _) ->
+      Fmt.pf ppf "%aREAD *, %a@." indent ind
+        Fmt.(list ~sep:(any ", ") pp_lvalue)
+        lvs
+  | Stop _ -> Fmt.pf ppf "%aSTOP@." indent ind
+  | Continue _ -> Fmt.pf ppf "%aCONTINUE@." indent ind
+
+and pp_body ind ppf body = List.iter (pp_stmt ind ppf) body
+
+let pp_decl_item ppf (n, dime) =
+  match dime with
+  | None -> Fmt.string ppf n
+  | Some e -> Fmt.pf ppf "%s(%a)" n pp_expr e
+
+let pp_decl ind ppf = function
+  | Dinteger (items, _) ->
+      Fmt.pf ppf "%aINTEGER %a@." indent ind
+        Fmt.(list ~sep:(any ", ") pp_decl_item)
+        items
+  | Dcommon (blk, items, _) ->
+      Fmt.pf ppf "%aCOMMON /%s/ %a@." indent ind blk
+        Fmt.(list ~sep:(any ", ") pp_decl_item)
+        items
+  | Dparameter (items, _) ->
+      Fmt.pf ppf "%aPARAMETER (%a)@." indent ind
+        Fmt.(list ~sep:(any ", ") (fun ppf (n, e) -> Fmt.pf ppf "%s = %a" n pp_expr e))
+        items
+  | Ddata (items, _) ->
+      Fmt.pf ppf "%aDATA %a@." indent ind
+        Fmt.(list ~sep:(any ", ") (fun ppf (n, v) ->
+                 if v < 0 then Fmt.pf ppf "%s /-%d/" n (-v)
+                 else Fmt.pf ppf "%s /%d/" n v))
+        items
+
+let pp_proc ppf (p : proc) =
+  (match p.kind with
+  | Main -> Fmt.pf ppf "PROGRAM %s@." p.name
+  | Subroutine ->
+      Fmt.pf ppf "SUBROUTINE %s(%a)@." p.name
+        Fmt.(list ~sep:(any ", ") string)
+        p.formals
+  | Function ->
+      Fmt.pf ppf "INTEGER FUNCTION %s(%a)@." p.name
+        Fmt.(list ~sep:(any ", ") string)
+        p.formals);
+  List.iter (pp_decl 2 ppf) p.decls;
+  pp_body 2 ppf p.body;
+  Fmt.pf ppf "END@."
+
+let pp_program ppf (prog : program) =
+  List.iteri
+    (fun i p ->
+      if i > 0 then Fmt.pf ppf "@.";
+      pp_proc ppf p)
+    prog
+
+let program_to_string prog = Fmt.str "%a" pp_program prog
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+
+let stmt_to_string s = Fmt.str "%a" (pp_stmt 0) s

@@ -1,0 +1,486 @@
+(** Semantic analysis: name resolution and static checking.
+
+    [analyze] turns a parsed {!Ast.program} into a {!Symtab.t}, rewriting the
+    body of each procedure so that every name use is unambiguous:
+
+    - [a(e)] nodes are resolved into array elements ({!Ast.Index}),
+      user-function calls ({!Ast.Callf}) or intrinsics ({!Ast.Intrin});
+    - [PARAMETER] constant expressions and array dimensions are folded;
+    - implicit FORTRAN typing is applied: an undeclared scalar name becomes a
+      local INTEGER variable.
+
+    Simplifying rules relative to full FORTRAN (documented in DESIGN.md):
+
+    - a COMMON block must be declared with an identical member list (names,
+      order, dimensions) in every procedure that mentions it, and a COMMON
+      member name is reserved program-wide — no other procedure may reuse it
+      for a local, formal or PARAMETER.  Globals are therefore identified by
+      bare name everywhere, matching the paper's treatment of globals as
+      extra parameters;
+    - [DO] steps must be nonzero compile-time constants;
+    - [DATA] may initialise scalar globals and scalar locals of the main
+      program only. *)
+
+open Ast
+open Names
+
+let err loc fmt = Diag.error Diag.Sema loc fmt
+
+(* ------------------------------------------------------------------ *)
+(* Constant-expression folding for PARAMETER values and array dims *)
+
+let rec fold_const (env : int SM.t) e =
+  match e with
+  | Int (n, _) -> n
+  | Var (x, l) -> (
+      match SM.find_opt x env with
+      | Some v -> v
+      | None -> err l "%s is not a named constant" x)
+  | Unop (Neg, e, _) -> -fold_const env e
+  | Binop (op, a, b, l) -> (
+      let a = fold_const env a and b = fold_const env b in
+      match eval_binop op a b with
+      | Some v -> v
+      | None -> err l "constant expression faults (division by zero?)")
+  | Intrin (i, args, l) -> (
+      match eval_intrin i (List.map (fold_const env) args) with
+      | Some v -> v
+      | None -> err l "constant expression faults")
+  | Index (_, _, l) | Callf (_, _, l) ->
+      err l "this expression is not a compile-time constant"
+
+(* ------------------------------------------------------------------ *)
+(* Pass A: declaration processing *)
+
+type proto = {
+  p_proc : Ast.proc;
+  mutable p_vars : Symtab.var_info SM.t;
+  mutable p_consts : int SM.t;  (* PARAMETER values, for folding *)
+  mutable p_data : (string * int * Loc.t) list;
+  mutable p_blocks : SS.t;  (* COMMON blocks this proc declares *)
+}
+
+let declare (pr : proto) loc name info =
+  if SM.mem name pr.p_vars then err loc "duplicate declaration of %s" name
+  else pr.p_vars <- SM.add name info pr.p_vars
+
+let process_decls proc_names (p : Ast.proc) :
+    proto * (string * (string * int option) list * Loc.t) list =
+  let pr =
+    {
+      p_proc = p;
+      p_vars = SM.empty;
+      p_consts = SM.empty;
+      p_data = [];
+      p_blocks = SS.empty;
+    }
+  in
+  let reserved loc n =
+    if SS.mem n proc_names && not (p.kind = Function && n = p.name) then
+      err loc "%s is a procedure name and cannot be used as a variable" n
+  in
+  List.iteri
+    (fun i f ->
+      reserved p.loc f;
+      declare pr p.loc f { Symtab.kind = Formal i; dim = None })
+    p.formals;
+  if p.kind = Function then
+    declare pr p.loc p.name { Symtab.kind = Result; dim = None };
+  let commons = ref [] in
+  List.iter
+    (fun d ->
+      match d with
+      | Dparameter (items, l) ->
+          List.iter
+            (fun (n, e) ->
+              reserved l n;
+              let v = fold_const pr.p_consts e in
+              declare pr l n { Symtab.kind = Const v; dim = None };
+              pr.p_consts <- SM.add n v pr.p_consts)
+            items
+      | Dcommon (blk, items, l) ->
+          if SS.mem blk pr.p_blocks then
+            err l "COMMON /%s/ declared twice in %s" blk p.name;
+          pr.p_blocks <- SS.add blk pr.p_blocks;
+          let members =
+            List.map
+              (fun (n, dime) ->
+                reserved l n;
+                let dim =
+                  Option.map
+                    (fun e ->
+                      let v = fold_const pr.p_consts e in
+                      if v <= 0 then err l "array %s has nonpositive size" n;
+                      v)
+                    dime
+                in
+                declare pr l n { Symtab.kind = Global blk; dim };
+                (n, dim))
+              items
+          in
+          commons := (blk, members, l) :: !commons
+      | Dinteger (items, l) ->
+          List.iter
+            (fun (n, dime) ->
+              reserved l n;
+              let dim =
+                Option.map
+                  (fun e ->
+                    let v = fold_const pr.p_consts e in
+                    if v <= 0 then err l "array %s has nonpositive size" n;
+                    v)
+                  dime
+              in
+              match SM.find_opt n pr.p_vars with
+              | Some ({ kind = Formal _; dim = None } as vi) ->
+                  (* typing a formal; may give it an array shape *)
+                  pr.p_vars <- SM.add n { vi with dim } pr.p_vars
+              | Some { kind = Formal _; dim = Some _ } ->
+                  err l "formal %s declared twice" n
+              | Some { kind = Result; _ } ->
+                  if dim <> None then
+                    err l "function result %s cannot be an array" n
+              | Some { kind = Global _; _ } ->
+                  err l
+                    "INTEGER redeclaration of COMMON member %s (declare the \
+                     shape in the COMMON statement)"
+                    n
+              | Some { kind = Const _ | Local; _ } ->
+                  err l "duplicate declaration of %s" n
+              | None -> declare pr l n { Symtab.kind = Local; dim })
+            items
+      | Ddata (items, l) ->
+          List.iter (fun (n, v) -> pr.p_data <- (n, v, l) :: pr.p_data) items)
+    p.decls;
+  (pr, List.rev !commons)
+
+(* ------------------------------------------------------------------ *)
+(* Global (COMMON) consistency across procedures *)
+
+let build_globals (protos : (proto * (string * (string * int option) list * Loc.t) list) list) =
+  (* block -> member list; must be identical wherever declared *)
+  let blocks : (string, (string * int option) list * Loc.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun (_, commons) ->
+      List.iter
+        (fun (blk, members, l) ->
+          match Hashtbl.find_opt blocks blk with
+          | None ->
+              Hashtbl.add blocks blk (members, l);
+              order := (blk, members) :: !order
+          | Some (members', l') ->
+              if members <> members' then
+                err l
+                  "COMMON /%s/ declared with a different member list than at \
+                   %a (member lists must match exactly)"
+                  blk Loc.pp l')
+        commons)
+    protos;
+  let order = List.rev !order in
+  (* member names must be globally unique across blocks *)
+  let globals = ref SM.empty in
+  let global_order = ref [] in
+  List.iter
+    (fun (blk, members) ->
+      List.iter
+        (fun (n, dim) ->
+          if SM.mem n !globals then
+            err Loc.dummy "COMMON member %s appears in two blocks" n;
+          globals := SM.add n { Symtab.block = blk; gdim = dim; init = None } !globals;
+          global_order := n :: !global_order)
+        members)
+    order;
+  (!globals, List.rev !global_order)
+
+(* ------------------------------------------------------------------ *)
+(* Pass B: body resolution *)
+
+type env = {
+  symtabs : proto SM.t;  (* all procedures *)
+  globals : Symtab.global_info SM.t;
+  proc_kinds : Ast.proc_kind SM.t;
+  me : proto;  (* procedure being resolved *)
+}
+
+let lookup env loc n : Symtab.var_info =
+  match SM.find_opt n env.me.p_vars with
+  | Some vi -> vi
+  | None ->
+      if SM.mem n env.proc_kinds then
+        err loc "procedure name %s used as a variable" n
+      else if SM.mem n env.globals then
+        err loc
+          "%s is a COMMON member elsewhere in the program; declare the \
+           COMMON block here or rename the variable"
+          n
+      else (
+        (* FORTRAN implicit typing: a fresh scalar local *)
+        let vi = { Symtab.kind = Local; dim = None } in
+        env.me.p_vars <- SM.add n vi env.me.p_vars;
+        vi)
+
+let formal_dims env callee loc =
+  match SM.find_opt callee env.symtabs with
+  | None -> err loc "call to undefined procedure %s" callee
+  | Some pr ->
+      List.map
+        (fun f -> Symtab.is_array (SM.find f pr.p_vars))
+        pr.p_proc.formals
+
+let rec resolve_expr env e =
+  match e with
+  | Int _ -> e
+  | Var (n, l) ->
+      let vi = lookup env l n in
+      if Symtab.is_array vi then
+        err l "array %s used without a subscript" n
+      else Var (n, l)
+  | Index (n, arg, l) -> (
+      (* array element, 1-arg user function, or 1-arg intrinsic *)
+      match SM.find_opt n env.me.p_vars with
+      | Some vi ->
+          if not (Symtab.is_array vi) then
+            err l "%s is scalar and cannot be subscripted" n
+          else Index (n, resolve_expr env arg, l)
+      | None -> (
+          match SM.find_opt n env.proc_kinds with
+          | Some Function -> resolve_call_expr env n [ arg ] l
+          | Some _ -> err l "%s is not a function" n
+          | None -> (
+              match intrinsic_of_name n with
+              | Some i when intrinsic_arity i = 1 ->
+                  Intrin (i, [ resolve_expr env arg ], l)
+              | Some i ->
+                  err l "intrinsic %s expects %d arguments" n
+                    (intrinsic_arity i)
+              | None ->
+                  if SM.mem n env.globals then
+                    err l
+                      "%s is a COMMON member elsewhere; declare the block here"
+                      n
+                  else err l "unknown array or function %s" n)))
+  | Callf (n, args, l) -> (
+      match intrinsic_of_name n with
+      | Some i when not (SM.mem n env.me.p_vars) ->
+          if List.length args <> intrinsic_arity i then
+            err l "intrinsic %s expects %d arguments" n (intrinsic_arity i);
+          Intrin (i, List.map (resolve_expr env) args, l)
+      | _ -> (
+          match SM.find_opt n env.proc_kinds with
+          | Some Function -> resolve_call_expr env n args l
+          | Some _ -> err l "%s is not a function" n
+          | None -> err l "unknown function %s" n))
+  | Intrin (i, args, l) -> Intrin (i, List.map (resolve_expr env) args, l)
+  | Unop (op, e, l) -> Unop (op, resolve_expr env e, l)
+  | Binop (op, a, b, l) ->
+      Binop (op, resolve_expr env a, resolve_expr env b, l)
+
+and resolve_call_expr env n args l =
+  Callf (n, resolve_actuals env n args l, l)
+
+(* Actual arguments: a bare name of an array resolves to a whole-array
+   actual (kept as [Var]); everything else is an ordinary expression.  The
+   shape must match the callee's formal. *)
+and resolve_actuals env callee args l =
+  let dims = formal_dims env callee l in
+  if List.length args <> List.length dims then
+    err l "%s expects %d arguments, got %d" callee (List.length dims)
+      (List.length args);
+  List.map2
+    (fun arg formal_is_array ->
+      match arg with
+      | Var (n, al) when
+          (match SM.find_opt n env.me.p_vars with
+          | Some vi -> Symtab.is_array vi
+          | None -> false) ->
+          if not formal_is_array then
+            err al "array %s passed where %s expects a scalar" n callee;
+          Var (n, al) (* whole-array actual *)
+      | _ ->
+          if formal_is_array then
+            err (expr_loc arg)
+              "%s expects an array here; pass a whole array" callee;
+          resolve_expr env arg)
+    args dims
+
+let resolve_lvalue env lv =
+  match lv with
+  | Lvar (n, l) ->
+      let vi = lookup env l n in
+      if Symtab.is_array vi then err l "assignment to whole array %s" n;
+      (match vi.kind with
+      | Symtab.Const _ -> err l "assignment to named constant %s" n
+      | Symtab.Result when env.me.p_proc.name <> n ->
+          (* cannot happen: Result is only in its own proc's table *)
+          ()
+      | _ -> ());
+      Lvar (n, l)
+  | Lindex (n, i, l) ->
+      let vi = lookup env l n in
+      if not (Symtab.is_array vi) then
+        err l "%s is scalar and cannot be subscripted" n;
+      Lindex (n, resolve_expr env i, l)
+
+let rec resolve_cond env c =
+  match c with
+  | Rel (op, a, b) -> Rel (op, resolve_expr env a, resolve_expr env b)
+  | And (a, b) -> And (resolve_cond env a, resolve_cond env b)
+  | Or (a, b) -> Or (resolve_cond env a, resolve_cond env b)
+  | Not c -> Not (resolve_cond env c)
+  | Btrue -> Btrue
+  | Bfalse -> Bfalse
+
+let rec resolve_stmt env s =
+  match s with
+  | Assign (lv, e, l) -> Assign (resolve_lvalue env lv, resolve_expr env e, l)
+  | If (branches, els, l) ->
+      If
+        ( List.map
+            (fun (c, b) -> (resolve_cond env c, resolve_stmts env b))
+            branches,
+          resolve_stmts env els,
+          l )
+  | Do (v, lo, hi, step, body, l) ->
+      let vi = lookup env l v in
+      if Symtab.is_array vi then err l "DO variable %s must be scalar" v;
+      (match vi.kind with
+      | Symtab.Const _ -> err l "DO variable %s is a named constant" v
+      | _ -> ());
+      let step =
+        Option.map
+          (fun e ->
+            let v = fold_const env.me.p_consts e in
+            if v = 0 then err l "DO step must be nonzero";
+            Int (v, expr_loc e))
+          step
+      in
+      Do (v, resolve_expr env lo, resolve_expr env hi, step,
+          resolve_stmts env body, l)
+  | While (c, body, l) -> While (resolve_cond env c, resolve_stmts env body, l)
+  | Call (n, args, l) -> (
+      match SM.find_opt n env.proc_kinds with
+      | Some Subroutine -> Call (n, resolve_actuals env n args l, l)
+      | Some Function -> err l "CALL of function %s (use it in an expression)" n
+      | Some Main -> err l "CALL of the main program"
+      | None -> err l "call to undefined subroutine %s" n)
+  | Return l -> Return l
+  | Print (es, l) -> Print (List.map (resolve_expr env) es, l)
+  | Read (lvs, l) -> Read (List.map (resolve_lvalue env) lvs, l)
+  | Stop l -> Stop l
+  | Continue l -> Continue l
+
+and resolve_stmts env b = List.map (resolve_stmt env) b
+
+(* ------------------------------------------------------------------ *)
+(* DATA validation *)
+
+let apply_data ~is_main (pr : proto) globals =
+  let locals = ref SM.empty in
+  let ginit = ref [] in
+  List.iter
+    (fun (n, v, l) ->
+      match SM.find_opt n pr.p_vars with
+      | Some { Symtab.kind = Global _; dim = None } ->
+          if not (SM.mem n globals) then err l "internal: unknown global %s" n;
+          ginit := (n, v, l) :: !ginit
+      | Some { Symtab.kind = Local; dim = None } when is_main ->
+          if SM.mem n !locals then err l "duplicate DATA for %s" n;
+          locals := SM.add n v !locals
+      | Some { Symtab.kind = Local; _ } ->
+          err l
+            "DATA for %s: only scalar globals and scalar locals of the main \
+             program may be DATA-initialised"
+            n
+      | Some _ -> err l "DATA for %s: not a data-initialisable variable" n
+      | None -> err l "DATA for undeclared variable %s" n)
+    pr.p_data;
+  (!locals, List.rev !ginit)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point *)
+
+let analyze (prog : Ast.program) : Symtab.t =
+  (* unit-level checks *)
+  let proc_names =
+    List.fold_left
+      (fun s (p : Ast.proc) ->
+        if SS.mem p.name s then
+          err p.loc "two program units named %s" p.name
+        else SS.add p.name s)
+      SS.empty prog
+  in
+  (match List.filter (fun (p : Ast.proc) -> p.kind = Main) prog with
+  | [ _ ] -> ()
+  | [] -> err Loc.dummy "no PROGRAM unit"
+  | _ :: p2 :: _ -> err p2.Ast.loc "more than one PROGRAM unit");
+  let main =
+    (List.find (fun (p : Ast.proc) -> p.kind = Main) prog).Ast.name
+  in
+  (* pass A *)
+  let protos = List.map (process_decls proc_names) prog in
+  let globals, global_order = build_globals protos in
+  let proc_kinds =
+    List.fold_left
+      (fun m (p : Ast.proc) -> SM.add p.name p.kind m)
+      SM.empty prog
+  in
+  let symtabs =
+    List.fold_left
+      (fun m (pr, _) -> SM.add pr.p_proc.Ast.name pr m)
+      SM.empty protos
+  in
+  (* reserved-name rule: COMMON member names may not be used as
+     locals/formals/consts in procedures that do not declare the block *)
+  List.iter
+    (fun (pr, _) ->
+      SM.iter
+        (fun n (vi : Symtab.var_info) ->
+          match vi.kind with
+          | Symtab.Global _ -> ()
+          | _ ->
+              if SM.mem n globals then
+                err pr.p_proc.Ast.loc
+                  "%s: name %s is a COMMON member elsewhere in the program"
+                  pr.p_proc.Ast.name n)
+        pr.p_vars)
+    protos;
+  (* pass B *)
+  let resolved =
+    List.map
+      (fun (pr, _) ->
+        let env = { symtabs; globals; proc_kinds; me = pr } in
+        let body = resolve_stmts env pr.p_proc.Ast.body in
+        (pr, { pr.p_proc with Ast.body }))
+      protos
+  in
+  (* DATA *)
+  let globals = ref globals in
+  let psyms =
+    List.map
+      (fun (pr, proc) ->
+        let is_main = proc.Ast.kind = Main in
+        let locals, ginit = apply_data ~is_main pr !globals in
+        List.iter
+          (fun (n, v, l) ->
+            let gi = SM.find n !globals in
+            if gi.Symtab.init <> None then
+              err l "duplicate DATA for COMMON member %s" n;
+            globals := SM.add n { gi with Symtab.init = Some v } !globals)
+          ginit;
+        (proc.Ast.name,
+         { Symtab.proc; vars = pr.p_vars; data = locals }))
+      resolved
+  in
+  {
+    Symtab.procs = Names.of_list psyms;
+    order = List.map fst psyms;
+    main;
+    globals = !globals;
+    global_order;
+  }
+
+(** [parse_and_analyze ~file src] is the usual front-end pipeline. *)
+let parse_and_analyze ~file src = analyze (Parser.parse ~file src)

@@ -1,0 +1,13 @@
+(** Semantic analysis: name resolution and static checking.  Produces the
+    {!Symtab.t} every later phase consumes; resolves [a(e)] into array
+    elements, user calls or intrinsics; folds [PARAMETER] constants and
+    array dimensions; applies FORTRAN implicit typing.  The simplifying
+    rules relative to full FORTRAN (consistent COMMON declarations,
+    reserved global names, constant DO steps, restricted DATA) are listed
+    in DESIGN.md. *)
+
+val analyze : Ast.program -> Symtab.t
+(** Raises {!Diag.Error} on ill-formed programs. *)
+
+val parse_and_analyze : file:string -> string -> Symtab.t
+(** The usual front-end pipeline: lex, parse, analyze. *)

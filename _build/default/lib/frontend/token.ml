@@ -1,0 +1,157 @@
+(** Tokens of the MiniFortran language.
+
+    Keywords are case-insensitive ([PROGRAM], [program], [Program] all lex to
+    [PROGRAM]); identifiers are normalised to lower case, matching FORTRAN's
+    case insensitivity. *)
+
+type t =
+  | INT of int
+  | IDENT of string  (** normalised to lower case *)
+  (* keywords *)
+  | PROGRAM
+  | SUBROUTINE
+  | FUNCTION
+  | INTEGER
+  | COMMON
+  | PARAMETER
+  | DATA
+  | IF
+  | THEN
+  | ELSE
+  | ELSEIF
+  | ENDIF
+  | DO
+  | ENDDO
+  | WHILE
+  | ENDWHILE
+  | CALL
+  | RETURN
+  | PRINT
+  | READ
+  | STOP
+  | CONTINUE
+  | END
+  (* punctuation and operators *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | ASSIGN  (** [=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | POW  (** [**] *)
+  (* dotted operators *)
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AND
+  | OR
+  | NOT
+  | TRUE
+  | FALSE
+  | NEWLINE
+  | EOF
+
+let keywords : (string * t) list =
+  [
+    ("program", PROGRAM);
+    ("subroutine", SUBROUTINE);
+    ("function", FUNCTION);
+    ("integer", INTEGER);
+    ("common", COMMON);
+    ("parameter", PARAMETER);
+    ("data", DATA);
+    ("if", IF);
+    ("then", THEN);
+    ("else", ELSE);
+    ("elseif", ELSEIF);
+    ("endif", ENDIF);
+    ("do", DO);
+    ("enddo", ENDDO);
+    ("while", WHILE);
+    ("endwhile", ENDWHILE);
+    ("call", CALL);
+    ("return", RETURN);
+    ("print", PRINT);
+    ("read", READ);
+    ("stop", STOP);
+    ("continue", CONTINUE);
+    ("end", END);
+  ]
+
+let dotted : (string * t) list =
+  [
+    ("eq", EQ);
+    ("ne", NE);
+    ("lt", LT);
+    ("le", LE);
+    ("gt", GT);
+    ("ge", GE);
+    ("and", AND);
+    ("or", OR);
+    ("not", NOT);
+    ("true", TRUE);
+    ("false", FALSE);
+  ]
+
+let of_word w =
+  match List.assoc_opt (String.lowercase_ascii w) keywords with
+  | Some t -> t
+  | None -> IDENT (String.lowercase_ascii w)
+
+let pp ppf = function
+  | INT n -> Fmt.pf ppf "%d" n
+  | IDENT s -> Fmt.string ppf s
+  | PROGRAM -> Fmt.string ppf "PROGRAM"
+  | SUBROUTINE -> Fmt.string ppf "SUBROUTINE"
+  | FUNCTION -> Fmt.string ppf "FUNCTION"
+  | INTEGER -> Fmt.string ppf "INTEGER"
+  | COMMON -> Fmt.string ppf "COMMON"
+  | PARAMETER -> Fmt.string ppf "PARAMETER"
+  | DATA -> Fmt.string ppf "DATA"
+  | IF -> Fmt.string ppf "IF"
+  | THEN -> Fmt.string ppf "THEN"
+  | ELSE -> Fmt.string ppf "ELSE"
+  | ELSEIF -> Fmt.string ppf "ELSEIF"
+  | ENDIF -> Fmt.string ppf "ENDIF"
+  | DO -> Fmt.string ppf "DO"
+  | ENDDO -> Fmt.string ppf "ENDDO"
+  | WHILE -> Fmt.string ppf "WHILE"
+  | ENDWHILE -> Fmt.string ppf "ENDWHILE"
+  | CALL -> Fmt.string ppf "CALL"
+  | RETURN -> Fmt.string ppf "RETURN"
+  | PRINT -> Fmt.string ppf "PRINT"
+  | READ -> Fmt.string ppf "READ"
+  | STOP -> Fmt.string ppf "STOP"
+  | CONTINUE -> Fmt.string ppf "CONTINUE"
+  | END -> Fmt.string ppf "END"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | COMMA -> Fmt.string ppf ","
+  | ASSIGN -> Fmt.string ppf "="
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*"
+  | SLASH -> Fmt.string ppf "/"
+  | POW -> Fmt.string ppf "**"
+  | EQ -> Fmt.string ppf ".EQ."
+  | NE -> Fmt.string ppf ".NE."
+  | LT -> Fmt.string ppf ".LT."
+  | LE -> Fmt.string ppf ".LE."
+  | GT -> Fmt.string ppf ".GT."
+  | GE -> Fmt.string ppf ".GE."
+  | AND -> Fmt.string ppf ".AND."
+  | OR -> Fmt.string ppf ".OR."
+  | NOT -> Fmt.string ppf ".NOT."
+  | TRUE -> Fmt.string ppf ".TRUE."
+  | FALSE -> Fmt.string ppf ".FALSE."
+  | NEWLINE -> Fmt.string ppf "<newline>"
+  | EOF -> Fmt.string ppf "<eof>"
+
+let to_string t = Fmt.str "%a" pp t
+
+let equal (a : t) (b : t) = a = b

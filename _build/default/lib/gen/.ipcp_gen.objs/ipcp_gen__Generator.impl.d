@@ -1,0 +1,1 @@
+lib/gen/generator.ml: Array Buffer List Printf Random String

@@ -1,0 +1,405 @@
+(** Random MiniFortran program generator.
+
+    Drives the property tests (most importantly: {e analyzer soundness
+    against the interpreter}) and the scaling benchmarks.  Generated
+    programs are constrained so the properties are meaningful:
+
+    - {b terminating}: the call graph is acyclic (procedures only call
+      higher-numbered procedures) and all loops are [DO] loops with
+      bounded literal-offset ranges;
+    - {b alias-free}: a COMMON variable is never passed as an actual, and
+      no variable appears twice among one call's by-reference actuals —
+      the no-alias assumption the analyzer (and FORTRAN) makes;
+    - {b optionally fully initialised} ([~initialised:true]): every scalar
+      and array element is assigned before any use can occur, making
+      program output deterministic — required by the semantic-preservation
+      properties (interpreting an optimised program must print the same
+      values).  With [~initialised:false], undefined variables are left in
+      to stress the soundness property (the interpreter gives them random
+      values, so an analyzer that calls an undefined value constant is
+      caught);
+    - division and [mod] appear with literal-offset denominators, so
+      faults are possible but rare (a faulting run still yields a valid
+      entry-trace prefix).
+
+    The generator builds source text directly; callers parse it through
+    the normal front end, which also validates it. *)
+
+open Printf
+
+type params = {
+  n_procs : int;  (** callable procedures besides the main program *)
+  n_globals : int;
+  max_stmts : int;  (** statements per body (before nesting) *)
+  max_depth : int;  (** nesting depth of IF/DO *)
+  initialised : bool;
+  seed : int;
+}
+
+let default =
+  {
+    n_procs = 5;
+    n_globals = 3;
+    max_stmts = 6;
+    max_depth = 2;
+    initialised = true;
+    seed = 0;
+  }
+
+type rng = Random.State.t
+
+let choose (r : rng) xs = List.nth xs (Random.State.int r (List.length xs))
+
+let chance (r : rng) p = Random.State.float r 1.0 < p
+
+(* description of a procedure visible to callers *)
+type proto = {
+  p_idx : int;
+  p_name : string;
+  p_is_function : bool;
+  p_formals : [ `Scalar | `Array ] list;
+}
+
+type scope = {
+  rng : rng;
+  params : params;
+  protos : proto array;
+  me : int;  (** my index; -1 for main *)
+  scalars : string list;  (** in-scope scalar variables (incl. globals) *)
+  arrays : string list;
+  globals : string list;
+  buf : Buffer.t;
+  mutable fresh : int;
+  depth : int;
+  protected : string list;
+      (* enclosing DO variables: assigning them could make the loop spin
+         forever (DO has while-loop semantics), so they are never
+         assignment targets or by-reference actuals *)
+  calls_left : int ref;
+      (* per-procedure bound on emitted call sites: keeps the dynamic call
+         tree polynomial so generated programs finish quickly *)
+}
+
+let arr_dim = 12
+
+let call_budget_ok sc = !(sc.calls_left) > 0
+
+let assignable sc = List.filter (fun v -> not (List.mem v sc.protected)) sc.scalars
+
+let spend_call sc = decr sc.calls_left
+
+let line sc ind fmt =
+  ksprintf
+    (fun s ->
+      Buffer.add_string sc.buf (String.make ind ' ');
+      Buffer.add_string sc.buf s;
+      Buffer.add_char sc.buf '\n')
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let rec gen_expr sc depth : string =
+  let r = sc.rng in
+  if depth <= 0 || chance r 0.4 then gen_atom sc
+  else
+    match Random.State.int r 8 with
+    | 0 -> sprintf "(%s + %s)" (gen_expr sc (depth - 1)) (gen_expr sc (depth - 1))
+    | 1 -> sprintf "(%s - %s)" (gen_expr sc (depth - 1)) (gen_expr sc (depth - 1))
+    | 2 -> sprintf "(%s * %s)" (gen_expr sc (depth - 1)) (gen_atom sc)
+    | 3 ->
+        (* a denominator bounded away from zero... mostly *)
+        sprintf "(%s / (%d + %s))" (gen_expr sc (depth - 1))
+          (2 + Random.State.int r 5)
+          (gen_atom sc)
+    | 4 ->
+        sprintf "mod(%s, %d)" (gen_expr sc (depth - 1))
+          (2 + Random.State.int r 7)
+    | 5 -> sprintf "max(%s, %s)" (gen_atom sc) (gen_atom sc)
+    | 6 -> sprintf "abs(%s)" (gen_expr sc (depth - 1))
+    | _ when sc.depth = 0 && call_budget_ok sc -> gen_call_expr sc depth
+    | _ -> gen_atom sc
+
+and gen_atom sc =
+  let r = sc.rng in
+  match Random.State.int r 4 with
+  | 0 | 1 -> string_of_int (Random.State.int r 21 - 5)
+  | 2 when sc.scalars <> [] -> choose r sc.scalars
+  | _ when sc.arrays <> [] ->
+      sprintf "%s(%d)" (choose r sc.arrays) (1 + Random.State.int r arr_dim)
+  | _ -> string_of_int (Random.State.int r 10)
+
+(* a call to a higher-numbered function, if any *)
+and gen_call_expr sc depth =
+  let candidates =
+    Array.to_list sc.protos
+    |> List.filter (fun p -> p.p_idx > sc.me && p.p_is_function)
+  in
+  match candidates with
+  | [] -> gen_atom sc
+  | _ ->
+      spend_call sc;
+      let p = choose sc.rng candidates in
+      sprintf "%s(%s)" p.p_name (gen_args sc (depth - 1) p)
+
+and gen_args sc depth (p : proto) =
+  (* by-reference actuals must be distinct variables and never globals *)
+  let used = ref [] in
+  let locals_only =
+    List.filter
+      (fun v -> not (List.mem v sc.globals || List.mem v sc.protected))
+      sc.scalars
+  in
+  let args =
+    List.map
+      (fun shape ->
+        match shape with
+        | `Array -> (
+            match sc.arrays with
+            | [] -> assert false
+            | arrs -> choose sc.rng arrs)
+        | `Scalar ->
+            let by_ref_candidates =
+              List.filter (fun v -> not (List.mem v !used)) locals_only
+            in
+            if by_ref_candidates <> [] && chance sc.rng 0.5 then begin
+              let v = choose sc.rng by_ref_candidates in
+              used := v :: !used;
+              v
+            end
+            else if chance sc.rng 0.5 then
+              string_of_int (Random.State.int sc.rng 15 - 3)
+            else
+              (* force a by-value actual: a bare parenthesised variable
+                 would still parse as a Var (an address), so anchor the
+                 expression with an addition *)
+              sprintf "(0 + %s)" (gen_expr sc (max 0 depth)))
+      p.p_formals
+  in
+  String.concat ", " args
+
+let gen_cond sc depth =
+  let rel () =
+    let ops = [ ".EQ."; ".NE."; ".LT."; ".LE."; ".GT."; ".GE." ] in
+    sprintf "%s %s %s" (gen_expr sc depth) (choose sc.rng ops)
+      (gen_expr sc depth)
+  in
+  match Random.State.int sc.rng 4 with
+  | 0 -> sprintf "%s .AND. %s" (rel ()) (rel ())
+  | 1 -> sprintf "%s .OR. %s" (rel ()) (rel ())
+  | 2 -> sprintf ".NOT. (%s)" (rel ())
+  | _ -> rel ()
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec gen_stmt sc ind =
+  let r = sc.rng in
+  match Random.State.int r 10 with
+  | 0 | 1 | 2 | 3 ->
+      (* assignment, scalar or array element *)
+      if sc.arrays <> [] && chance r 0.25 then
+        line sc ind "%s(%d) = %s" (choose r sc.arrays)
+          (1 + Random.State.int r arr_dim)
+          (gen_expr sc 2)
+      else if assignable sc <> [] then
+        line sc ind "%s = %s" (choose r (assignable sc)) (gen_expr sc 2)
+      else line sc ind "CONTINUE"
+  | 4 when sc.depth < sc.params.max_depth ->
+      line sc ind "IF (%s) THEN" (gen_cond sc 1);
+      gen_stmts { sc with depth = sc.depth + 1 } (ind + 2) (1 + Random.State.int r 2);
+      if chance r 0.5 then begin
+        line sc ind "ELSE";
+        gen_stmts { sc with depth = sc.depth + 1 } (ind + 2)
+          (1 + Random.State.int r 2)
+      end;
+      line sc ind "ENDIF"
+  | 5 when sc.depth < sc.params.max_depth && assignable sc <> [] ->
+      let v = choose r (assignable sc) in
+      let lo = Random.State.int r 4 in
+      let hi = lo + Random.State.int r 5 in
+      line sc ind "DO %s = %d, %d" v lo hi;
+      gen_stmts
+        { sc with depth = sc.depth + 1; protected = v :: sc.protected }
+        (ind + 2)
+        (1 + Random.State.int r 2);
+      line sc ind "ENDDO"
+  | 6 when sc.depth = 0 && call_budget_ok sc -> gen_call_stmt sc ind
+  | 7 when sc.scalars <> [] ->
+      line sc ind "PRINT *, %s" (gen_expr sc 2)
+  | 8 when assignable sc <> [] ->
+      (* logical IF *)
+      line sc ind "IF (%s) %s = %s" (gen_cond sc 1) (choose r (assignable sc))
+        (gen_expr sc 1)
+  | _ ->
+      if assignable sc <> [] then
+        line sc ind "%s = %s" (choose r (assignable sc)) (gen_expr sc 2)
+      else line sc ind "CONTINUE"
+
+and gen_call_stmt sc ind =
+  let candidates =
+    Array.to_list sc.protos
+    |> List.filter (fun p -> p.p_idx > sc.me && not p.p_is_function)
+  in
+  match candidates with
+  | [] ->
+      if sc.scalars <> [] then
+        line sc ind "%s = %s" (choose sc.rng sc.scalars) (gen_expr sc 1)
+      else line sc ind "CONTINUE"
+  | _ ->
+      spend_call sc;
+      let p = choose sc.rng candidates in
+      if p.p_formals = [] then line sc ind "CALL %s" p.p_name
+      else line sc ind "CALL %s(%s)" p.p_name (gen_args sc 1 p)
+
+and gen_stmts sc ind n =
+  for _ = 1 to n do
+    gen_stmt sc ind
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Procedures *)
+
+let proc_locals r =
+  let n = 2 + Random.State.int r 3 in
+  List.init n (fun i -> sprintf "v%d" i)
+
+let gen_proc (params : params) rng (protos : proto array) globals idx =
+  let p = protos.(idx) in
+  let buf = Buffer.create 256 in
+  let locals = proc_locals rng in
+  let formal_names =
+    List.mapi (fun i shape ->
+        match shape with `Scalar -> sprintf "f%d" i | `Array -> sprintf "fa%d" i)
+      p.p_formals
+  in
+  let scalar_formals =
+    List.filteri (fun i _ -> List.nth p.p_formals i = `Scalar) formal_names
+  in
+  let array_formals =
+    List.filteri (fun i _ -> List.nth p.p_formals i = `Array) formal_names
+  in
+  Buffer.add_string buf
+    (if p.p_is_function then
+       sprintf "INTEGER FUNCTION %s(%s)\n" p.p_name
+         (String.concat ", " formal_names)
+     else if formal_names = [] then sprintf "SUBROUTINE %s\n" p.p_name
+     else
+       sprintf "SUBROUTINE %s(%s)\n" p.p_name
+         (String.concat ", " formal_names));
+  if globals <> [] then
+    Buffer.add_string buf
+      (sprintf "  COMMON /gg/ %s\n" (String.concat ", " globals));
+  Buffer.add_string buf
+    (sprintf "  INTEGER %s, la(%d)\n" (String.concat ", " locals) arr_dim);
+  List.iter
+    (fun a -> Buffer.add_string buf (sprintf "  INTEGER %s(%d)\n" a arr_dim))
+    array_formals;
+  let sc =
+    {
+      rng;
+      params;
+      protos;
+      me = idx;
+      scalars = locals @ scalar_formals @ globals;
+      arrays = "la" :: array_formals;
+      globals;
+      buf;
+      fresh = 0;
+      depth = 0;
+      protected = [];
+      calls_left = ref 4;
+    }
+  in
+  if params.initialised then begin
+    (* define every local and the local array before any use *)
+    List.iter
+      (fun v -> line sc 2 "%s = %d" v (Random.State.int rng 19 - 4))
+      locals;
+    line sc 2 "DO %s = 1, %d" (List.hd locals) arr_dim;
+    line sc 4 "la(%s) = %s" (List.hd locals) (List.hd locals);
+    line sc 2 "ENDDO";
+    line sc 2 "%s = %d" (List.hd locals) (Random.State.int rng 9)
+  end;
+  gen_stmts sc 2 (1 + Random.State.int rng params.max_stmts);
+  if p.p_is_function then line sc 2 "%s = %s" p.p_name (gen_expr sc 2);
+  Buffer.add_string buf "END\n";
+  Buffer.contents buf
+
+let gen_main (params : params) rng (protos : proto array) globals =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "PROGRAM main\n";
+  if globals <> [] then
+    Buffer.add_string buf
+      (sprintf "  COMMON /gg/ %s\n" (String.concat ", " globals));
+  let locals = proc_locals rng in
+  Buffer.add_string buf
+    (sprintf "  INTEGER %s, la(%d)\n" (String.concat ", " locals) arr_dim);
+  (* DATA-initialise a random subset of globals *)
+  let data'd =
+    List.filter (fun _ -> chance rng 0.4) globals
+  in
+  if data'd <> [] then
+    Buffer.add_string buf
+      (sprintf "  DATA %s\n"
+         (String.concat ", "
+            (List.map
+               (fun g -> sprintf "%s /%d/" g (Random.State.int rng 13))
+               data'd)));
+  let sc =
+    {
+      rng;
+      params;
+      protos;
+      me = -1;
+      scalars = locals @ globals;
+      arrays = [ "la" ];
+      globals;
+      buf;
+      fresh = 0;
+      depth = 0;
+      protected = [];
+      calls_left = ref 4;
+    }
+  in
+  if params.initialised then begin
+    List.iter
+      (fun v -> line sc 2 "%s = %d" v (Random.State.int rng 19 - 4))
+      locals;
+    List.iter
+      (fun g ->
+        if not (List.mem g data'd) then
+          line sc 2 "%s = %d" g (Random.State.int rng 13))
+      globals;
+    line sc 2 "DO %s = 1, %d" (List.hd locals) arr_dim;
+    line sc 4 "la(%s) = 2 * %s" (List.hd locals) (List.hd locals);
+    line sc 2 "ENDDO";
+    line sc 2 "%s = %d" (List.hd locals) (Random.State.int rng 9)
+  end;
+  gen_stmts sc 2 (2 + Random.State.int rng params.max_stmts);
+  (* always observe some state so optimisation bugs surface in output *)
+  List.iter (fun v -> line sc 2 "PRINT *, %s" v) locals;
+  List.iter (fun g -> line sc 2 "PRINT *, %s" g) globals;
+  Buffer.add_string buf "END\n";
+  Buffer.contents buf
+
+(** Generate a complete program. *)
+let generate ?(params = default) () : string =
+  let rng = Random.State.make [| params.seed |] in
+  let globals = List.init params.n_globals (fun i -> sprintf "g%d" i) in
+  let protos =
+    Array.init params.n_procs (fun i ->
+        let is_function = chance rng 0.3 in
+        let n_formals = Random.State.int rng 4 in
+        let formals =
+          List.init n_formals (fun _ ->
+              if chance rng 0.25 then `Array else `Scalar)
+        in
+        { p_idx = i; p_name = sprintf "proc%d" i; p_is_function = is_function;
+          p_formals = formals })
+  in
+  let main = gen_main params rng protos globals in
+  let procs =
+    List.init params.n_procs (fun i -> gen_proc params rng protos globals i)
+  in
+  String.concat "\n" (main :: procs)

@@ -1,0 +1,22 @@
+(** Random MiniFortran program generator for property tests and scaling
+    benchmarks.  Generated programs are terminating (acyclic call graph,
+    bounded loops with protected indices), alias-free (no global actuals,
+    no repeated by-reference actuals), and — with [initialised] — fully
+    deterministic, as required by the semantic-preservation properties. *)
+
+type params = {
+  n_procs : int;  (** callable procedures besides the main program *)
+  n_globals : int;
+  max_stmts : int;  (** statements per body, before nesting *)
+  max_depth : int;  (** nesting depth of IF/DO *)
+  initialised : bool;
+      (** define every variable before use (deterministic output) *)
+  seed : int;
+}
+
+val default : params
+(** 5 procedures, 3 globals, initialised, seed 0. *)
+
+val generate : ?params:params -> unit -> string
+(** A complete well-formed program (parse it through the normal front
+    end). *)

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Ast Fmt Format Ipcp_frontend List Names Random SM Symtab

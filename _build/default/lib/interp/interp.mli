@@ -1,0 +1,35 @@
+(** The MiniFortran reference interpreter — ground truth for the analyses.
+
+    Records an {e entry trace}: at each procedure entry, a snapshot of all
+    scalar formals and globals.  The keystone property test checks every
+    CONSTANTS claim against every snapshot.
+
+    Semantics match the lowering exactly: by-reference parameters for
+    variable and array-element actuals, [DO] bounds evaluated once with
+    while-loop iteration, short-circuit conditions, [RETURN]-in-main as
+    [STOP].  Undefined variables read as seeded pseudo-random values
+    (memoised per cell), so an analyzer that calls an uninitialised value
+    constant is caught. *)
+
+type status = Completed | Stopped | Out_of_fuel | Fault of string
+
+type entry_snapshot = {
+  e_proc : string;
+  e_vals : (string * int option) list;
+      (** scalar formals, then scalar globals; [None] = still undefined *)
+}
+
+type result = {
+  output : int list;  (** everything PRINTed, in order *)
+  trace : entry_snapshot list;  (** procedure entries, in dynamic order *)
+  status : status;
+  steps_used : int;
+}
+
+val run :
+  ?seed:int -> ?fuel:int -> ?input:int list -> Ipcp_frontend.Symtab.t -> result
+(** Execute the program.  [fuel] bounds statement steps (default
+    200_000); [seed] fixes undefined-variable values; [input] feeds READ.
+    A faulting or out-of-fuel run still carries its valid trace prefix. *)
+
+val pp_status : status Fmt.t

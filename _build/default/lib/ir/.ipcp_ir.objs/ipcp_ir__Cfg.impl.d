@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Fmt Instr Ipcp_frontend List Option SS

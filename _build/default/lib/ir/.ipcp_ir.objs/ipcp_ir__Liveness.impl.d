@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Array Cfg Instr Ipcp_frontend List SS

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Ast Cfg Diag Instr Ipcp_frontend List Names Option Symtab

@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Array Cfg Dom Hashtbl Instr Ipcp_frontend List Option Printf Queue SM SS String

@@ -1,0 +1,240 @@
+(** Control-flow graphs of {!Instr} instructions.
+
+    Blocks are numbered densely from 0; block 0 is the entry.  Terminators
+    reference successor blocks by index.  Lowering may leave unreachable
+    blocks (code following [STOP]/[RETURN]); analyses use {!reachable} to
+    skip them. *)
+
+module Ast = Ipcp_frontend.Ast
+
+type cond = Crel of Ast.relop * Instr.operand * Instr.operand
+
+type terminator =
+  | Tjump of int
+  | Tbranch of cond * int * int  (** then-successor, else-successor *)
+  | Treturn
+  | Tstop
+
+type phi = { dest : Instr.var; srcs : (int * Instr.var) list }
+(** [srcs]: one entry per predecessor block (by block id).  Phis are empty
+    until {!Ssa.convert} runs. *)
+
+type block = {
+  bid : int;
+  mutable phis : phi list;
+  mutable instrs : Instr.instr list;
+  mutable term : terminator;
+}
+
+type t = {
+  proc_name : string;
+  kind : Ast.proc_kind;
+  blocks : block array;
+  sites : Instr.site list;  (** call sites in this procedure, source order *)
+}
+
+let entry _t = 0
+
+let succs (t : t) bid =
+  match t.blocks.(bid).term with
+  | Tjump b -> [ b ]
+  | Tbranch (_, b1, b2) -> if b1 = b2 then [ b1 ] else [ b1; b2 ]
+  | Treturn | Tstop -> []
+
+let preds (t : t) : int list array =
+  let p = Array.make (Array.length t.blocks) [] in
+  Array.iter
+    (fun b -> List.iter (fun s -> p.(s) <- b.bid :: p.(s)) (succs t b.bid))
+    t.blocks;
+  Array.map List.rev p
+
+(** Blocks reachable from entry, as a boolean mask. *)
+let reachable (t : t) =
+  let seen = Array.make (Array.length t.blocks) false in
+  let rec go b =
+    if not seen.(b) then (
+      seen.(b) <- true;
+      List.iter go (succs t b))
+  in
+  go 0;
+  seen
+
+(** Reverse postorder of reachable blocks, starting from entry. *)
+let rev_postorder (t : t) =
+  let seen = Array.make (Array.length t.blocks) false in
+  let order = ref [] in
+  let rec go b =
+    if not seen.(b) then (
+      seen.(b) <- true;
+      List.iter go (succs t b);
+      order := b :: !order)
+  in
+  go 0;
+  !order
+
+(** Fold over every instruction of every block (reachable or not), in block
+    order. *)
+let iter_instrs f (t : t) =
+  Array.iter (fun b -> List.iter (f b.bid) b.instrs) t.blocks
+
+(** Iterate over every {e substitutable} value operand of the CFG: operands
+    of ordinary instructions, array subscripts, call-site value arguments
+    (excluding by-reference variable actuals, which are addresses and must
+    never be replaced by a literal), and branch-condition operands.
+    [Rcalldef] incoming operands and phi arguments are synthetic and
+    excluded.  Both the substitution pass and the intraprocedural baseline
+    count over exactly this set. *)
+let iter_value_operands (f : Instr.operand -> unit) (t : t) =
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Instr.Idef (_, rhs) -> (
+              match rhs with
+              | Instr.Rcopy o | Instr.Runop (_, o) | Instr.Rload (_, o) -> f o
+              | Instr.Rbinop (_, a, b) ->
+                  f a;
+                  f b
+              | Instr.Rintrin (_, ops) -> List.iter f ops
+              | Instr.Rread | Instr.Rresult _ | Instr.Rcalldef _ -> ())
+          | Instr.Istore (_, i', v) ->
+              f i';
+              f v
+          | Instr.Icall s ->
+              List.iter
+                (function
+                  | Instr.Ascalar (_, Some (Instr.Avar _)) ->
+                      () (* an address, not a substitutable value *)
+                  | Instr.Ascalar (o, addr) -> (
+                      f o;
+                      match addr with
+                      | Some (Instr.Aelem (_, i')) -> f i'
+                      | _ -> ())
+                  | Instr.Aarray _ -> ())
+                s.Instr.args
+          | Instr.Iprint ops -> List.iter f ops)
+        b.instrs;
+      match b.term with
+      | Tbranch (Crel (_, a, b'), _, _) ->
+          f a;
+          f b'
+      | _ -> ())
+    t.blocks
+
+(** All variables mentioned anywhere in the CFG (defs, uses, phis). *)
+let all_vars (t : t) =
+  let open Ipcp_frontend.Names in
+  let acc = ref SS.empty in
+  let add v = acc := SS.add v !acc in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun (p : phi) ->
+          add p.dest;
+          List.iter (fun (_, v) -> add v) p.srcs)
+        b.phis;
+      List.iter
+        (fun i ->
+          Option.iter add (Instr.def i);
+          List.iter add (Instr.uses i))
+        b.instrs;
+      match b.term with
+      | Tbranch (Crel (_, a, b'), _, _) ->
+          List.iter add (Instr.operand_vars [ a; b' ])
+      | _ -> ())
+    t.blocks;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+
+let pp_cond ppf (Crel (op, a, b)) =
+  Fmt.pf ppf "%a %s %a" Instr.pp_operand a (Ast.relop_name op) Instr.pp_operand
+    b
+
+let pp_terminator ppf = function
+  | Tjump b -> Fmt.pf ppf "jump B%d" b
+  | Tbranch (c, b1, b2) -> Fmt.pf ppf "if %a then B%d else B%d" pp_cond c b1 b2
+  | Treturn -> Fmt.string ppf "return"
+  | Tstop -> Fmt.string ppf "stop"
+
+let pp_phi ppf (p : phi) =
+  Fmt.pf ppf "%s := phi(%a)" p.dest
+    Fmt.(list ~sep:(any ", ") (fun ppf (b, v) -> Fmt.pf ppf "B%d:%s" b v))
+    p.srcs
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "cfg %s:@." t.proc_name;
+  Array.iter
+    (fun b ->
+      Fmt.pf ppf "B%d:@." b.bid;
+      List.iter (fun p -> Fmt.pf ppf "  %a@." pp_phi p) b.phis;
+      List.iter (fun i -> Fmt.pf ppf "  %a@." Instr.pp_instr i) b.instrs;
+      Fmt.pf ppf "  %a@." pp_terminator b.term)
+    t.blocks
+
+let to_string t = Fmt.str "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* Builder *)
+
+module Builder = struct
+  type builder = {
+    mutable rev_blocks : block list;
+    mutable nblocks : int;
+    mutable cur : block;  (** block currently receiving instructions *)
+    mutable cur_rev_instrs : Instr.instr list;
+    mutable temp_counter : int;
+    mutable rev_sites : Instr.site list;
+  }
+
+  let fresh_block b =
+    let blk = { bid = b.nblocks; phis = []; instrs = []; term = Tstop } in
+    b.nblocks <- b.nblocks + 1;
+    b.rev_blocks <- blk :: b.rev_blocks;
+    blk
+
+  let create () =
+    let b =
+      {
+        rev_blocks = [];
+        nblocks = 0;
+        cur = { bid = 0; phis = []; instrs = []; term = Tstop };
+        cur_rev_instrs = [];
+        temp_counter = 0;
+        rev_sites = [];
+      }
+    in
+    let entry = fresh_block b in
+    b.cur <- entry;
+    b
+
+  let temp b =
+    b.temp_counter <- b.temp_counter + 1;
+    Fmt.str "$t%d" b.temp_counter
+
+  let emit b i = b.cur_rev_instrs <- i :: b.cur_rev_instrs
+
+  let note_site b s = b.rev_sites <- s :: b.rev_sites
+
+  (* Sealing fixes the current block's instruction list and terminator;
+     [switch] then selects the next block to fill.  Every block is sealed
+     exactly once (a [Tstop] placeholder marks unsealed blocks, and [seal]
+     asserts the instruction buffer belongs to the current block). *)
+  let seal b term =
+    b.cur.instrs <- List.rev b.cur_rev_instrs;
+    b.cur.term <- term;
+    b.cur_rev_instrs <- []
+
+  let switch b blk =
+    assert (b.cur_rev_instrs = []);
+    b.cur <- blk
+
+  let current b = b.cur.bid
+
+  let finish b ~proc_name ~kind ~final_term =
+    seal b final_term;
+    let blocks = Array.of_list (List.rev b.rev_blocks) in
+    Array.iteri (fun i blk -> assert (blk.bid = i)) blocks;
+    { proc_name; kind; blocks; sites = List.rev b.rev_sites }
+end

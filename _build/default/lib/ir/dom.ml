@@ -1,0 +1,143 @@
+(** Dominator computation.
+
+    [compute] implements the Cooper–Harvey–Kennedy iterative algorithm ("A
+    Simple, Fast Dominance Algorithm"): immediate dominators are found by
+    intersecting along reverse-postorder until fixpoint.  Dominance
+    frontiers use the same paper's two-predecessor walk.  A naive
+    O(N²) reference implementation ([dominators_naive]) is provided for
+    differential testing.
+
+    Unreachable blocks have no dominator information; querying them is a
+    programming error (asserted). *)
+
+type t = {
+  cfg : Cfg.t;
+  rpo : int array;  (** reverse postorder of reachable blocks *)
+  rpo_index : int array;  (** block id -> position in [rpo]; -1 unreachable *)
+  idom : int array;  (** immediate dominator; entry's is itself; -1 unreach *)
+  children : int list array;  (** dominator-tree children *)
+  df : int list array;  (** dominance frontier *)
+}
+
+let reachable_blocks t = Array.to_list t.rpo
+
+let is_reachable t b = t.rpo_index.(b) >= 0
+
+let idom t b =
+  assert (is_reachable t b);
+  t.idom.(b)
+
+let dom_children t b = t.children.(b)
+
+let frontier t b = t.df.(b)
+
+(** [dominates t a b]: does [a] dominate [b] (reflexively)? *)
+let dominates t a b =
+  assert (is_reachable t a && is_reachable t b);
+  let rec walk b = if b = a then true else if b = 0 then false else walk t.idom.(b) in
+  walk b
+
+let compute (cfg : Cfg.t) : t =
+  let n = Array.length cfg.Cfg.blocks in
+  let rpo = Array.of_list (Cfg.rev_postorder cfg) in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let preds = Cfg.preds cfg in
+  let idom = Array.make n (-1) in
+  idom.(0) <- 0;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while rpo_index.(!f1) > rpo_index.(!f2) do
+        f1 := idom.(!f1)
+      done;
+      while rpo_index.(!f2) > rpo_index.(!f1) do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> 0 then begin
+          let ps =
+            List.filter (fun p -> rpo_index.(p) >= 0) preds.(b)
+          in
+          let processed = List.filter (fun p -> idom.(p) >= 0) ps in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  let children = Array.make n [] in
+  Array.iter
+    (fun b -> if b <> 0 then children.(idom.(b)) <- b :: children.(idom.(b)))
+    rpo;
+  Array.iteri (fun i l -> children.(i) <- List.rev l) children;
+  (* dominance frontiers *)
+  let df = Array.make n [] in
+  Array.iter
+    (fun b ->
+      let ps = List.filter (fun p -> rpo_index.(p) >= 0) preds.(b) in
+      if List.length ps >= 2 then
+        List.iter
+          (fun p ->
+            let runner = ref p in
+            while !runner <> idom.(b) do
+              if not (List.mem b df.(!runner)) then
+                df.(!runner) <- b :: df.(!runner);
+              runner := idom.(!runner)
+            done)
+          ps)
+    rpo;
+  { cfg; rpo; rpo_index; idom; children; df }
+
+(* ------------------------------------------------------------------ *)
+(* Naive reference: DOM(b) = blocks on every path from entry to b,
+   computed by the classic iterative set algorithm. *)
+
+let dominators_naive (cfg : Cfg.t) : int list array =
+  let n = Array.length cfg.Cfg.blocks in
+  let reach = Cfg.reachable cfg in
+  let module IS = Set.Make (Int) in
+  let all =
+    Array.to_list cfg.Cfg.blocks
+    |> List.filter_map (fun b ->
+           if reach.(b.Cfg.bid) then Some b.Cfg.bid else None)
+    |> IS.of_list
+  in
+  let dom = Array.make n all in
+  dom.(0) <- IS.singleton 0;
+  let preds = Cfg.preds cfg in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    IS.iter
+      (fun b ->
+        if b <> 0 then begin
+          let ps = List.filter (fun p -> reach.(p)) preds.(b) in
+          let inter =
+            List.fold_left
+              (fun acc p -> IS.inter acc dom.(p))
+              all ps
+          in
+          let d = IS.add b inter in
+          if not (IS.equal d dom.(b)) then begin
+            dom.(b) <- d;
+            changed := true
+          end
+        end)
+      all
+  done;
+  Array.mapi
+    (fun b s -> if reach.(b) then IS.elements s else [])
+    dom

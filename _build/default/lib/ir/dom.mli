@@ -1,0 +1,27 @@
+(** Dominator computation: the Cooper–Harvey–Kennedy iterative algorithm,
+    with dominance frontiers, plus a naive O(N²) reference used for
+    differential testing. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val reachable_blocks : t -> int list
+(** In reverse postorder. *)
+
+val is_reachable : t -> int -> bool
+
+val idom : t -> int -> int
+(** Immediate dominator (the entry's is itself).  Asserts reachability. *)
+
+val dom_children : t -> int -> int list
+(** Dominator-tree children. *)
+
+val frontier : t -> int -> int list
+(** Dominance frontier. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b] (reflexively)? *)
+
+val dominators_naive : Cfg.t -> int list array
+(** Classic iterative set-intersection algorithm; reference only. *)

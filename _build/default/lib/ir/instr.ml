@@ -1,0 +1,158 @@
+(** The lowered intermediate representation.
+
+    Each procedure body is lowered ({!Lower}) into a control-flow graph of
+    simple statements over scalar {e variables}.  A variable is a source
+    scalar (local, formal, COMMON global, function-result), a compiler
+    temporary ([$tN]), or — after {!Ssa} renaming — a versioned name
+    ([x#3]).  Arrays are not scalarised: array accesses appear as opaque
+    loads and stores, matching the paper's decision not to track constants
+    through arrays.
+
+    Call sites are first-class: an {!Icall} instruction carries a {!site}
+    record, and the {e may}-definitions a call induces (by-reference actuals
+    and COMMON globals) appear as explicit [Rcalldef] definitions following
+    the call.  An [Rcalldef] also records the incoming value of the
+    variable, so "the callee does not modify this" is expressible as a copy
+    — this is what lets one SSA form serve every analysis configuration
+    (with or without MOD information, with or without return jump
+    functions). *)
+
+module Loc = Ipcp_frontend.Loc
+module Ast = Ipcp_frontend.Ast
+
+type var = string
+
+(** A use of a scalar variable or an integer literal.  The optional
+    location ties the operand to the source occurrence it was lowered from;
+    the substitution pass rewrites exactly those occurrences. *)
+type operand = Oint of int | Ovar of var * Loc.t option
+
+type call_target =
+  | Tformal of int  (** the by-reference actual bound to formal position i *)
+  | Tglobal of string  (** a COMMON global the callee may modify *)
+  | Tcaller
+      (** a scalar of the caller that is {e not} addressable at this site
+          (a local, or a formal not passed along).  FORTRAN's rules imply a
+          callee can never modify it — but proving that requires MOD
+          information; without MOD the analyzer must assume the worst case
+          ("the presence of any call in a routine eliminated potential
+          constants along paths leaving the call site"), so these
+          definitions exist to express exactly that kill. *)
+
+type rhs =
+  | Rcopy of operand
+  | Runop of Ast.unop * operand
+  | Rbinop of Ast.binop * operand * operand
+  | Rintrin of Ast.intrinsic * operand list
+  | Rload of string * operand  (** array element load *)
+  | Rread  (** value obtained from READ *)
+  | Rresult of int  (** result of the function call at the given site *)
+  | Rcalldef of int * call_target * operand
+      (** potential redefinition by the call at the given site; the operand
+          is the variable's value just before the call *)
+
+(** How an actual argument is passed. *)
+type arg =
+  | Ascalar of operand * addr option
+      (** scalar actual: its value, and its address when the actual is a
+          variable or array element (hence writable by the callee) *)
+  | Aarray of string  (** whole-array actual *)
+
+and addr = Avar of var | Aelem of string * operand
+
+type site = {
+  site_id : int;  (** unique across the whole program *)
+  caller : string;
+  callee : string;
+  args : arg list;
+  syntactic : Ast.expr list;
+      (** the actual-argument expressions as written in the source — the
+          literal jump function is a "textual scan" of these *)
+  result : var option;  (** destination temporary for a function call *)
+  s_loc : Loc.t;
+}
+
+type instr =
+  | Idef of var * rhs
+  | Istore of string * operand * operand  (** array, index, value *)
+  | Icall of site
+  | Iprint of operand list
+
+(* ------------------------------------------------------------------ *)
+
+let operand_var = function Ovar (v, _) -> Some v | Oint _ -> None
+
+let operand_vars ops = List.filter_map operand_var ops
+
+(** Variables used (read) by an instruction.  [Rcalldef] reads the incoming
+    value; the call's own argument reads belong to [Icall]. *)
+let uses = function
+  | Idef (_, r) -> (
+      match r with
+      | Rcopy o | Runop (_, o) | Rload (_, o) -> operand_vars [ o ]
+      | Rbinop (_, a, b) -> operand_vars [ a; b ]
+      | Rintrin (_, ops) -> operand_vars ops
+      | Rread | Rresult _ -> []
+      | Rcalldef (_, _, o) -> operand_vars [ o ])
+  | Istore (_, i, v) -> operand_vars [ i; v ]
+  | Icall s ->
+      List.concat_map
+        (function
+          | Ascalar (o, addr) -> (
+              operand_vars [ o ]
+              @ match addr with Some (Aelem (_, i)) -> operand_vars [ i ] | _ -> [])
+          | Aarray _ -> [])
+        s.args
+  | Iprint ops -> operand_vars ops
+
+(** The variable defined, if any. *)
+let def = function Idef (v, _) -> Some v | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let pp_operand ppf = function
+  | Oint n -> Fmt.int ppf n
+  | Ovar (v, _) -> Fmt.string ppf v
+
+let pp_target ppf = function
+  | Tformal i -> Fmt.pf ppf "formal.%d" i
+  | Tglobal g -> Fmt.pf ppf "global.%s" g
+  | Tcaller -> Fmt.string ppf "caller-local"
+
+let pp_rhs ppf = function
+  | Rcopy o -> pp_operand ppf o
+  | Runop (Ast.Neg, o) -> Fmt.pf ppf "-%a" pp_operand o
+  | Rbinop (op, a, b) ->
+      Fmt.pf ppf "%a %s %a" pp_operand a
+        (Ast.binop_name op)
+        pp_operand b
+  | Rintrin (i, ops) ->
+      Fmt.pf ppf "%s(%a)"
+        (Ast.intrinsic_name i)
+        Fmt.(list ~sep:(any ", ") pp_operand)
+        ops
+  | Rload (a, i) -> Fmt.pf ppf "%s[%a]" a pp_operand i
+  | Rread -> Fmt.string ppf "read()"
+  | Rresult s -> Fmt.pf ppf "result(site %d)" s
+  | Rcalldef (s, t, o) ->
+      Fmt.pf ppf "calldef(site %d, %a, in=%a)" s pp_target t pp_operand o
+
+let pp_arg ppf = function
+  | Ascalar (o, None) -> pp_operand ppf o
+  | Ascalar (o, Some (Avar v)) -> Fmt.pf ppf "&%s=%a" v pp_operand o
+  | Ascalar (o, Some (Aelem (a, i))) ->
+      Fmt.pf ppf "&%s[%a]=%a" a pp_operand i pp_operand o
+  | Aarray a -> Fmt.pf ppf "%s[*]" a
+
+let pp_instr ppf = function
+  | Idef (v, r) -> Fmt.pf ppf "%s := %a" v pp_rhs r
+  | Istore (a, i, v) -> Fmt.pf ppf "%s[%a] := %a" a pp_operand i pp_operand v
+  | Icall s ->
+      Fmt.pf ppf "%scall %s(%a)  # site %d"
+        (match s.result with Some r -> r ^ " := " | None -> "")
+        s.callee
+        Fmt.(list ~sep:(any ", ") pp_arg)
+        s.args s.site_id
+  | Iprint ops ->
+      Fmt.pf ppf "print %a" Fmt.(list ~sep:(any ", ") pp_operand) ops

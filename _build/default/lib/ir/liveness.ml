@@ -1,0 +1,93 @@
+(** Backward live-variable analysis on the (pre-SSA) CFG.
+
+    Used by dead-code elimination and exercised as the canonical backward
+    instance of the generic dataflow solver.  Call-induced may-definitions
+    ([Rcalldef]) read the incoming value, so a variable that survives a call
+    stays live across it without any special casing.
+
+    At procedure exit the live set depends on the procedure kind:
+    - main program / [STOP]: nothing outlives the program, so nothing is
+      live out (PRINT side effects were already emitted);
+    - subroutine / function [RETURN]: by-reference formals and all globals
+      flow back to the caller, so they are live out (the function-result
+      variable too). *)
+
+open Ipcp_frontend.Names
+
+type t = {
+  live_in : SS.t array;
+  live_out : SS.t array;
+}
+
+(** Variables live at exit of the procedure. *)
+let exit_live ~(cfg : Cfg.t) ~(formals : string list) ~(globals : string list)
+    =
+  match cfg.Cfg.kind with
+  | Ipcp_frontend.Ast.Main -> SS.empty
+  | Ipcp_frontend.Ast.Subroutine -> SS.union (SS.of_list formals) (SS.of_list globals)
+  | Ipcp_frontend.Ast.Function ->
+      SS.add cfg.Cfg.proc_name
+        (SS.union (SS.of_list formals) (SS.of_list globals))
+
+let term_uses = function
+  | Cfg.Tbranch (Cfg.Crel (_, a, b), _, _) -> Instr.operand_vars [ a; b ]
+  | _ -> []
+
+(** Transfer one instruction backwards: [live_before = gen ∪ (live_after ∖ kill)]. *)
+let transfer_instr live i =
+  let live =
+    match Instr.def i with Some v -> SS.remove v live | None -> live
+  in
+  List.fold_left (fun l v -> SS.add v l) live (Instr.uses i)
+
+let transfer_block (b : Cfg.block) live_out =
+  let live = List.fold_left (fun l v -> SS.add v l) live_out (term_uses b.Cfg.term) in
+  List.fold_left transfer_instr live (List.rev b.Cfg.instrs)
+
+let compute ~(formals : string list) ~(globals : string list) (cfg : Cfg.t) : t
+    =
+  let n = Array.length cfg.Cfg.blocks in
+  let live_in = Array.make n SS.empty in
+  let live_out = Array.make n SS.empty in
+  let exit = exit_live ~cfg ~formals ~globals in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* reverse of reverse-postorder converges quickly for backward flow *)
+    List.iter
+      (fun bid ->
+        let b = cfg.Cfg.blocks.(bid) in
+        let out =
+          match b.Cfg.term with
+          | Cfg.Tstop -> SS.empty (* program ends: nothing outlives it *)
+          | Cfg.Treturn -> exit
+          | _ ->
+              List.fold_left
+                (fun acc s -> SS.union acc live_in.(s))
+                SS.empty (Cfg.succs cfg bid)
+        in
+        let inn = transfer_block b out in
+        if not (SS.equal out live_out.(bid) && SS.equal inn live_in.(bid))
+        then begin
+          live_out.(bid) <- out;
+          live_in.(bid) <- inn;
+          changed := true
+        end)
+      (List.rev (Cfg.rev_postorder cfg))
+  done;
+  { live_in; live_out }
+
+(** [live_after t cfg bid k]: the set of variables live immediately after
+    instruction index [k] of block [bid] (0-based).  Used by tests and by
+    useless-assignment detection. *)
+let live_after (t : t) (cfg : Cfg.t) bid k =
+  let b = cfg.Cfg.blocks.(bid) in
+  let after_term = t.live_out.(bid) in
+  let live = List.fold_left (fun l v -> SS.add v l) after_term (term_uses b.Cfg.term) in
+  let instrs = Array.of_list b.Cfg.instrs in
+  let n = Array.length instrs in
+  let live = ref live in
+  for i = n - 1 downto k + 1 do
+    live := transfer_instr !live instrs.(i)
+  done;
+  !live

@@ -1,0 +1,301 @@
+(** Lowering from the resolved AST to {!Cfg} form.
+
+    Design points (see also {!Instr}):
+
+    - [PARAMETER] named constants are folded into literals here, so they are
+      intraprocedural constants but {e not} literal tokens at call sites —
+      the literal jump function inspects the {e syntactic} actuals kept in
+      the {!Instr.site} record.
+    - A call site is followed by explicit [Rcalldef] definitions for every
+      by-reference scalar actual and for {e every} COMMON global of the
+      program.  Whether such a definition is transparent (the callee cannot
+      modify the variable), a return-jump-function value, or opaque is
+      decided later by the symbolic evaluator, so a single lowering serves
+      all analysis configurations.
+    - [DO v = lo, hi [, s]] evaluates [lo] and [hi] once, then behaves as a
+      while loop testing [v <= limit] (or [>=] for a negative constant
+      step).  The interpreter implements exactly the same semantics.
+    - [RETURN] in the main program behaves like [STOP]. *)
+
+open Ipcp_frontend
+open Instr
+module B = Cfg.Builder
+
+type env = {
+  symtab : Symtab.t;
+  psym : Symtab.proc_sym;
+  b : B.builder;
+  site_counter : int ref;
+  globals : string list;  (** program-wide global order *)
+}
+
+let err loc fmt = Diag.error Diag.Lower loc fmt
+
+let is_array env name =
+  match Symtab.var env.psym name with
+  | Some vi -> Symtab.is_array vi
+  | None -> false
+
+let const_value env name =
+  match Symtab.var env.psym name with
+  | Some { Symtab.kind = Symtab.Const v; _ } -> Some v
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let rec lower_expr env (e : Ast.expr) : operand =
+  match e with
+  | Ast.Int (n, _) -> Oint n
+  | Ast.Var (x, l) -> (
+      match const_value env x with
+      | Some v -> Oint v
+      | None -> Ovar (x, Some l))
+  | _ -> (
+      match lower_rhs env e with
+      | Rcopy o -> o
+      | rhs ->
+          let t = B.temp env.b in
+          B.emit env.b (Idef (t, rhs));
+          Ovar (t, None))
+
+(* Lower an expression to a right-hand side, emitting instructions for its
+   subexpressions. *)
+and lower_rhs env (e : Ast.expr) : rhs =
+  match e with
+  | Ast.Int _ | Ast.Var _ -> Rcopy (lower_expr env e)
+  | Ast.Index (a, i, _) -> Rload (a, lower_expr env i)
+  | Ast.Unop (op, e, _) -> Runop (op, lower_expr env e)
+  | Ast.Binop (op, e1, e2, _) ->
+      let o1 = lower_expr env e1 in
+      let o2 = lower_expr env e2 in
+      Rbinop (op, o1, o2)
+  | Ast.Intrin (i, args, _) -> Rintrin (i, List.map (lower_expr env) args)
+  | Ast.Callf (f, args, l) ->
+      let t = lower_call env ~callee:f ~args ~loc:l ~want_result:true in
+      Rcopy (Ovar (Option.get t, None))
+
+(* ------------------------------------------------------------------ *)
+(* Calls *)
+
+and lower_call env ~callee ~args ~loc ~want_result : var option =
+  let lowered =
+    List.map
+      (fun (a : Ast.expr) ->
+        match a with
+        | Ast.Var (x, _) when is_array env x -> Aarray x
+        | Ast.Var (x, l) when const_value env x = None ->
+            Ascalar (Ovar (x, Some l), Some (Avar x))
+        | Ast.Index (arr, i, _) ->
+            let oi = lower_expr env i in
+            let t = B.temp env.b in
+            B.emit env.b (Idef (t, Rload (arr, oi)));
+            Ascalar (Ovar (t, None), Some (Aelem (arr, oi)))
+        | e -> Ascalar (lower_expr env e, None))
+      args
+  in
+  incr env.site_counter;
+  let result = if want_result then Some (B.temp env.b) else None in
+  let site =
+    {
+      site_id = !(env.site_counter);
+      caller = env.psym.Symtab.proc.Ast.name;
+      callee;
+      args = lowered;
+      syntactic = args;
+      result;
+      s_loc = loc;
+    }
+  in
+  B.note_site env.b site;
+  B.emit env.b (Icall site);
+  Option.iter
+    (fun r -> B.emit env.b (Idef (r, Rresult site.site_id)))
+    result;
+  (* may-definitions: by-reference scalar actuals ... *)
+  List.iteri
+    (fun i a ->
+      match a with
+      | Ascalar (_, Some (Avar x)) ->
+          B.emit env.b
+            (Idef (x, Rcalldef (site.site_id, Tformal i, Ovar (x, None))))
+      | Ascalar (_, Some (Aelem (arr, oi))) ->
+          let t = B.temp env.b in
+          B.emit env.b (Idef (t, Rcalldef (site.site_id, Tformal i, Oint 0)));
+          B.emit env.b (Istore (arr, oi, Ovar (t, None)))
+      | Ascalar (_, None) | Aarray _ -> ())
+    lowered;
+  (* ... every COMMON global of the program ... *)
+  List.iter
+    (fun g ->
+      B.emit env.b
+        (Idef (g, Rcalldef (site.site_id, Tglobal g, Ovar (g, None)))))
+    env.globals;
+  (* ... and every other scalar of the caller.  These [Tcaller] defs are
+     transparent whenever MOD information is available (a callee can never
+     modify an unpassed local); without it they model the worst case. *)
+  let addressable =
+    List.fold_left
+      (fun acc a ->
+        match a with
+        | Ascalar (_, Some (Avar x)) -> Names.SS.add x acc
+        | _ -> acc)
+      Names.SS.empty lowered
+  in
+  Names.SM.iter
+    (fun x (vi : Symtab.var_info) ->
+      match vi.Symtab.kind with
+      | (Symtab.Local | Symtab.Formal _ | Symtab.Result)
+        when vi.Symtab.dim = None && not (Names.SS.mem x addressable) ->
+          B.emit env.b
+            (Idef (x, Rcalldef (site.site_id, Tcaller, Ovar (x, None))))
+      | _ -> ())
+    env.psym.Symtab.vars;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Conditions: short-circuit lowering into branch chains *)
+
+and lower_cond env (c : Ast.cond) ~(tblk : Cfg.block) ~(fblk : Cfg.block) =
+  match c with
+  | Ast.Rel (op, e1, e2) ->
+      let o1 = lower_expr env e1 in
+      let o2 = lower_expr env e2 in
+      B.seal env.b (Cfg.Tbranch (Cfg.Crel (op, o1, o2), tblk.bid, fblk.bid))
+  | Ast.And (c1, c2) ->
+      let mid = B.fresh_block env.b in
+      lower_cond env c1 ~tblk:mid ~fblk;
+      B.switch env.b mid;
+      lower_cond env c2 ~tblk ~fblk
+  | Ast.Or (c1, c2) ->
+      let mid = B.fresh_block env.b in
+      lower_cond env c1 ~tblk ~fblk:mid;
+      B.switch env.b mid;
+      lower_cond env c2 ~tblk ~fblk
+  | Ast.Not c -> lower_cond env c ~tblk:fblk ~fblk:tblk
+  | Ast.Btrue -> B.seal env.b (Cfg.Tjump tblk.bid)
+  | Ast.Bfalse -> B.seal env.b (Cfg.Tjump fblk.bid)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec lower_stmt env (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (Ast.Lvar (x, _), e, _) ->
+      let rhs = lower_rhs env e in
+      B.emit env.b (Idef (x, rhs))
+  | Ast.Assign (Ast.Lindex (a, i, _), e, _) ->
+      let oi = lower_expr env i in
+      let ov = lower_expr env e in
+      B.emit env.b (Istore (a, oi, ov))
+  | Ast.If (branches, els, _) ->
+      let join = B.fresh_block env.b in
+      let rec go = function
+        | [] ->
+            lower_body env els;
+            B.seal env.b (Cfg.Tjump join.bid);
+            B.switch env.b join
+        | (c, body) :: rest ->
+            let tb = B.fresh_block env.b in
+            let nb = B.fresh_block env.b in
+            lower_cond env c ~tblk:tb ~fblk:nb;
+            B.switch env.b tb;
+            lower_body env body;
+            B.seal env.b (Cfg.Tjump join.bid);
+            B.switch env.b nb;
+            go rest
+      in
+      go branches
+  | Ast.Do (v, lo, hi, step, body, loc) ->
+      let s =
+        match step with
+        | None -> 1
+        | Some (Ast.Int (n, _)) -> n
+        | Some _ -> err loc "DO step must have been folded by Sema"
+      in
+      let rlo = lower_rhs env lo in
+      B.emit env.b (Idef (v, rlo));
+      let limit = B.temp env.b in
+      let rhi = lower_rhs env hi in
+      B.emit env.b (Idef (limit, rhi));
+      let header = B.fresh_block env.b in
+      let bodyb = B.fresh_block env.b in
+      let exitb = B.fresh_block env.b in
+      B.seal env.b (Cfg.Tjump header.bid);
+      B.switch env.b header;
+      let relop = if s > 0 then Ast.Rle else Ast.Rge in
+      B.seal env.b
+        (Cfg.Tbranch
+           ( Cfg.Crel (relop, Ovar (v, None), Ovar (limit, None)),
+             bodyb.bid,
+             exitb.bid ));
+      B.switch env.b bodyb;
+      lower_body env body;
+      B.emit env.b (Idef (v, Rbinop (Ast.Add, Ovar (v, None), Oint s)));
+      B.seal env.b (Cfg.Tjump header.bid);
+      B.switch env.b exitb
+  | Ast.While (c, body, _) ->
+      let header = B.fresh_block env.b in
+      let bodyb = B.fresh_block env.b in
+      let exitb = B.fresh_block env.b in
+      B.seal env.b (Cfg.Tjump header.bid);
+      B.switch env.b header;
+      lower_cond env c ~tblk:bodyb ~fblk:exitb;
+      B.switch env.b bodyb;
+      lower_body env body;
+      B.seal env.b (Cfg.Tjump header.bid);
+      B.switch env.b exitb
+  | Ast.Call (n, args, l) ->
+      ignore (lower_call env ~callee:n ~args ~loc:l ~want_result:false)
+  | Ast.Return _ ->
+      let term =
+        if env.psym.Symtab.proc.Ast.kind = Ast.Main then Cfg.Tstop
+        else Cfg.Treturn
+      in
+      B.seal env.b term;
+      B.switch env.b (B.fresh_block env.b)
+  | Ast.Stop _ ->
+      B.seal env.b Cfg.Tstop;
+      B.switch env.b (B.fresh_block env.b)
+  | Ast.Print (es, _) ->
+      let ops = List.map (lower_expr env) es in
+      B.emit env.b (Iprint ops)
+  | Ast.Read (lvs, _) ->
+      List.iter
+        (fun lv ->
+          match lv with
+          | Ast.Lvar (x, _) -> B.emit env.b (Idef (x, Rread))
+          | Ast.Lindex (a, i, _) ->
+              let oi = lower_expr env i in
+              let t = B.temp env.b in
+              B.emit env.b (Idef (t, Rread));
+              B.emit env.b (Istore (a, oi, Ovar (t, None))))
+        lvs
+  | Ast.Continue _ -> ()
+
+and lower_body env body = List.iter (lower_stmt env) body
+
+(* ------------------------------------------------------------------ *)
+
+(** Lower one procedure.  [site_counter] numbers call sites uniquely across
+    the whole program. *)
+let lower_proc (symtab : Symtab.t) ~site_counter (psym : Symtab.proc_sym) :
+    Cfg.t =
+  let b = B.create () in
+  let env =
+    { symtab; psym; b; site_counter; globals = Symtab.global_names symtab }
+  in
+  lower_body env psym.Symtab.proc.Ast.body;
+  let kind = psym.Symtab.proc.Ast.kind in
+  let final_term = if kind = Ast.Main then Cfg.Tstop else Cfg.Treturn in
+  B.finish b ~proc_name:psym.Symtab.proc.Ast.name ~kind ~final_term
+
+(** Lower every procedure of the program.  The result maps procedure name to
+    its CFG; call sites are numbered in procedure-declaration order. *)
+let lower_program (symtab : Symtab.t) : Cfg.t Names.SM.t =
+  let site_counter = ref 0 in
+  Symtab.fold_procs
+    (fun psym acc ->
+      let cfg = lower_proc symtab ~site_counter psym in
+      Names.SM.add psym.Symtab.proc.Ast.name cfg acc)
+    symtab Names.SM.empty

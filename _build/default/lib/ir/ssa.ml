@@ -1,0 +1,280 @@
+(** Minimal SSA construction (Cytron et al.).
+
+    [convert] returns a new {!Cfg.t} in which every variable [x] is renamed
+    to versioned form [x#n].  Version 0 denotes the variable's value on
+    entry to the procedure: formals and globals enter with their caller-
+    provided values (these are exactly the {e entry symbols} the symbolic
+    evaluator binds jump functions to), while locals and temporaries enter
+    undefined.
+
+    Phi functions are placed at the iterated dominance frontier of each
+    variable's definition blocks, with the entry block counted as an
+    implicit definition of every variable (materialising the [x#0] entry
+    value).  Unreachable blocks are emptied in the output so that every
+    remaining instruction is reachable. *)
+
+open Ipcp_frontend.Names
+open Instr
+
+let sep = '#'
+
+(** [base_name "x#3"] is ["x"]; [version "x#3"] is [3]. *)
+let base_name v =
+  match String.rindex_opt v sep with
+  | Some i -> String.sub v 0 i
+  | None -> v
+
+let version v =
+  match String.rindex_opt v sep with
+  | Some i -> int_of_string (String.sub v (i + 1) (String.length v - i - 1))
+  | None -> invalid_arg ("Ssa.version: " ^ v)
+
+let versioned x n = Printf.sprintf "%s%c%d" x sep n
+
+let is_entry_version v = version v = 0
+
+(* ------------------------------------------------------------------ *)
+
+type conv = {
+  ssa : Cfg.t;
+  exits : (int * Cfg.terminator * Instr.var SM.t) list;
+      (** for every reachable [return]/[stop] block: the SSA version of
+          each variable live at that exit (the snapshot return jump
+          functions are built from) *)
+}
+
+let convert_full (cfg : Cfg.t) : conv =
+  let dom = Dom.compute cfg in
+  let nblocks = Array.length cfg.Cfg.blocks in
+  let reach = Cfg.reachable cfg in
+  let preds = Cfg.preds cfg in
+  let reachable_preds b = List.filter (fun p -> reach.(p)) preds.(b) in
+
+  (* 1. definition sites per variable (entry block defines everything) *)
+  let vars = Cfg.all_vars cfg in
+  let def_blocks : SS.t array = Array.make nblocks SS.empty in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if reach.(b.Cfg.bid) then
+        List.iter
+          (fun i ->
+            match Instr.def i with
+            | Some v -> def_blocks.(b.Cfg.bid) <- SS.add v def_blocks.(b.Cfg.bid)
+            | None -> ())
+          b.Cfg.instrs)
+    cfg.Cfg.blocks;
+  def_blocks.(0) <- vars;
+
+  (* 2. phi placement at iterated dominance frontiers *)
+  let phis_at : (int, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let phi_vars b =
+    match Hashtbl.find_opt phis_at b with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add phis_at b r;
+        r
+  in
+  SS.iter
+    (fun x ->
+      let work = Queue.create () in
+      let in_work = Array.make nblocks false in
+      let has_phi = Array.make nblocks false in
+      Array.iteri
+        (fun b defs ->
+          if reach.(b) && SS.mem x defs then begin
+            Queue.add b work;
+            in_work.(b) <- true
+          end)
+        def_blocks;
+      while not (Queue.is_empty work) do
+        let b = Queue.pop work in
+        List.iter
+          (fun d ->
+            if (not has_phi.(d)) && List.length (reachable_preds d) >= 2 then begin
+              has_phi.(d) <- true;
+              let r = phi_vars d in
+              r := x :: !r;
+              if not in_work.(d) then begin
+                Queue.add d work;
+                in_work.(d) <- true
+              end
+            end)
+          (Dom.frontier dom b)
+      done)
+    vars;
+
+  (* 3. renaming along the dominator tree *)
+  let counters : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let stacks : (string, int list) Hashtbl.t = Hashtbl.create 64 in
+  let top x =
+    match Hashtbl.find_opt stacks x with Some (v :: _) -> v | _ -> 0
+  in
+  let push x =
+    let n = (Option.value ~default:0 (Hashtbl.find_opt counters x)) + 1 in
+    Hashtbl.replace counters x n;
+    let s = Option.value ~default:[] (Hashtbl.find_opt stacks x) in
+    Hashtbl.replace stacks x (n :: s);
+    n
+  in
+  let pop x =
+    match Hashtbl.find_opt stacks x with
+    | Some (_ :: s) -> Hashtbl.replace stacks x s
+    | _ -> assert false
+  in
+
+  let new_blocks =
+    Array.map
+      (fun (b : Cfg.block) ->
+        {
+          Cfg.bid = b.Cfg.bid;
+          phis = [];
+          instrs = [];
+          term = Cfg.Tstop;
+        })
+      cfg.Cfg.blocks
+  in
+  (* phi nodes pre-created with unfilled sources *)
+  let phi_cells :
+      (int, (string * (int * var) list ref) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Hashtbl.iter
+    (fun b vars ->
+      Hashtbl.replace phi_cells b
+        (List.map (fun x -> (x, ref [])) (List.sort_uniq compare !vars)))
+    phis_at;
+
+  let new_sites = ref [] in
+  let exits = ref [] in
+
+  let rn_operand = function
+    | Oint n -> Oint n
+    | Ovar (x, l) -> Ovar (versioned x (top x), l)
+  in
+  let rn_rhs = function
+    | Rcopy o -> Rcopy (rn_operand o)
+    | Runop (op, o) -> Runop (op, rn_operand o)
+    | Rbinop (op, a, b) -> Rbinop (op, rn_operand a, rn_operand b)
+    | Rintrin (i, ops) -> Rintrin (i, List.map rn_operand ops)
+    | Rload (a, i) -> Rload (a, rn_operand i)
+    | Rread -> Rread
+    | Rresult s -> Rresult s
+    | Rcalldef (s, t, o) -> Rcalldef (s, t, rn_operand o)
+  in
+  let rn_arg = function
+    | Ascalar (o, addr) ->
+        let addr =
+          match addr with
+          | Some (Avar x) -> Some (Avar x) (* an address, not a value use *)
+          | Some (Aelem (a, i)) -> Some (Aelem (a, rn_operand i))
+          | None -> None
+        in
+        Ascalar (rn_operand o, addr)
+    | Aarray a -> Aarray a
+  in
+  let rec rename b =
+    let defined = ref [] in
+    let nb = new_blocks.(b) in
+    (* phi destinations *)
+    let cells = Option.value ~default:[] (Hashtbl.find_opt phi_cells b) in
+    let phi_dests =
+      List.map
+        (fun (x, cell) ->
+          let n = push x in
+          defined := x :: !defined;
+          (versioned x n, cell))
+        cells
+    in
+    (* instructions *)
+    let instrs =
+      List.map
+        (fun i ->
+          match i with
+          | Idef (x, r) ->
+              let r = rn_rhs r in
+              let n = push x in
+              defined := x :: !defined;
+              Idef (versioned x n, r)
+          | Istore (a, idx, v) -> Istore (a, rn_operand idx, rn_operand v)
+          | Icall s ->
+              let args = List.map rn_arg s.args in
+              let s' = { s with args } in
+              new_sites := s' :: !new_sites;
+              Icall s'
+          | Iprint ops -> Iprint (List.map rn_operand ops))
+        cfg.Cfg.blocks.(b).Cfg.instrs
+    in
+    (* [Rresult] destination temps keep the site's [result] field in sync *)
+    let term =
+      match cfg.Cfg.blocks.(b).Cfg.term with
+      | Cfg.Tbranch (Cfg.Crel (op, o1, o2), b1, b2) ->
+          Cfg.Tbranch (Cfg.Crel (op, rn_operand o1, rn_operand o2), b1, b2)
+      | t -> t
+    in
+    nb.Cfg.instrs <- instrs;
+    nb.Cfg.term <- term;
+    (match term with
+    | Cfg.Treturn | Cfg.Tstop ->
+        let snapshot =
+          SS.fold (fun x m -> SM.add x (versioned x (top x)) m) vars SM.empty
+        in
+        exits := (b, term, snapshot) :: !exits
+    | _ -> ());
+    (* fill phi arguments of successors *)
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt phi_cells s with
+        | None -> ()
+        | Some cells ->
+            List.iter
+              (fun (x, cell) -> cell := (b, versioned x (top x)) :: !cell)
+              cells)
+      (Cfg.succs cfg b);
+    (* recurse in the dominator tree *)
+    List.iter rename (Dom.dom_children dom b);
+    nb.Cfg.phis <-
+      List.map (fun (dest, cell) -> { Cfg.dest; srcs = List.rev !cell })
+        phi_dests;
+    List.iter pop !defined
+  in
+  rename 0;
+
+  (* keep call-site [result] names consistent with the renamed defs *)
+  let result_rename = Hashtbl.create 16 in
+  Array.iter
+    (fun (nb : Cfg.block) ->
+      List.iter
+        (fun i ->
+          match i with
+          | Idef (v, Rresult sid) -> Hashtbl.replace result_rename sid v
+          | _ -> ())
+        nb.Cfg.instrs)
+    new_blocks;
+  let fix_site (s : site) =
+    match s.result with
+    | Some _ -> { s with result = Hashtbl.find_opt result_rename s.site_id }
+    | None -> s
+  in
+  Array.iter
+    (fun (nb : Cfg.block) ->
+      nb.Cfg.instrs <-
+        List.map
+          (fun i -> match i with Icall s -> Icall (fix_site s) | i -> i)
+          nb.Cfg.instrs)
+    new_blocks;
+  {
+    ssa =
+      {
+        Cfg.proc_name = cfg.Cfg.proc_name;
+        kind = cfg.Cfg.kind;
+        blocks = new_blocks;
+        sites =
+          List.map fix_site !new_sites
+          |> List.sort (fun (a : site) b -> compare a.site_id b.site_id);
+      };
+    exits = List.rev !exits;
+  }
+
+(** SSA conversion without the exit snapshots. *)
+let convert cfg = (convert_full cfg).ssa

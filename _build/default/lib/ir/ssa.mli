@@ -1,0 +1,30 @@
+(** Minimal SSA construction (Cytron et al.): phi placement at iterated
+    dominance frontiers, renaming along the dominator tree.  Version 0
+    ([x#0]) is the entry value: the symbol jump functions are expressed
+    over for formals and globals, "undefined" for locals and
+    temporaries. *)
+
+open Ipcp_frontend.Names
+
+val base_name : Instr.var -> string
+(** [base_name "x#3"] is ["x"]. *)
+
+val version : Instr.var -> int
+
+val versioned : string -> int -> Instr.var
+
+val is_entry_version : Instr.var -> bool
+
+type conv = {
+  ssa : Cfg.t;
+  exits : (int * Cfg.terminator * Instr.var SM.t) list;
+      (** per reachable exit block: the terminator and the SSA version of
+          every variable at that exit — the snapshots return jump
+          functions are built from ([STOP] exits are recorded but do not
+          return to the caller) *)
+}
+
+val convert_full : Cfg.t -> conv
+
+val convert : Cfg.t -> Cfg.t
+(** [convert_full] without the exit snapshots. *)

@@ -1,0 +1,1 @@
+lib/opt/complete.ml: Dce Ipcp_callgraph Ipcp_core Ipcp_frontend Ipcp_ir Ipcp_summary List Parser Pretty Sema Substitute Symtab

@@ -1,0 +1,1 @@
+lib/opt/complete.mli: Ipcp_core

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Ast Fold Ipcp_frontend Ipcp_summary List Names SS Symtab

@@ -1,0 +1,1 @@
+lib/opt/dce.mli: Ipcp_frontend Ipcp_summary

@@ -1,0 +1,1 @@
+lib/opt/fold.ml: Ast Ipcp_frontend List

@@ -1,0 +1,1 @@
+lib/opt/intra.ml: Ipcp_callgraph Ipcp_core Ipcp_frontend Ipcp_ir Ipcp_summary List Names SM Symtab

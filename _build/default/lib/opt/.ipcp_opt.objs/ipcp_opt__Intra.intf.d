@@ -1,0 +1,1 @@
+lib/opt/intra.mli: Ipcp_frontend

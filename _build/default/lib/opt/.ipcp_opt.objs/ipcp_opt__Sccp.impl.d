@@ -1,0 +1,1 @@
+lib/opt/sccp.ml: Array Ast Hashtbl Ipcp_callgraph Ipcp_core Ipcp_frontend Ipcp_ir Ipcp_summary List Names Option Queue SM Symtab

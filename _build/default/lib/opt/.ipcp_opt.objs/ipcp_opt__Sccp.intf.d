@@ -1,0 +1,1 @@
+lib/opt/sccp.mli: Hashtbl Ipcp_core Ipcp_frontend Ipcp_ir Ipcp_summary

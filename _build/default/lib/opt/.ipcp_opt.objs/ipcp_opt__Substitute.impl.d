@@ -1,0 +1,1 @@
+lib/opt/substitute.ml: Ast Ipcp_core Ipcp_frontend Ipcp_ir List Loc Names SM Symtab

@@ -1,0 +1,1 @@
+lib/opt/substitute.mli: Ipcp_core Ipcp_frontend

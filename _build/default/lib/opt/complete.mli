@@ -1,0 +1,15 @@
+(** "Complete propagation" (Table 3): interprocedural constant propagation
+    combined with dead-code elimination, restarted from scratch until the
+    transformed source stabilises. *)
+
+module Driver = Ipcp_core.Driver
+
+type t = {
+  count : int;
+      (** total distinct constant occurrences substituted across rounds *)
+  rounds : int;  (** propagation runs (the paper needed one DCE pass) *)
+  final_source : string;
+  final : Driver.t;  (** the last analysis *)
+}
+
+val run : ?config:Ipcp_core.Config.t -> ?max_rounds:int -> string -> t

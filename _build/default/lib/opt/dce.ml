@@ -1,0 +1,256 @@
+(** Source-level dead-code elimination.
+
+    Two passes, matching what the paper's "complete propagation" needs:
+
+    - {!prune}: removes branches with folded-constant conditions (using the
+      short-circuit-aware {!Fold}), loops with provably empty literal
+      ranges, and code following [RETURN]/[STOP].  This is what removes
+      never-executed call sites and conflicting definitions;
+    - {!eliminate_dead}: removes assignments to variables that are dead, by
+      a backward live-variable analysis over the structured AST.  Call
+      sites use MOD/REF summaries: a call is a {e may}-definition (it never
+      kills liveness) and references the globals in REF of its callee.
+
+    Deletion is conservative about faults: an assignment is only deleted
+    when its right-hand side provably cannot fault (no calls, no array
+    accesses, divisions and [mod] only by nonzero literals, powers only
+    with nonnegative literal exponents), so the transformed program faults
+    exactly when the original did. *)
+
+open Ipcp_frontend
+open Names
+module Modref = Ipcp_summary.Modref
+
+(* ------------------------------------------------------------------ *)
+(* Pruning *)
+
+let rec prune_stmts (stmts : Ast.stmt list) : Ast.stmt list =
+  let rec go = function
+    | [] -> []
+    | s :: rest -> (
+        match prune_stmt s with
+        | `Stmts ss -> (
+            (* code after an unconditional RETURN/STOP is unreachable *)
+            match
+              List.exists
+                (function Ast.Return _ | Ast.Stop _ -> true | _ -> false)
+                ss
+            with
+            | true ->
+                let rec upto = function
+                  | [] -> []
+                  | (Ast.Return _ | Ast.Stop _) as t :: _ -> [ t ]
+                  | s :: r -> s :: upto r
+                in
+                upto ss
+            | false -> ss @ go rest))
+  in
+  go stmts
+
+and prune_stmt (s : Ast.stmt) : [ `Stmts of Ast.stmt list ] =
+  match s with
+  | Ast.If (branches, els, l) -> (
+      (* drop .FALSE. arms; a .TRUE. arm swallows everything after it *)
+      let rec sift acc = function
+        | [] -> `If (List.rev acc, prune_stmts els)
+        | (Ast.Bfalse, _) :: rest -> sift acc rest
+        | (Ast.Btrue, body) :: _ ->
+            if acc = [] then `Splice (prune_stmts body)
+            else `If (List.rev acc, prune_stmts body)
+        | (c, body) :: rest -> sift ((c, prune_stmts body) :: acc) rest
+      in
+      match sift [] branches with
+      | `Splice body -> `Stmts body
+      | `If ([], els) -> `Stmts els
+      | `If (branches, els) -> `Stmts [ Ast.If (branches, els, l) ])
+  | Ast.Do (v, lo, hi, step, body, l) -> (
+      let stepv =
+        match step with Some (Ast.Int (n, _)) -> n | _ -> 1
+      in
+      match (lo, hi) with
+      | Ast.Int (a, la), Ast.Int (b, _)
+        when (stepv > 0 && a > b) || (stepv < 0 && a < b) ->
+          (* zero-trip loop: only the index assignment remains *)
+          `Stmts [ Ast.Assign (Ast.Lvar (v, l), Ast.Int (a, la), l) ]
+      | _ -> `Stmts [ Ast.Do (v, lo, hi, step, prune_stmts body, l) ])
+  | Ast.While (Ast.Bfalse, _, _) -> `Stmts []
+  | Ast.While (c, body, l) -> `Stmts [ Ast.While (c, prune_stmts body, l) ]
+  | Ast.Continue _ -> `Stmts []
+  | s -> `Stmts [ s ]
+
+(** Fold constants and prune unreachable code, to fixpoint-in-one-pass
+    (folding first exposes the constant conditions pruning needs). *)
+let prune_program (prog : Ast.program) : Ast.program =
+  List.map
+    (fun (p : Ast.proc) ->
+      { p with Ast.body = prune_stmts (Fold.fold_stmts p.Ast.body) })
+    prog
+
+(* ------------------------------------------------------------------ *)
+(* Fault-safety of expressions *)
+
+let rec safe_expr (e : Ast.expr) : bool =
+  match e with
+  | Ast.Int _ | Ast.Var _ -> true
+  | Ast.Index _ -> false (* subscript may be out of bounds *)
+  | Ast.Callf _ -> false (* side effects, nontermination *)
+  | Ast.Unop (_, e, _) -> safe_expr e
+  | Ast.Binop (Ast.Div, a, b, _) -> (
+      safe_expr a
+      && match (b : Ast.expr) with Ast.Int (n, _) -> n <> 0 | _ -> false)
+  | Ast.Binop (Ast.Pow, a, b, _) -> (
+      safe_expr a
+      && match (b : Ast.expr) with Ast.Int (n, _) -> n >= 0 | _ -> false)
+  | Ast.Binop (_, a, b, _) -> safe_expr a && safe_expr b
+  | Ast.Intrin (Ast.Imod, [ a; b ], _) -> (
+      safe_expr a
+      && match b with Ast.Int (n, _) -> n <> 0 | _ -> false)
+  | Ast.Intrin (_, args, _) -> List.for_all safe_expr args
+
+(* ------------------------------------------------------------------ *)
+(* Liveness-based useless-assignment elimination *)
+
+type env = {
+  symtab : Symtab.t;
+  psym : Symtab.proc_sym;
+  modref : Modref.t;
+}
+
+(* variables read by an expression, including globals referenced by called
+   functions *)
+let rec expr_uses env (e : Ast.expr) : SS.t =
+  match e with
+  | Ast.Int _ -> SS.empty
+  | Ast.Var (x, _) -> SS.singleton x
+  | Ast.Index (a, i, _) -> SS.add a (expr_uses env i)
+  | Ast.Callf (f, args, _) ->
+      let args_uses =
+        List.fold_left
+          (fun acc a -> SS.union acc (expr_uses env a))
+          SS.empty args
+      in
+      SS.union args_uses (callee_global_refs env f)
+  | Ast.Intrin (_, args, _) ->
+      List.fold_left (fun acc a -> SS.union acc (expr_uses env a)) SS.empty args
+  | Ast.Unop (_, e, _) -> expr_uses env e
+  | Ast.Binop (_, a, b, _) -> SS.union (expr_uses env a) (expr_uses env b)
+
+and callee_global_refs env f =
+  Modref.IS.fold
+    (fun it acc ->
+      match it with
+      | Modref.Pglobal g -> SS.add g acc
+      | Modref.Pformal _ -> acc)
+    (Modref.ref_of env.modref f)
+    SS.empty
+
+let rec cond_uses env (c : Ast.cond) : SS.t =
+  match c with
+  | Ast.Rel (_, a, b) -> SS.union (expr_uses env a) (expr_uses env b)
+  | Ast.And (a, b) | Ast.Or (a, b) -> SS.union (cond_uses env a) (cond_uses env b)
+  | Ast.Not c -> cond_uses env c
+  | Ast.Btrue | Ast.Bfalse -> SS.empty
+
+let exit_live env : SS.t =
+  let proc = env.psym.Symtab.proc in
+  match proc.Ast.kind with
+  | Ast.Main -> SS.empty
+  | _ ->
+      let formals =
+        List.filter
+          (fun f -> not (Symtab.is_array (Symtab.var_exn env.psym f)))
+          (Symtab.formals env.psym)
+      in
+      let globals = Symtab.global_names env.symtab in
+      let base = SS.union (SS.of_list formals) (SS.of_list globals) in
+      if proc.Ast.kind = Ast.Function then SS.add proc.Ast.name base else base
+
+(* backward transfer over a statement list; returns live-in and the kept
+   statements *)
+let rec live_stmts env (stmts : Ast.stmt list) (live_out : SS.t) :
+    SS.t * Ast.stmt list =
+  List.fold_right
+    (fun s (live, kept) ->
+      let live', s' = live_stmt env s live in
+      (live', match s' with Some s -> s :: kept | None -> kept))
+    stmts (live_out, [])
+
+and live_stmt env (s : Ast.stmt) (live_out : SS.t) :
+    SS.t * Ast.stmt option =
+  match s with
+  | Ast.Assign (Ast.Lvar (x, _), e, _) ->
+      if (not (SS.mem x live_out)) && safe_expr e then (live_out, None)
+      else (SS.union (SS.remove x live_out) (expr_uses env e), Some s)
+  | Ast.Assign (Ast.Lindex (a, i, _), e, _) ->
+      ( SS.add a (SS.union live_out (SS.union (expr_uses env i) (expr_uses env e))),
+        Some s )
+  | Ast.If (branches, els, l) ->
+      let els_in, els' = live_stmts env els live_out in
+      let branch_ins, branches' =
+        List.fold_right
+          (fun (c, body) (ins, bs) ->
+            let b_in, body' = live_stmts env body live_out in
+            (SS.union ins (SS.union (cond_uses env c) b_in), (c, body') :: bs))
+          branches (SS.empty, [])
+      in
+      (SS.union els_in branch_ins, Some (Ast.If (branches', els', l)))
+  | Ast.Do (v, lo, hi, step, body, l) ->
+      (* fixpoint over the loop body; the index is live throughout *)
+      let bounds = SS.union (expr_uses env lo) (expr_uses env hi) in
+      let rec fix live_body =
+        let b_in, _ = live_stmts env body (SS.add v live_body) in
+        let live_body' = SS.union live_body b_in in
+        if SS.equal live_body live_body' then live_body else fix live_body'
+      in
+      let live_at_header = fix (SS.add v live_out) in
+      let _, body' = live_stmts env body live_at_header in
+      ( SS.union bounds (SS.union live_at_header live_out),
+        Some (Ast.Do (v, lo, hi, step, body', l)) )
+  | Ast.While (c, body, l) ->
+      let cuses = cond_uses env c in
+      let rec fix live_body =
+        let b_in, _ = live_stmts env body live_body in
+        let live_body' = SS.union (SS.union live_body b_in) cuses in
+        if SS.equal live_body live_body' then live_body else fix live_body'
+      in
+      let live_at_header = fix (SS.union live_out cuses) in
+      let _, body' = live_stmts env body live_at_header in
+      (SS.union live_at_header live_out, Some (Ast.While (c, body', l)))
+  | Ast.Call (f, args, _) ->
+      (* a call never kills (may-definitions); it uses its arguments and
+         the globals its callee may reference *)
+      let arg_uses =
+        List.fold_left
+          (fun acc a -> SS.union acc (expr_uses env a))
+          SS.empty args
+      in
+      ( SS.union live_out (SS.union arg_uses (callee_global_refs env f)),
+        Some s )
+  | Ast.Return _ -> (exit_live env, Some s)
+  | Ast.Stop _ -> (SS.empty, Some s)
+  | Ast.Print (es, _) ->
+      ( List.fold_left (fun acc e -> SS.union acc (expr_uses env e)) live_out es,
+        Some s )
+  | Ast.Read (lvs, _) ->
+      (* READ consumes input: never deleted; scalar targets are killed *)
+      let live =
+        List.fold_left
+          (fun acc lv ->
+            match lv with
+            | Ast.Lvar (x, _) -> SS.remove x acc
+            | Ast.Lindex (a, i, _) -> SS.add a (SS.union acc (expr_uses env i)))
+          live_out lvs
+      in
+      (live, Some s)
+  | Ast.Continue _ -> (live_out, None)
+
+(** Remove useless assignments from every procedure. *)
+let eliminate_dead (symtab : Symtab.t) (modref : Modref.t)
+    (prog : Ast.program) : Ast.program =
+  List.map
+    (fun (p : Ast.proc) ->
+      let psym = Symtab.proc symtab p.Ast.name in
+      let env = { symtab; psym; modref } in
+      let _, body = live_stmts env p.Ast.body (exit_live env) in
+      { p with Ast.body })
+    prog

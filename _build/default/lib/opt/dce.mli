@@ -1,0 +1,24 @@
+(** Source-level dead-code elimination: branch/loop pruning after constant
+    folding, and liveness-based useless-assignment removal.  Conservative
+    about faults — deleted code provably cannot fault, so the transformed
+    program faults exactly when the original did. *)
+
+module Modref = Ipcp_summary.Modref
+
+val prune_stmts : Ipcp_frontend.Ast.stmt list -> Ipcp_frontend.Ast.stmt list
+
+val prune_program : Ipcp_frontend.Ast.program -> Ipcp_frontend.Ast.program
+(** Fold constants, drop arms with folded-false conditions, unwrap
+    folded-true arms, remove zero-trip literal loops (keeping the index
+    assignment) and code after RETURN/STOP. *)
+
+val safe_expr : Ipcp_frontend.Ast.expr -> bool
+(** Can evaluation neither fault nor have side effects, for every store? *)
+
+val eliminate_dead :
+  Ipcp_frontend.Symtab.t ->
+  Modref.t ->
+  Ipcp_frontend.Ast.program ->
+  Ipcp_frontend.Ast.program
+(** Remove assignments to dead variables (backward structured liveness;
+    calls are may-definitions and reference their callee's REF globals). *)

@@ -1,0 +1,109 @@
+(** Source-level constant folding.
+
+    Folds integer operations whose operands are literals and simplifies
+    conditions, respecting the language's short-circuit semantics (so
+    [.FALSE. .AND. c] folds away [c] unconditionally — [c] would never have
+    been evaluated).  Faulting operations (division by a zero literal) are
+    never folded; they are left in place to fault at run time. *)
+
+open Ipcp_frontend
+
+let rec fold_expr (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Int _ | Ast.Var _ -> e
+  | Ast.Index (a, i, l) -> Ast.Index (a, fold_expr i, l)
+  | Ast.Callf (f, args, l) -> Ast.Callf (f, List.map fold_expr args, l)
+  | Ast.Intrin (i, args, l) -> (
+      let args = List.map fold_expr args in
+      match
+        List.map (function Ast.Int (n, _) -> Some n | _ -> None) args
+        |> List.fold_left
+             (fun acc x ->
+               match (acc, x) with
+               | Some l, Some v -> Some (v :: l)
+               | _ -> None)
+             (Some [])
+      with
+      | Some vs -> (
+          match Ast.eval_intrin i (List.rev vs) with
+          | Some v -> Ast.Int (v, l)
+          | None -> Ast.Intrin (i, args, l))
+      | None -> Ast.Intrin (i, args, l))
+  | Ast.Unop (op, e', l) -> (
+      match fold_expr e' with
+      | Ast.Int (n, _) -> Ast.Int (Ast.eval_unop op n, l)
+      | e' -> Ast.Unop (op, e', l))
+  | Ast.Binop (op, a, b, l) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (a, b) with
+      | Ast.Int (x, _), Ast.Int (y, _) -> (
+          match Ast.eval_binop op x y with
+          | Some v -> Ast.Int (v, l)
+          | None -> Ast.Binop (op, a, b, l) (* faults at run time *))
+      | _ -> Ast.Binop (op, a, b, l))
+
+let rec fold_cond (c : Ast.cond) : Ast.cond =
+  match c with
+  | Ast.Rel (op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (a, b) with
+      | Ast.Int (x, _), Ast.Int (y, _) ->
+          if Ast.eval_relop op x y then Ast.Btrue else Ast.Bfalse
+      | _ -> Ast.Rel (op, a, b))
+  | Ast.And (a, b) -> (
+      match fold_cond a with
+      | Ast.Bfalse -> Ast.Bfalse (* short-circuit: b never evaluates *)
+      | Ast.Btrue -> fold_cond b
+      | a' -> (
+          match fold_cond b with
+          | Ast.Btrue -> a'
+          | b' -> Ast.And (a', b')))
+  | Ast.Or (a, b) -> (
+      match fold_cond a with
+      | Ast.Btrue -> Ast.Btrue (* short-circuit *)
+      | Ast.Bfalse -> fold_cond b
+      | a' -> (
+          match fold_cond b with
+          | Ast.Bfalse -> a'
+          | b' -> Ast.Or (a', b')))
+  | Ast.Not c -> (
+      match fold_cond c with
+      | Ast.Btrue -> Ast.Bfalse
+      | Ast.Bfalse -> Ast.Btrue
+      | c' -> Ast.Not c')
+  | Ast.Btrue | Ast.Bfalse -> c
+
+let fold_lvalue (lv : Ast.lvalue) : Ast.lvalue =
+  match lv with
+  | Ast.Lvar _ -> lv
+  | Ast.Lindex (a, i, l) -> Ast.Lindex (a, fold_expr i, l)
+
+let rec fold_stmt (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Ast.Assign (lv, e, l) -> Ast.Assign (fold_lvalue lv, fold_expr e, l)
+  | Ast.If (branches, els, l) ->
+      Ast.If
+        ( List.map (fun (c, b) -> (fold_cond c, fold_stmts b)) branches,
+          fold_stmts els,
+          l )
+  | Ast.Do (v, lo, hi, step, body, l) ->
+      Ast.Do (v, fold_expr lo, fold_expr hi, step, fold_stmts body, l)
+  | Ast.While (c, body, l) -> Ast.While (fold_cond c, fold_stmts body, l)
+  | Ast.Call (n, args, l) ->
+      (* whole-array / by-reference Var actuals must stay; folding keeps
+         Vars as Vars so a plain map is safe *)
+      Ast.Call
+        ( n,
+          List.map
+            (fun a -> match a with Ast.Var _ -> a | _ -> fold_expr a)
+            args,
+          l )
+  | Ast.Print (es, l) -> Ast.Print (List.map fold_expr es, l)
+  | Ast.Read (lvs, l) -> Ast.Read (List.map fold_lvalue lvs, l)
+  | Ast.Return _ | Ast.Stop _ | Ast.Continue _ -> s
+
+and fold_stmts b = List.map fold_stmt b
+
+let fold_proc (p : Ast.proc) : Ast.proc = { p with Ast.body = fold_stmts p.Ast.body }
+
+let fold_program (prog : Ast.program) : Ast.program = List.map fold_proc prog

@@ -1,0 +1,12 @@
+(** Source-level constant folding, short-circuit aware.  Faulting
+    operations (division by a zero literal) are never folded. *)
+
+val fold_expr : Ipcp_frontend.Ast.expr -> Ipcp_frontend.Ast.expr
+
+val fold_cond : Ipcp_frontend.Ast.cond -> Ipcp_frontend.Ast.cond
+
+val fold_stmts : Ipcp_frontend.Ast.stmt list -> Ipcp_frontend.Ast.stmt list
+
+val fold_proc : Ipcp_frontend.Ast.proc -> Ipcp_frontend.Ast.proc
+
+val fold_program : Ipcp_frontend.Ast.program -> Ipcp_frontend.Ast.program

@@ -1,0 +1,65 @@
+(** Purely intraprocedural constant propagation — the baseline of Table 3,
+    column 4.
+
+    "The results of an intraprocedural constant propagation ... No
+    constants were propagated between procedures, but interprocedural MOD
+    information was used during the intraprocedural propagation."
+
+    Implementation: each procedure is evaluated by the same symbolic engine
+    as the interprocedural analysis, but with every entry value unknown
+    (no VAL sets, no return jump functions) and, optionally, MOD summaries
+    at call sites.  The metric is the same substitution count. *)
+
+open Ipcp_frontend
+open Names
+module Driver = Ipcp_core.Driver
+module Config = Ipcp_core.Config
+
+(** Substitution count for the intraprocedural baseline.  [use_mod]
+    defaults to true, matching the paper ("for fair comparison, MOD
+    information was used"). *)
+let count ?(use_mod = true) (symtab : Symtab.t) : int =
+  let cfgs = Ipcp_ir.Lower.lower_program symtab in
+  let convs = SM.map Ipcp_ir.Ssa.convert_full cfgs in
+  let cg =
+    Ipcp_callgraph.Callgraph.build ~main:symtab.Symtab.main
+      ~order:symtab.Symtab.order cfgs
+  in
+  let modref =
+    if use_mod then Some (Ipcp_summary.Modref.compute symtab cfgs cg) else None
+  in
+  let policy =
+    Ipcp_core.Returnjf.policy ~symtab ~modref ~rjfs:Ipcp_core.Returnjf.empty
+      ~symbolic:false
+  in
+  let total = ref 0 in
+  List.iter
+    (fun p ->
+      let psym = Symtab.proc symtab p in
+      let conv = SM.find p convs in
+      (* the main program still knows its DATA-initialised globals: they
+         are intraprocedural facts of the main program *)
+      let entry_binding name =
+        if p = symtab.Symtab.main then
+          match SM.find_opt name symtab.Symtab.globals with
+          | Some { Symtab.gdim = None; init = Some c; _ } ->
+              Some (Ipcp_core.Symeval.const c)
+          | _ -> None
+        else None
+      in
+      let ev =
+        Ipcp_core.Symeval.run ~entry_binding ~symtab ~psym ~policy
+          conv.Ipcp_ir.Ssa.ssa
+      in
+      (* count constant-valued source uses, over the same operand set as
+         Substitute *)
+      let add = function
+        | Ipcp_ir.Instr.Ovar (v, Some _) -> (
+            match Ipcp_core.Symeval.is_const (Ipcp_core.Symeval.value ev v) with
+            | Some _ -> incr total
+            | None -> ())
+        | _ -> ()
+      in
+      Ipcp_ir.Cfg.iter_value_operands add ev.Ipcp_core.Symeval.cfg)
+    symtab.Symtab.order;
+  !total

@@ -1,0 +1,6 @@
+(** Purely intraprocedural constant propagation — Table 3, column 4: no
+    constants cross procedure boundaries, but MOD summaries (and the main
+    program's DATA constants) are used.  Same substitution-count metric as
+    the interprocedural engines. *)
+
+val count : ?use_mod:bool -> Ipcp_frontend.Symtab.t -> int

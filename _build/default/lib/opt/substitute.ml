@@ -1,0 +1,133 @@
+(** Constant substitution — the paper's effectiveness metric.
+
+    "Optionally, the analyzer can produce a transformed version of the
+    original source in which the interprocedural constants are textually
+    substituted into the code.  The numbers reported ... count the number
+    of constants that this option substituted into each program."
+    (Metzger–Stroud measure: it relates directly to code improvement and
+    factors out procedure length and modularity.)
+
+    The substitution re-evaluates each procedure with its entry values
+    bound to the propagation fixpoint ({!Ipcp_core.Driver.final_eval});
+    every {e use} of a scalar variable whose value folds to an integer is
+    rewritten to that literal.  Uses are identified by source location —
+    the lowering kept the location of every variable occurrence on its
+    operand.  Variable actuals at call sites are addresses, not values, and
+    are never rewritten. *)
+
+open Ipcp_frontend
+open Names
+module Instr = Ipcp_ir.Instr
+module Cfg = Ipcp_ir.Cfg
+module Driver = Ipcp_core.Driver
+module Symeval = Ipcp_core.Symeval
+
+(** Locations of scalar-variable uses whose value is constant, across the
+    whole program. *)
+let constant_uses (t : Driver.t) : int Loc.Map.t =
+  SM.fold
+    (fun p _ acc ->
+      let ev = Driver.final_eval t p in
+      let acc = ref acc in
+      let add = function
+        | Instr.Ovar (v, Some loc) -> (
+            match Symeval.is_const (Symeval.value ev v) with
+            | Some c -> acc := Loc.Map.add loc c !acc
+            | None -> ())
+        | _ -> ()
+      in
+      Cfg.iter_value_operands add ev.Symeval.cfg;
+      !acc)
+    t.Driver.symtab.Symtab.procs Loc.Map.empty
+
+(* ------------------------------------------------------------------ *)
+(* AST rewriting.  [lookup] returns the constant for a use location and is
+   also how applied substitutions are counted. *)
+
+type ctx = { lookup : Loc.t -> int option }
+
+let rec rw_expr ctx (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Int _ -> e
+  | Ast.Var (x, l) -> (
+      match ctx.lookup l with
+      | Some c -> Ast.Int (c, l)
+      | None -> Ast.Var (x, l))
+  | Ast.Index (a, i, l) -> Ast.Index (a, rw_expr ctx i, l)
+  | Ast.Callf (f, args, l) -> Ast.Callf (f, List.map (rw_arg ctx) args, l)
+  | Ast.Intrin (i, args, l) -> Ast.Intrin (i, List.map (rw_expr ctx) args, l)
+  | Ast.Unop (op, e, l) -> Ast.Unop (op, rw_expr ctx e, l)
+  | Ast.Binop (op, a, b, l) -> Ast.Binop (op, rw_expr ctx a, rw_expr ctx b, l)
+
+(* a [Var] actual is an address (it may be written through); leave it *)
+and rw_arg ctx (e : Ast.expr) : Ast.expr =
+  match e with Ast.Var _ -> e | _ -> rw_expr ctx e
+
+let rw_cond ctx (c : Ast.cond) : Ast.cond =
+  let rec go = function
+    | Ast.Rel (op, a, b) -> Ast.Rel (op, rw_expr ctx a, rw_expr ctx b)
+    | Ast.And (a, b) -> Ast.And (go a, go b)
+    | Ast.Or (a, b) -> Ast.Or (go a, go b)
+    | Ast.Not c -> Ast.Not (go c)
+    | (Ast.Btrue | Ast.Bfalse) as c -> c
+  in
+  go c
+
+let rw_lvalue ctx (lv : Ast.lvalue) : Ast.lvalue =
+  match lv with
+  | Ast.Lvar _ -> lv
+  | Ast.Lindex (a, i, l) -> Ast.Lindex (a, rw_expr ctx i, l)
+
+let rec rw_stmt ctx (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Ast.Assign (lv, e, l) -> Ast.Assign (rw_lvalue ctx lv, rw_expr ctx e, l)
+  | Ast.If (branches, els, l) ->
+      Ast.If
+        ( List.map (fun (c, b) -> (rw_cond ctx c, rw_stmts ctx b)) branches,
+          rw_stmts ctx els,
+          l )
+  | Ast.Do (v, lo, hi, step, body, l) ->
+      Ast.Do (v, rw_expr ctx lo, rw_expr ctx hi, step, rw_stmts ctx body, l)
+  | Ast.While (c, body, l) -> Ast.While (rw_cond ctx c, rw_stmts ctx body, l)
+  | Ast.Call (n, args, l) -> Ast.Call (n, List.map (rw_arg ctx) args, l)
+  | Ast.Print (es, l) -> Ast.Print (List.map (rw_expr ctx) es, l)
+  | Ast.Read (lvs, l) -> Ast.Read (List.map (rw_lvalue ctx) lvs, l)
+  | Ast.Return _ | Ast.Stop _ | Ast.Continue _ -> s
+
+and rw_stmts ctx b = List.map (rw_stmt ctx) b
+
+type result = {
+  program : Ast.program;  (** the transformed source *)
+  per_proc : int SM.t;  (** constants substituted, per procedure *)
+  total : int;
+}
+
+let apply (t : Driver.t) : result =
+  let subs = constant_uses t in
+  let per_proc = ref SM.empty in
+  let program =
+    List.map
+      (fun pname ->
+        let proc = (Symtab.proc t.Driver.symtab pname).Symtab.proc in
+        let cnt = ref 0 in
+        let ctx =
+          {
+            lookup =
+              (fun l ->
+                match Loc.Map.find_opt l subs with
+                | Some c ->
+                    incr cnt;
+                    Some c
+                | None -> None);
+          }
+        in
+        let body = rw_stmts ctx proc.Ast.body in
+        per_proc := SM.add pname !cnt !per_proc;
+        { proc with Ast.body })
+      t.Driver.symtab.Symtab.order
+  in
+  let total = SM.fold (fun _ c acc -> acc + c) !per_proc 0 in
+  { program; per_proc = !per_proc; total }
+
+(** Just the count (the number every table of the paper reports). *)
+let count t = (apply t).total

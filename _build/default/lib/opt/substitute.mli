@@ -1,0 +1,21 @@
+(** Constant substitution — the paper's effectiveness metric (the
+    Metzger–Stroud measure): rewrite every constant-valued scalar use to
+    its literal, and count the rewrites.  Variable actuals at call sites
+    are addresses and are never rewritten. *)
+
+module Driver = Ipcp_core.Driver
+
+val constant_uses : Driver.t -> int Ipcp_frontend.Loc.Map.t
+(** Locations of scalar-variable uses with constant values, program-wide
+    (entry values bound to the propagation fixpoint). *)
+
+type result = {
+  program : Ipcp_frontend.Ast.program;  (** the transformed source *)
+  per_proc : int Ipcp_frontend.Names.SM.t;
+  total : int;
+}
+
+val apply : Driver.t -> result
+
+val count : Driver.t -> int
+(** [total] of {!apply} — the number every table of the paper reports. *)

@@ -1,0 +1,1 @@
+lib/suite/gencode.ml: List Printf String

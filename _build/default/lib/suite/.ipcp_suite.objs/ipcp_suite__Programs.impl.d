@@ -1,0 +1,1 @@
+lib/suite/programs.ml: List String Suite_adm Suite_doduc Suite_fpppp Suite_linpackd Suite_matrix300 Suite_mdg Suite_ocean Suite_qcd Suite_simple Suite_snasa7 Suite_spec77 Suite_trfd

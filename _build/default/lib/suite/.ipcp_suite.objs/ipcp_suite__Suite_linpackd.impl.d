@@ -1,0 +1,1 @@
+lib/suite/suite_linpackd.ml:

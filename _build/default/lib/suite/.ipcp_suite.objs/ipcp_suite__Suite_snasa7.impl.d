@@ -1,0 +1,1 @@
+lib/suite/suite_snasa7.ml: Gencode

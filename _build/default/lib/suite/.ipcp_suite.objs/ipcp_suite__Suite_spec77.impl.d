@@ -1,0 +1,1 @@
+lib/suite/suite_spec77.ml: Gencode

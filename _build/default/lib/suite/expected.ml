@@ -1,0 +1,83 @@
+(** The published numbers from the paper's tables, for side-by-side
+    comparison in the benchmark harness (EXPERIMENTS.md records the
+    correspondence).
+
+    Absolute counts cannot be matched — the paper analysed the original
+    SPEC/PERFECT sources — so the harness compares {e shape}: orderings
+    between techniques, which rows move under each ablation, and rough
+    factors. *)
+
+(** Table 2: constants found and substituted, per forward jump function,
+    with and without return jump functions. *)
+type row2 = {
+  t2_poly_r : int;  (** polynomial, with return jump functions *)
+  t2_pass_r : int;  (** pass-through, with return jump functions *)
+  t2_intra_r : int;  (** intraprocedural, with return jump functions *)
+  t2_lit_r : int;  (** literal, with return jump functions *)
+  t2_poly : int;  (** polynomial, no return jump functions *)
+  t2_pass : int;  (** pass-through, no return jump functions *)
+}
+
+let table2 : (string * row2) list =
+  [
+    ("adm", { t2_poly_r = 110; t2_pass_r = 110; t2_intra_r = 110; t2_lit_r = 110; t2_poly = 110; t2_pass = 110 });
+    ("doduc", { t2_poly_r = 289; t2_pass_r = 289; t2_intra_r = 289; t2_lit_r = 288; t2_poly = 287; t2_pass = 287 });
+    ("fpppp", { t2_poly_r = 60; t2_pass_r = 60; t2_intra_r = 54; t2_lit_r = 49; t2_poly = 56; t2_pass = 56 });
+    ("linpackd", { t2_poly_r = 170; t2_pass_r = 170; t2_intra_r = 170; t2_lit_r = 94; t2_poly = 170; t2_pass = 170 });
+    ("matrix300", { t2_poly_r = 138; t2_pass_r = 138; t2_intra_r = 122; t2_lit_r = 71; t2_poly = 138; t2_pass = 138 });
+    ("mdg", { t2_poly_r = 41; t2_pass_r = 41; t2_intra_r = 40; t2_lit_r = 31; t2_poly = 40; t2_pass = 40 });
+    ("ocean", { t2_poly_r = 194; t2_pass_r = 194; t2_intra_r = 194; t2_lit_r = 57; t2_poly = 62; t2_pass = 62 });
+    ("qcd", { t2_poly_r = 180; t2_pass_r = 180; t2_intra_r = 180; t2_lit_r = 180; t2_poly = 180; t2_pass = 180 });
+    ("simple", { t2_poly_r = 183; t2_pass_r = 183; t2_intra_r = 179; t2_lit_r = 174; t2_poly = 183; t2_pass = 183 });
+    ("snasa7", { t2_poly_r = 336; t2_pass_r = 336; t2_intra_r = 336; t2_lit_r = 254; t2_poly = 336; t2_pass = 336 });
+    ("spec77", { t2_poly_r = 137; t2_pass_r = 137; t2_intra_r = 137; t2_lit_r = 104; t2_poly = 137; t2_pass = 137 });
+    ("trfd", { t2_poly_r = 16; t2_pass_r = 16; t2_intra_r = 16; t2_lit_r = 16; t2_poly = 16; t2_pass = 16 });
+  ]
+
+(** Table 3: the most precise configuration (polynomial + return JFs)
+    without MOD, with MOD, under complete propagation, and the purely
+    intraprocedural baseline. *)
+type row3 = {
+  t3_no_mod : int;
+  t3_with_mod : int;
+  t3_complete : int;
+  t3_intra_only : int;
+}
+
+let table3 : (string * row3) list =
+  [
+    ("adm", { t3_no_mod = 25; t3_with_mod = 110; t3_complete = 110; t3_intra_only = 105 });
+    ("doduc", { t3_no_mod = 288; t3_with_mod = 289; t3_complete = 289; t3_intra_only = 3 });
+    ("fpppp", { t3_no_mod = 34; t3_with_mod = 60; t3_complete = 60; t3_intra_only = 38 });
+    ("linpackd", { t3_no_mod = 33; t3_with_mod = 170; t3_complete = 170; t3_intra_only = 74 });
+    ("matrix300", { t3_no_mod = 18; t3_with_mod = 138; t3_complete = 138; t3_intra_only = 69 });
+    ("mdg", { t3_no_mod = 31; t3_with_mod = 41; t3_complete = 41; t3_intra_only = 31 });
+    ("ocean", { t3_no_mod = 79; t3_with_mod = 194; t3_complete = 204; t3_intra_only = 56 });
+    ("qcd", { t3_no_mod = 169; t3_with_mod = 180; t3_complete = 180; t3_intra_only = 179 });
+    ("simple", { t3_no_mod = 2; t3_with_mod = 183; t3_complete = 183; t3_intra_only = 174 });
+    ("snasa7", { t3_no_mod = 303; t3_with_mod = 336; t3_complete = 336; t3_intra_only = 254 });
+    ("spec77", { t3_no_mod = 76; t3_with_mod = 137; t3_complete = 141; t3_intra_only = 83 });
+    ("trfd", { t3_no_mod = 10; t3_with_mod = 16; t3_complete = 16; t3_intra_only = 15 });
+  ]
+
+(** Table 1 (as far as the scan is legible): noncomment line counts and
+    procedure counts for some of the programs. *)
+let table1_partial : (string * int option * int option) list =
+  [
+    ("adm", None, None);
+    ("doduc", None, None);
+    ("fpppp", None, None);
+    ("linpackd", None, None);
+    ("matrix300", None, None);
+    ("mdg", None, None);
+    ("ocean", Some 1728, None);
+    ("qcd", None, None);
+    ("simple", Some 805, None);
+    ("snasa7", Some 696, None);
+    ("spec77", Some 2904, Some 65);
+    ("trfd", Some 401, Some 8);
+  ]
+
+let row2 name = List.assoc name table2
+
+let row3 name = List.assoc name table3

@@ -1,0 +1,16 @@
+(** Tiny helpers for assembling MiniFortran sources.
+
+    The suite programs are synthetic stand-ins for the paper's SPEC and
+    PERFECT codes; where a program's shape calls for many similar routines
+    or repeated statement groups (scientific codes are highly regular),
+    these combinators generate them rather than copy-pasting text. *)
+
+let cat = String.concat "\n"
+
+(** [repeat n f] concatenates [f 0 .. f (n-1)] with newlines. *)
+let repeat n f = cat (List.init n f)
+
+(** [commas xs] joins with [", "]. *)
+let commas = String.concat ", "
+
+let fmt = Printf.sprintf

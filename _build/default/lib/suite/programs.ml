@@ -1,0 +1,117 @@
+(** The benchmark suite: twelve synthetic MiniFortran programs named after
+    the paper's SPEC and PERFECT test programs.
+
+    Each program is constructed to exhibit the {e mechanism} that drives
+    its namesake's row in the paper's Tables 2 and 3 (see each module's
+    documentation and DESIGN.md).  Absolute counts are smaller — the
+    originals are 400–3000-line production codes — but the relationships
+    between analysis configurations are the reproduction target. *)
+
+type program = {
+  name : string;
+  source : string;
+  notes : string;
+}
+
+let all : program list =
+  [
+    { name = Suite_adm.name; source = Suite_adm.source; notes = Suite_adm.notes };
+    {
+      name = Suite_doduc.name;
+      source = Suite_doduc.source;
+      notes = Suite_doduc.notes;
+    };
+    {
+      name = Suite_fpppp.name;
+      source = Suite_fpppp.source;
+      notes = Suite_fpppp.notes;
+    };
+    {
+      name = Suite_linpackd.name;
+      source = Suite_linpackd.source;
+      notes = Suite_linpackd.notes;
+    };
+    {
+      name = Suite_matrix300.name;
+      source = Suite_matrix300.source;
+      notes = Suite_matrix300.notes;
+    };
+    { name = Suite_mdg.name; source = Suite_mdg.source; notes = Suite_mdg.notes };
+    {
+      name = Suite_ocean.name;
+      source = Suite_ocean.source;
+      notes = Suite_ocean.notes;
+    };
+    { name = Suite_qcd.name; source = Suite_qcd.source; notes = Suite_qcd.notes };
+    {
+      name = Suite_simple.name;
+      source = Suite_simple.source;
+      notes = Suite_simple.notes;
+    };
+    {
+      name = Suite_snasa7.name;
+      source = Suite_snasa7.source;
+      notes = Suite_snasa7.notes;
+    };
+    {
+      name = Suite_spec77.name;
+      source = Suite_spec77.source;
+      notes = Suite_spec77.notes;
+    };
+    {
+      name = Suite_trfd.name;
+      source = Suite_trfd.source;
+      notes = Suite_trfd.notes;
+    };
+  ]
+
+let by_name n = List.find_opt (fun p -> p.name = n) all
+
+let names = List.map (fun p -> p.name) all
+
+(** Source-text characteristics, for the Table 1 reproduction: noncomment
+    nonblank lines and procedure count, plus mean and median lines per
+    procedure. *)
+type characteristics = {
+  c_lines : int;
+  c_procs : int;
+  c_mean : int;
+  c_median : int;
+}
+
+let characteristics (p : program) : characteristics =
+  let lines = String.split_on_char '\n' p.source in
+  let code_line l =
+    let l = String.trim l in
+    String.length l > 0 && l.[0] <> '!'
+  in
+  let is_unit_start l =
+    let l = String.trim (String.lowercase_ascii l) in
+    let starts pre =
+      String.length l >= String.length pre
+      && String.sub l 0 (String.length pre) = pre
+    in
+    starts "program " || starts "subroutine " || starts "integer function "
+  in
+  let code = List.filter code_line lines in
+  (* split into per-procedure line counts *)
+  let counts =
+    List.fold_left
+      (fun acc l ->
+        if is_unit_start l then 1 :: acc
+        else match acc with [] -> [ 1 ] | c :: rest -> (c + 1) :: rest)
+      [] code
+    |> List.rev
+  in
+  let nprocs = List.length counts in
+  let total = List.length code in
+  let sorted = List.sort compare counts in
+  let median =
+    if nprocs = 0 then 0 else List.nth sorted (nprocs / 2)
+  in
+  {
+    c_lines = total;
+    c_procs = nprocs;
+    c_mean = (if nprocs = 0 then 0 else total / nprocs);
+    c_median = median;
+  }

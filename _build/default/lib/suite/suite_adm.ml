@@ -1,0 +1,63 @@
+(** [adm] — pollutant transport (PERFECT, Air-quality Diagnostics Model).
+
+    Paper row: flat 110 across every jump function, but a collapse to 25
+    without MOD information and only a small drop (105) for purely
+    intraprocedural propagation.  The shape: each routine's constants are
+    {e local}, and their uses are interleaved with calls to array-smoothing
+    helpers — MOD information is what proves those calls harmless.  A few
+    literal-actual formals supply the small interprocedural margin. *)
+
+let name = "adm"
+
+open Gencode
+
+let source =
+  let phase (i : int) =
+    fmt
+      {|
+SUBROUTINE adm%d(c, w, nlev)
+  INTEGER c(80), w(80), nlev, i, dz, dt
+  dz = %d
+  dt = 30
+  ! a quarter of the uses happen before the first helper call
+  PRINT *, dz, dt
+  CALL smooth%d(c, w)
+  ! the rest survive only because MOD knows smooth%d touches no scalars
+  DO i = 1, 80
+    c(i) = c(i) + dz * dt
+  ENDDO
+  PRINT *, dz + dt, dz - dt
+  CALL smooth%d(w, c)
+  PRINT *, dz * 2, dt * 2, dz + 1, dt + 1
+  c(1) = w(1) + nlev
+END
+
+SUBROUTINE smooth%d(a, b)
+  INTEGER a(80), b(80), j
+  DO j = 2, 79
+    a(j) = (b(j - 1) + b(j + 1)) / 2
+  ENDDO
+END
+|}
+      i
+      (10 + (2 * i))
+      i i i i
+  in
+  {|
+PROGRAM adm
+  INTEGER c(80), w(80), k
+  DO k = 1, 80
+    c(k) = 0
+    w(k) = 0
+  ENDDO
+|}
+  ^ repeat 4 (fun i -> fmt "  CALL adm%d(c, w, %d)" i (i + 2))
+  ^ {|
+END
+|}
+  ^ repeat 4 phase
+
+let notes =
+  "local constants interleaved with harmless helper calls: flat JF row, \
+   no-MOD collapse to ~25%, intraprocedural-only nearly full (formals \
+   contribute only nlev's single use per phase)"

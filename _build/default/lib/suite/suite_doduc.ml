@@ -1,0 +1,68 @@
+(** [doduc] — Monte-Carlo nuclear reactor kinetics (SPEC).
+
+    Paper row: 289/289/289 with return jump functions, literal 288;
+    287 without return jump functions; 288 without MOD — and a near-total
+    collapse to 3 under purely intraprocedural propagation.  The shape:
+    nearly every constant is a {e formal} of a leaf routine, passed as a
+    literal one edge away and used many times, with no interleaving calls.
+    One actual is a constant variable (literal loses one use); a constant-
+    returning function feeds two uses (return jump functions gain two);
+    one use in the main program sits after a call (no-MOD loses one). *)
+
+let name = "doduc"
+
+open Gencode
+
+let source =
+  (* leaf physics kernels: all constants come in as literal formals and
+     are used repeatedly, with no internal calls *)
+  let leaf i =
+    fmt
+      {|
+SUBROUTINE dod%d(s, n, k)
+  INTEGER s(60), n, k, i
+  DO i = 1, n
+    s(i) = s(i) + k * %d
+  ENDDO
+  PRINT *, n + k, n - k, n * k
+  PRINT *, k / 2, k ** 2
+  s(1) = s(2) + n
+END
+|}
+      i (i + 1)
+  in
+  {|
+PROGRAM doduc
+  INTEGER seed, t0, i
+  INTEGER state(60)
+|}
+  ^ repeat 10 (fun i -> fmt "  CALL dod%d(state, 60, %d)" i (2 * i + 3))
+  ^ {|
+  ! one constant-variable actual: the literal technique loses the single
+  ! use inside dodvar
+  seed = 12
+  CALL dodvar(state, seed)
+  ! a constant-returning function feeding two uses
+  t0 = inittm()
+  PRINT *, t0, t0 + 1
+  i = 7
+  CALL dodvar(state, seed)
+  ! exactly one use after a call: lost without MOD information
+  PRINT *, i
+END
+
+SUBROUTINE dodvar(s, sd)
+  INTEGER s(60), sd
+  s(3) = sd
+END
+
+INTEGER FUNCTION inittm()
+  inittm = 1977
+END
+|}
+  ^ repeat 10 leaf
+
+let notes =
+  "leaf routines with literal formals used heavily and no internal calls: \
+   no-MOD barely hurts, intraprocedural-only collapses; -1 literal, +2 \
+   return-JF, -1 no-MOD"

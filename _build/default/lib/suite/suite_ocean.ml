@@ -1,0 +1,106 @@
+(** [ocean] — two-dimensional ocean circulation (PERFECT).
+
+    The paper's star witness for return jump functions: an initialisation
+    routine assigns constants to COMMON variables, and "by recognizing that
+    the initialization routine ... resulted in the assignment of constant
+    values to many variables, the analyzer was able to propagate additional
+    constants to routines throughout the program" — return jump functions
+    {e tripled} the count (194 vs 62).  The literal technique misses the
+    implicitly-passed globals entirely (57).  Complete propagation adds
+    ten more (204): a restart branch that plain propagation cannot prove
+    dead reassigns two grid dimensions. *)
+
+let name = "ocean"
+
+open Gencode
+
+let source =
+  let tstep i =
+    fmt
+      {|
+SUBROUTINE tstep%d(u, v)
+  COMMON /grid/ nx, ny, nz, dt, visc, tmax
+  COMMON /flags/ irestart
+  INTEGER u(70), v(70), i, beta, cori
+  beta = 2
+  cori = 9
+  ! local constants alongside the initialised globals
+  PRINT *, beta, cori, beta * cori, cori - beta
+  PRINT *, nz, dt, visc, nz * dt, visc + %d
+  DO i = 1, nz
+    u(i) = u(i) + v(i) * dt
+  ENDDO
+  PRINT *, dt - 1, nz + 1, tmax / 2
+  ! the restart-branch casualties: nx and ny (recovered by complete
+  ! propagation only)
+  PRINT *, nx, ny, nx * ny, nx + %d, ny + %d
+  CALL relax(u, 70, 4)
+  PRINT *, tmax, visc * 2
+END
+|}
+      i i i i
+  in
+  {|
+PROGRAM ocean
+  COMMON /grid/ nx, ny, nz, dt, visc, tmax
+  COMMON /flags/ irestart
+  INTEGER uu(70), vv(70), k
+  DATA irestart /0/
+  CALL initgr
+  ! dead restart branch: reassigns the grid dimensions; only complete
+  ! propagation prunes it
+  IF (irestart .EQ. 1) THEN
+    nx = 128
+    ny = 128
+  ENDIF
+  DO k = 1, 70
+    uu(k) = k
+    vv(k) = 70 - k
+  ENDDO
+  CALL tstep0(uu, vv)
+  CALL tstep1(vv, uu)
+  CALL report(uu)
+END
+
+SUBROUTINE initgr
+  COMMON /grid/ nx, ny, nz, dt, visc, tmax
+  COMMON /flags/ irestart
+  ! the ocean effect: constants assigned to COMMON in an initialisation
+  ! routine, visible to callers only through return jump functions
+  nx = 64
+  ny = 32
+  nz = 16
+  dt = 8
+  visc = 5
+  tmax = 100
+END
+
+SUBROUTINE report(u)
+  COMMON /grid/ nx, ny, nz, dt, visc, tmax
+  COMMON /flags/ irestart
+  INTEGER u(70), s, j
+  s = 0
+  DO j = 1, nz
+    s = s + u(j)
+  ENDDO
+  PRINT *, s, nz, dt + visc, tmax - 1, nz * 2
+  PRINT *, nx - 1, ny - 1
+END
+
+SUBROUTINE relax(w, len, niter)
+  INTEGER w(70), len, niter, j, omega
+  omega = 2
+  ! literal actuals: the only constants the no-return configurations keep
+  PRINT *, len, niter, omega, len / niter, omega * niter
+  DO j = 2, 69
+    w(j) = (w(j - 1) + w(j + 1)) / omega
+  ENDDO
+  PRINT *, niter + 1, omega + len
+END
+|}
+  ^ repeat 2 tstep
+
+let notes =
+  "initialisation routine assigns COMMON constants: return jump functions \
+   triple the count; literal misses the globals entirely; complete \
+   propagation recovers nx/ny behind the dead restart branch"

@@ -1,0 +1,65 @@
+(** [qcd] — lattice gauge theory (PERFECT).
+
+    Paper row: 180 under every jump function — and 179 with {e purely
+    intraprocedural} propagation.  Almost every constant in qcd is local
+    to its procedure; a single use depends on an interprocedural (literal)
+    actual.  Without MOD information the count drops only mildly (169):
+    most uses occur before the first call of their routine. *)
+
+let name = "qcd"
+
+open Gencode
+
+let source =
+  (* several "update" routines, each dominated by local constants used
+     before any call, mirroring qcd's locally-parameterised kernels *)
+  let kernel i =
+    fmt
+      {|
+SUBROUTINE qcdk%d(u, len)
+  INTEGER u(30), len, j, beta, ncol
+  beta = %d
+  ncol = 3
+  ! local constants, used before any call
+  PRINT *, beta, ncol, beta * ncol, beta + %d
+  DO j = 1, 30
+    u(j) = u(j) + beta - ncol
+  ENDDO
+END
+|}
+      i (i + 4) i
+  in
+  {|
+PROGRAM qcd
+  INTEGER nsite, ncfg, i
+  INTEGER link(30)
+  nsite = 16
+  ncfg = 5
+  PRINT *, nsite, ncfg, nsite * ncfg
+  DO i = 1, nsite
+    link(i) = 1
+  ENDDO
+|}
+  ^ repeat 4 (fun i -> fmt "  CALL qcdk%d(link, 30)" i)
+  ^ {|
+  CALL measure(link, 30)
+  ! a few uses after the calls: MOD information keeps them constant
+  PRINT *, nsite + 1, ncfg - 1
+END
+
+SUBROUTINE measure(u, len)
+  INTEGER u(30), len, j, acc
+  acc = 0
+  ! the single interprocedural use: len arrives as the literal 30
+  DO j = 1, len
+    acc = acc + u(j)
+  ENDDO
+  PRINT *, acc
+END
+|}
+  ^ repeat 4 kernel
+
+let notes =
+  "flat row: local constants dominate (intra-only nearly equals \
+   interprocedural); one literal-actual use; most uses precede calls so \
+   no-MOD hurts mildly"

@@ -1,0 +1,81 @@
+(** [simple] — Lagrangian hydrodynamics (the classic LLNL benchmark).
+
+    Paper row: 183/183/179/174 with return jump functions; {e 2} without
+    MOD information — the most dramatic collapse in the study.  Like the
+    real code, one huge routine dominates, and its constants' uses are
+    completely interleaved with calls: every single use needs MOD
+    information to survive.  Four uses sit at the end of a pass-through
+    chain (intraprocedural loses), five more behind constant-variable
+    actuals (literal loses). *)
+
+let name = "simple"
+
+
+let source =
+  {|
+PROGRAM simple
+  INTEGER cycles
+  INTEGER r(80), z(80), p(80)
+  cycles = 2
+  CALL hydro(r, z, p, 80, cycles)
+  PRINT *, cycles
+END
+
+! the dominant routine, mirroring simple's skewed line distribution
+SUBROUTINE hydro(r, z, p, npts, ncyc)
+  INTEGER r(80), z(80), p(80), npts, ncyc, i
+  INTEGER gamma, cfl, qdamp, rho0
+  gamma = 5
+  cfl = 9
+  qdamp = 3
+  rho0 = 1
+|}
+  ^ Gencode.repeat 8 (fun i ->
+        Gencode.fmt
+          {|  CALL bc(r, z)
+  PRINT *, gamma + %d, cfl - %d, qdamp * %d, rho0 + gamma
+  DO i = 1, 80
+    r(i) = r(i) + gamma * %d - cfl
+  ENDDO
+  CALL eos(p, r)|}
+          i i (i + 1) (i + 2))
+  ^ {|
+  ! a constant-variable actual: literal loses the five uses in energy
+  CALL energy(p, gamma)
+  ! the chain: npts flows through unchanged to edit
+  CALL edit(r, npts)
+  PRINT *, ncyc
+END
+
+SUBROUTINE bc(r, z)
+  INTEGER r(80), z(80)
+  r(1) = z(1)
+  r(80) = z(80)
+END
+
+SUBROUTINE eos(p, r)
+  INTEGER p(80), r(80), j
+  DO j = 1, 80
+    p(j) = r(j) / 2
+  ENDDO
+END
+
+SUBROUTINE energy(p, g)
+  INTEGER p(80), g, j
+  DO j = 1, g
+    p(j) = p(j) * g
+  ENDDO
+  PRINT *, g + 1, g - 1, g * g
+END
+
+SUBROUTINE edit(r, n)
+  INTEGER r(80), n
+  ! four uses at the end of a pass-through chain
+  PRINT *, n, n / 2, n - 1, n + 1
+END
+|}
+
+let notes =
+  "one dominant routine; every constant use interleaved with calls (the \
+   no-MOD collapse to ~nothing); const-variable actual into energy; \
+   pass-through chain into edit"

@@ -1,0 +1,53 @@
+(** [snasa7] — NASA Ames kernels (SPEC, "nasa7" subset).
+
+    Paper row: 336 for every technique except literal (254) — the kernels'
+    dimensions are constant {e variables}, each assigned immediately
+    before the call that transmits it (so even the no-MOD analysis keeps
+    most constants: 303).  No chains, no return effects; local constants
+    give the intraprocedural-only floor (254). *)
+
+let name = "snasa7"
+
+open Gencode
+
+let source =
+  let kernel (i : int) =
+    fmt
+      {|
+SUBROUTINE nas%d(v, dim)
+  INTEGER v(40), dim, j, w1, w2
+  w1 = %d
+  w2 = %d
+  ! local constants and the constant-variable formal, used up front
+  PRINT *, w1, w2, w1 * w2
+  PRINT *, dim, dim + w1, dim - w2, dim * 2
+  DO j = 1, dim
+    v(j) = v(j) + w1 - w2
+  ENDDO
+  PRINT *, dim + 1, w1 + 1, w2 + 1
+END
+|}
+      i
+      (3 + i)
+      (7 + (2 * i))
+  in
+  {|
+PROGRAM snasa7
+  INTEGER d0, d1, d2, d3, d4, d5, k
+  INTEGER grid(40)
+  DO k = 1, 40
+    grid(k) = k
+  ENDDO
+|}
+  ^ repeat 6 (fun i ->
+        fmt "  d%d = %d\n  CALL nas%d(grid, d%d)" i (8 + (4 * i)) i i)
+  ^ {|
+  PRINT *, d0 + d5
+END
+|}
+  ^ repeat 6 kernel
+
+let notes =
+  "constant-variable dimensions assigned immediately before each call: \
+   literal loses them, everything else (including no-MOD) keeps them; no \
+   chains or return effects"

@@ -1,0 +1,84 @@
+(** [spec77] — global weather spectral model (PERFECT).
+
+    Paper row: 137 for polynomial/pass-through/intraprocedural, literal
+    104; {e complete propagation} reaches 141 — spec77 is one of only two
+    programs where dead-code elimination exposes more constants (a debug
+    flag guards reassignments; pruning the dead branch removes the
+    conflicting definitions).  Without MOD: 76; intraprocedural only: 83. *)
+
+let name = "spec77"
+
+open Gencode
+
+let source =
+  let phase i =
+    fmt
+      {|
+SUBROUTINE spc%d(f, n, trunc)
+  INTEGER f(60), n, trunc, i, nw
+  nw = %d
+  PRINT *, nw, n, trunc
+  DO i = 1, n
+    f(i) = f(i) + nw
+  ENDDO
+  CALL sptrns(f, 60)
+  ! MOD-protected uses after the transform call
+  PRINT *, nw + 1, n - 1, trunc * 2, nw * trunc
+END
+|}
+      i
+      (6 + (3 * i))
+  in
+  {|
+PROGRAM spec77
+  COMMON /ctl/ idbg
+  INTEGER nlat, nlon, ngauss, k
+  INTEGER fld(60)
+  DATA idbg /0/
+  nlat = 12
+  nlon = 24
+  ! the debug branch: dead, but only complete propagation proves it and
+  ! removes the conflicting definitions of nlat and nlon
+  IF (idbg .EQ. 1) THEN
+    nlat = 999
+    nlon = 999
+  ENDIF
+  ! these four uses are exposed only by complete propagation
+  PRINT *, nlat, nlon, nlat + nlon
+  DO k = 1, 60
+    fld(k) = k
+  ENDDO
+|}
+  ^ repeat 3 (fun i -> fmt "  CALL spc%d(fld, %d, %d)" i (20 + i) (5 + i))
+  ^ {|
+  ! a constant-variable actual: literal loses gwater's uses
+  ngauss = 8
+  CALL gwater(fld, ngauss)
+  PRINT *, idbg
+END
+
+SUBROUTINE gwater(f, nl)
+  INTEGER f(60), nl, j, rain
+  rain = 3
+  PRINT *, nl, rain
+  DO j = 1, nl
+    f(j) = f(j) + rain
+  ENDDO
+  CALL sptrns(f, 60)
+  PRINT *, nl + rain, nl * 2, rain * 2
+END
+
+SUBROUTINE sptrns(f, len)
+  INTEGER f(60), len, j
+  DO j = 2, 59
+    f(j) = (f(j - 1) + f(j + 1)) / 2
+  ENDDO
+  f(1) = len
+END
+|}
+  ^ repeat 3 phase
+
+let notes =
+  "debug-flag-guarded reassignments give complete propagation its gain; \
+   constant-variable actual into gwater gives the literal gap; transform \
+   calls inside phases give the no-MOD drop"

@@ -1,0 +1,1 @@
+lib/summary/modref.ml: Array Fmt Ipcp_callgraph Ipcp_frontend Ipcp_ir List Option SM SS Set

@@ -1,0 +1,1 @@
+lib/summary/modref.mli: Fmt Ipcp_callgraph Ipcp_frontend Ipcp_ir SM SS Set

@@ -1,0 +1,34 @@
+(** Interprocedural MOD/REF side-effect summaries (Cooper–Kennedy style):
+    for each procedure, the formal positions and globals it may modify or
+    reference, computed bottom-up over the call-graph condensation with
+    call-site binding.  Table 3 of the paper shows this is the single most
+    valuable ingredient of the analysis. *)
+
+open Ipcp_frontend.Names
+module Instr = Ipcp_ir.Instr
+module Cfg = Ipcp_ir.Cfg
+module Symtab = Ipcp_frontend.Symtab
+module Callgraph = Ipcp_callgraph.Callgraph
+
+type item = Pformal of int | Pglobal of string
+
+val pp_item : item Fmt.t
+
+module IS : Set.S with type elt = item
+
+type t
+
+val compute : Symtab.t -> Cfg.t SM.t -> Callgraph.t -> t
+
+val mod_of : t -> string -> IS.t
+
+val ref_of : t -> string -> IS.t
+
+val may_modify : t -> callee:string -> Instr.call_target -> bool
+(** May a call to [callee] modify the target?  [Tcaller] targets (unpassed
+    caller scalars) are never modifiable when summaries exist. *)
+
+val site_mod_scalars : t -> Instr.site -> SS.t
+(** Caller-visible scalars a specific call site may modify. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/vn/awz.mli: Ipcp_ir

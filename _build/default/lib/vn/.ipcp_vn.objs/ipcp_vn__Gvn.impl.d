@@ -1,0 +1,1 @@
+lib/vn/gvn.ml: Array Hashtbl Ipcp_frontend Ipcp_ir List Option

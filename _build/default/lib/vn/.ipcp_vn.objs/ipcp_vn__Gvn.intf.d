@@ -1,0 +1,1 @@
+lib/vn/gvn.mli: Ipcp_ir

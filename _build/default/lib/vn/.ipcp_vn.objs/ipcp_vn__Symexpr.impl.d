@@ -1,0 +1,1 @@
+lib/vn/symexpr.ml: Fmt Ipcp_frontend List SS Stdlib

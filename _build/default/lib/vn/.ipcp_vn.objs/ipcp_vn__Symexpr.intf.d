@@ -1,0 +1,1 @@
+lib/vn/symexpr.mli: Fmt Ipcp_frontend

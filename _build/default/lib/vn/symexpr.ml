@@ -1,0 +1,331 @@
+(** Symbolic integer expressions over entry symbols.
+
+    A {!t} is a canonical multivariate polynomial whose variables
+    ({!atom}s) are either entry symbols (the values of formals and globals
+    on procedure entry) or irreducible applications of non-polynomial
+    operations (integer division, [mod], non-constant powers, [max]/[min]/
+    [abs]) to further polynomials.  This is the representation behind both
+    the {e polynomial parameter jump function} ("actual parameters are
+    represented as polynomial functions of the incoming values of the
+    formal parameters") and the value-numbering used to build it: two
+    expressions are congruent exactly when their canonical forms are equal.
+
+    Canonical form: terms are sorted, coefficients are nonzero, monomial
+    exponents are >= 1.  Structural equality therefore decides semantic
+    equality of the polynomial part (App atoms are compared structurally,
+    i.e. by congruence).
+
+    All operations are total; folding happens only when it is sound for
+    {e every} integer instantiation (e.g. [(4x+2)/2] folds to [2x+1], but
+    [(x+1)/2] stays an [App] node).  Evaluation ({!eval}) returns [None]
+    when the expression faults (division by zero) or a symbol is unbound. *)
+
+open Ipcp_frontend.Names
+
+type func = Fdiv | Fmod | Fpow | Fmax | Fmin | Fabs
+
+type t = { terms : (monomial * int) list }
+(** invariant: monomials distinct and sorted, coefficients nonzero *)
+
+and monomial = (atom * int) list
+(** invariant: atoms distinct and sorted, exponents >= 1 *)
+
+and atom = Sym of string | App of func * t list
+
+let compare_t (a : t) (b : t) = Stdlib.compare a b
+
+let equal a b = compare_t a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Constructors *)
+
+let zero = { terms = [] }
+
+let const c = if c = 0 then zero else { terms = [ ([], c) ] }
+
+let of_atom a = { terms = [ ([ (a, 1) ], 1) ] }
+
+let sym s = of_atom (Sym s)
+
+let is_const t =
+  match t.terms with
+  | [] -> Some 0
+  | [ ([], c) ] -> Some c
+  | _ -> None
+
+(** [as_sym t] is [Some x] iff [t] is exactly the entry symbol [x]. *)
+let as_sym t =
+  match t.terms with [ ([ (Sym x, 1) ], 1) ] -> Some x | _ -> None
+
+(* merge two sorted association lists, combining values of equal keys with
+   [+] and dropping zeros *)
+let rec merge_terms xs ys =
+  match (xs, ys) with
+  | [], l | l, [] -> l
+  | (mx, cx) :: xs', (my, cy) :: ys' -> (
+      match Stdlib.compare mx my with
+      | 0 ->
+          let c = cx + cy in
+          if c = 0 then merge_terms xs' ys'
+          else (mx, c) :: merge_terms xs' ys'
+      | n when n < 0 -> (mx, cx) :: merge_terms xs' ys
+      | _ -> (my, cy) :: merge_terms xs ys')
+
+let add a b = { terms = merge_terms a.terms b.terms }
+
+let neg a = { terms = List.map (fun (m, c) -> (m, -c)) a.terms }
+
+let sub a b = add a (neg b)
+
+let rec merge_monomial xs ys =
+  match (xs, ys) with
+  | [], l | l, [] -> l
+  | (ax, ex) :: xs', (ay, ey) :: ys' -> (
+      match Stdlib.compare ax ay with
+      | 0 -> (ax, ex + ey) :: merge_monomial xs' ys'
+      | n when n < 0 -> (ax, ex) :: merge_monomial xs' ys
+      | _ -> (ay, ey) :: merge_monomial xs ys')
+
+let mul a b =
+  List.fold_left
+    (fun acc (ma, ca) ->
+      let row =
+        List.map (fun (mb, cb) -> (merge_monomial ma mb, ca * cb)) b.terms
+      in
+      (* row has distinct monomials only if b did and ma*_ is injective —
+         which it is (monomial product with a fixed factor is injective),
+         but the result may be unsorted; normalise via merge into acc *)
+      let row = List.sort (fun (m1, _) (m2, _) -> Stdlib.compare m1 m2) row in
+      merge_terms acc row)
+    zero.terms a.terms
+  |> fun terms -> { terms }
+
+let rec pow_nat a n = if n = 0 then const 1 else mul a (pow_nat a (n - 1))
+
+(* division folds when the divisor is a nonzero constant dividing every
+   coefficient: then (sum ci*mi)/c = sum (ci/c)*mi exactly, for all integer
+   values of the monomials *)
+let div a b =
+  match (is_const a, is_const b) with
+  | Some x, Some y when y <> 0 -> const (x / y)
+  | _, Some y
+    when y <> 0 && a.terms <> [] && List.for_all (fun (_, c) -> c mod y = 0) a.terms
+    ->
+      { terms = List.map (fun (m, c) -> (m, c / y)) a.terms }
+  | _ ->
+      (* includes 0/b for non-constant b: it faults when b = 0, so the
+         node must be kept *)
+      of_atom (App (Fdiv, [ a; b ]))
+
+let mod_ a b =
+  match (is_const a, is_const b) with
+  | Some x, Some y when y <> 0 -> const (x mod y)
+  | _, Some 1 -> const 0 (* x mod 1 = 0 for every x *)
+  | _, Some (-1) -> const 0
+  | _ -> of_atom (App (Fmod, [ a; b ]))
+
+let pow a b =
+  match is_const b with
+  | Some n when n >= 0 && n <= 8 -> pow_nat a n
+  | Some n -> (
+      match is_const a with
+      | Some x -> (
+          match Ipcp_frontend.Ast.eval_binop Ipcp_frontend.Ast.Pow x n with
+          | Some v -> const v
+          | None -> of_atom (App (Fpow, [ a; b ])))
+      | None -> of_atom (App (Fpow, [ a; b ])))
+  | None -> of_atom (App (Fpow, [ a; b ]))
+
+let max_ a b =
+  match (is_const a, is_const b) with
+  | Some x, Some y -> const (max x y)
+  | _ -> if equal a b then a else of_atom (App (Fmax, [ a; b ]))
+
+let min_ a b =
+  match (is_const a, is_const b) with
+  | Some x, Some y -> const (min x y)
+  | _ -> if equal a b then a else of_atom (App (Fmin, [ a; b ]))
+
+let abs_ a =
+  match is_const a with
+  | Some x -> const (abs x)
+  | None -> of_atom (App (Fabs, [ a ]))
+
+let binop (op : Ipcp_frontend.Ast.binop) a b =
+  match op with
+  | Ipcp_frontend.Ast.Add -> add a b
+  | Ipcp_frontend.Ast.Sub -> sub a b
+  | Ipcp_frontend.Ast.Mul -> mul a b
+  | Ipcp_frontend.Ast.Div -> div a b
+  | Ipcp_frontend.Ast.Pow -> pow a b
+
+let intrin (i : Ipcp_frontend.Ast.intrinsic) args =
+  match (i, args) with
+  | Ipcp_frontend.Ast.Imod, [ a; b ] -> mod_ a b
+  | Ipcp_frontend.Ast.Imax, [ a; b ] -> max_ a b
+  | Ipcp_frontend.Ast.Imin, [ a; b ] -> min_ a b
+  | Ipcp_frontend.Ast.Iabs, [ a ] -> abs_ a
+  | _ -> invalid_arg "Symexpr.intrin: arity"
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let rec support t =
+  List.fold_left
+    (fun acc (m, _) ->
+      List.fold_left
+        (fun acc (a, _) ->
+          match a with
+          | Sym s -> SS.add s acc
+          | App (_, args) ->
+              List.fold_left (fun acc e -> SS.union acc (support e)) acc args)
+        acc m)
+    SS.empty t.terms
+
+(** Structural size: number of terms and atoms, recursively.  Used to cap
+    runaway symbolic growth. *)
+let rec size t =
+  List.fold_left
+    (fun acc (m, _) ->
+      List.fold_left
+        (fun acc (a, _) ->
+          match a with
+          | Sym _ -> acc + 1
+          | App (_, args) ->
+              List.fold_left (fun acc e -> acc + size e) (acc + 1) args)
+        (acc + 1) m)
+    0 t.terms
+
+(** Maximum total degree of the polynomial part. *)
+let degree t =
+  List.fold_left
+    (fun acc (m, _) ->
+      max acc (List.fold_left (fun d (_, e) -> d + e) 0 m))
+    0 t.terms
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation and substitution *)
+
+let apply_func f (args : int list) : int option =
+  let open Ipcp_frontend.Ast in
+  match (f, args) with
+  | Fdiv, [ a; b ] -> eval_binop Div a b
+  | Fmod, [ a; b ] -> eval_intrin Imod [ a; b ]
+  | Fpow, [ a; b ] -> eval_binop Pow a b
+  | Fmax, [ a; b ] -> eval_intrin Imax [ a; b ]
+  | Fmin, [ a; b ] -> eval_intrin Imin [ a; b ]
+  | Fabs, [ a ] -> eval_intrin Iabs [ a ]
+  | _ -> None
+
+let rec option_map_all f = function
+  | [] -> Some []
+  | x :: xs -> (
+      match f x with
+      | None -> None
+      | Some y -> (
+          match option_map_all f xs with
+          | None -> None
+          | Some ys -> Some (y :: ys)))
+
+(** [eval lookup t]: the integer value of [t] with entry symbols bound by
+    [lookup]; [None] if a symbol is unbound or evaluation faults. *)
+let rec eval (lookup : string -> int option) t : int option =
+  List.fold_left
+    (fun acc (m, c) ->
+      match acc with
+      | None -> None
+      | Some sum -> (
+          match eval_monomial lookup m with
+          | None -> None
+          | Some v -> Some (sum + (c * v))))
+    (Some 0) t.terms
+
+and eval_monomial lookup m =
+  List.fold_left
+    (fun acc (a, e) ->
+      match acc with
+      | None -> None
+      | Some prod -> (
+          match eval_atom lookup a with
+          | None -> None
+          | Some v ->
+              let rec p n acc = if n = 0 then acc else p (n - 1) (acc * v) in
+              Some (prod * p e 1)))
+    (Some 1) m
+
+and eval_atom lookup = function
+  | Sym s -> lookup s
+  | App (f, args) -> (
+      match option_map_all (eval lookup) args with
+      | None -> None
+      | Some vs -> apply_func f vs)
+
+(* rebuild an application through the smart constructors, so that
+   substitution results renormalise (e.g. [div(10, 2)] folds to [5]) *)
+let apply_smart f args =
+  match (f, args) with
+  | Fdiv, [ a; b ] -> div a b
+  | Fmod, [ a; b ] -> mod_ a b
+  | Fpow, [ a; b ] -> pow a b
+  | Fmax, [ a; b ] -> max_ a b
+  | Fmin, [ a; b ] -> min_ a b
+  | Fabs, [ a ] -> abs_ a
+  | _ -> of_atom (App (f, args))
+
+(** [subst lookup t] replaces every entry symbol by the given expression
+    ([None] leaves the symbol in place), renormalising.  Used by the
+    symbolic-return-function extension and the cloning advisor. *)
+let rec subst (lookup : string -> t option) t : t =
+  List.fold_left
+    (fun acc (m, c) ->
+      let term =
+        List.fold_left
+          (fun acc (a, e) ->
+            let base =
+              match a with
+              | Sym s -> (
+                  match lookup s with Some r -> r | None -> of_atom (Sym s))
+              | App (f, args) -> apply_smart f (List.map (subst lookup) args)
+            in
+            mul acc (pow_nat base e))
+          (const 1) m
+      in
+      add acc (mul (const c) term))
+    zero t.terms
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let func_name = function
+  | Fdiv -> "div"
+  | Fmod -> "mod"
+  | Fpow -> "pow"
+  | Fmax -> "max"
+  | Fmin -> "min"
+  | Fabs -> "abs"
+
+let rec pp ppf t =
+  match t.terms with
+  | [] -> Fmt.string ppf "0"
+  | terms ->
+      Fmt.(list ~sep:(any " + ") pp_term) ppf terms
+
+and pp_term ppf (m, c) =
+  match (m, c) with
+  | [], c -> Fmt.int ppf c
+  | m, 1 -> pp_monomial ppf m
+  | m, -1 -> Fmt.pf ppf "-%a" pp_monomial m
+  | m, c -> Fmt.pf ppf "%d*%a" c pp_monomial m
+
+and pp_monomial ppf m =
+  Fmt.(list ~sep:(any "*") pp_power) ppf m
+
+and pp_power ppf (a, e) =
+  if e = 1 then pp_atom ppf a else Fmt.pf ppf "%a^%d" pp_atom a e
+
+and pp_atom ppf = function
+  | Sym s -> Fmt.string ppf s
+  | App (f, args) ->
+      Fmt.pf ppf "%s(%a)" (func_name f) Fmt.(list ~sep:(any ", ") pp) args
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,91 @@
+(** Symbolic integer expressions over entry symbols: canonical
+    multivariate polynomials whose variables are entry symbols or
+    irreducible applications (integer division, [mod], non-constant
+    powers, [max]/[min]/[abs]).  The representation behind polynomial jump
+    functions and the value numbering that builds them: two expressions
+    are congruent exactly when their canonical forms are equal.
+
+    All smart constructors fold only when sound for {e every} integer
+    instantiation (e.g. [(4x+2)/2 = 2x+1] folds; [(x+1)/2] stays an
+    application node); this is checked against concrete arithmetic by a
+    property test. *)
+
+type func = Fdiv | Fmod | Fpow | Fmax | Fmin | Fabs
+
+type t = private { terms : (monomial * int) list }
+(** sorted, coefficients nonzero *)
+
+and monomial = (atom * int) list
+(** sorted, exponents >= 1 *)
+
+and atom = Sym of string | App of func * t list
+
+val compare_t : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** {2 Construction} *)
+
+val zero : t
+
+val const : int -> t
+
+val sym : string -> t
+
+val add : t -> t -> t
+
+val neg : t -> t
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+val pow_nat : t -> int -> t
+
+val div : t -> t -> t
+
+val mod_ : t -> t -> t
+
+val pow : t -> t -> t
+
+val max_ : t -> t -> t
+
+val min_ : t -> t -> t
+
+val abs_ : t -> t
+
+val binop : Ipcp_frontend.Ast.binop -> t -> t -> t
+
+val intrin : Ipcp_frontend.Ast.intrinsic -> t list -> t
+
+(** {2 Queries} *)
+
+val is_const : t -> int option
+
+val as_sym : t -> string option
+(** [Some x] iff the expression is exactly the entry symbol [x] (the
+    pass-through test). *)
+
+val support : t -> Ipcp_frontend.Names.SS.t
+(** The entry symbols the expression reads. *)
+
+val size : t -> int
+
+val degree : t -> int
+
+(** {2 Evaluation and substitution} *)
+
+val eval : (string -> int option) -> t -> int option
+(** [None] when a symbol is unbound or evaluation faults. *)
+
+val subst : (string -> t option) -> t -> t
+(** Replace symbols by expressions, renormalising (applications fold
+    through the smart constructors). *)
+
+(** {2 Printing} *)
+
+val func_name : func -> string
+
+val pp : t Fmt.t
+
+val to_string : t -> string

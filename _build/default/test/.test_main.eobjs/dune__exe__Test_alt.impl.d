@@ -1,0 +1,1 @@
+test/test_alt.ml: Alcotest Array Fmt Ipcp_core Ipcp_frontend Ipcp_gen Ipcp_ir Ipcp_opt Ipcp_suite List Names SM Sema Symtab

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Fmt Ipcp_callgraph Ipcp_core Ipcp_frontend Ipcp_gen Ipcp_interp Ipcp_ir Ipcp_summary List Names SM SS Sema Symtab

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fmt Ipcp_core Ipcp_frontend Ipcp_opt List Pretty Sema String

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Diag Ipcp_frontend Lexer List Names Parser Pretty Sema String Symtab Token

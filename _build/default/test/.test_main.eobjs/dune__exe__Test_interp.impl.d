@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Ipcp_frontend Ipcp_interp List Sema

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Dump Fmt Hashtbl Ipcp_dataflow Ipcp_frontend Ipcp_gen Ipcp_ir Ipcp_suite List Names Option SM SS Sema Symtab

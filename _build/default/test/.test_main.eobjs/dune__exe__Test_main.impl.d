@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_alt Test_analysis Test_core Test_frontend Test_interp Test_ir Test_misc Test_opt Test_props Test_qcheck Test_suite Test_vn

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Fmt Ipcp_core Ipcp_dataflow Ipcp_frontend Ipcp_gen Ipcp_ir Ipcp_suite List Names SM SS Sema Symtab

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Ast Ipcp_callgraph Ipcp_frontend Ipcp_ir Ipcp_opt Ipcp_summary List Pretty Sema String Symtab

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Diag Fmt Ipcp_core Ipcp_frontend Ipcp_gen Ipcp_interp Ipcp_opt List Names Parser Pretty Sema

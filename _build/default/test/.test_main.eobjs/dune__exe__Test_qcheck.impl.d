@@ -1,0 +1,1 @@
+test/test_qcheck.ml: Fmt Ipcp_core Ipcp_frontend Ipcp_vn List Option QCheck QCheck_alcotest SS Test

@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Diag Ipcp_core Ipcp_frontend Ipcp_interp Ipcp_opt Ipcp_suite List Option Sema

@@ -1,0 +1,1 @@
+test/test_vn.ml: Alcotest Ipcp_frontend Ipcp_gen Ipcp_ir Ipcp_vn List Names Random SM SS Sema

@@ -1,0 +1,204 @@
+(* Frontend tests: lexer, parser, sema, pretty round-trip. *)
+
+open Ipcp_frontend
+
+let parse src = Parser.parse ~file:"<test>" src
+
+let analyze src = Sema.parse_and_analyze ~file:"<test>" src
+
+let check_parses name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Diag.guard_s (fun () -> parse src) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+
+let check_analyzes name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Diag.guard_s (fun () -> analyze src) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "sema failed: %s" e)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check_sema_rejects name needle src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Diag.guard_s (fun () -> analyze src) with
+      | Ok _ -> Alcotest.failf "expected sema error containing %S" needle
+      | Error e ->
+          if not (contains ~needle e) then
+            Alcotest.failf "error %S does not mention %S" e needle)
+
+(* ------------------------------------------------------------------ *)
+
+let simple_program =
+  {|
+PROGRAM main
+  INTEGER x, y
+  x = 10
+  y = x * 2 + 1
+  CALL work(x, y)
+  PRINT *, y
+END
+
+SUBROUTINE work(a, b)
+  INTEGER a, b
+  IF (a .GT. 0) THEN
+    b = a + b
+  ELSE
+    b = 0
+  ENDIF
+END
+|}
+
+let lexer_tests =
+  let open Token in
+  let lex s = List.map fst (Lexer.tokenize ~file:"<t>" s) in
+  [
+    Alcotest.test_case "keywords case-insensitive" `Quick (fun () ->
+        assert (lex "program Program PROGRAM" = [ PROGRAM; PROGRAM; PROGRAM; EOF ]));
+    Alcotest.test_case "identifiers lowered" `Quick (fun () ->
+        assert (lex "FooBar" = [ IDENT "foobar"; EOF ]));
+    Alcotest.test_case "dotted ops" `Quick (fun () ->
+        assert (lex "a .LT. b .AND. .NOT. c" =
+                [ IDENT "a"; LT; IDENT "b"; AND; NOT; IDENT "c"; EOF ]));
+    Alcotest.test_case "comments stripped" `Quick (fun () ->
+        assert (lex "x = 1 ! a comment\n" = [ IDENT "x"; ASSIGN; INT 1; NEWLINE; EOF ]));
+    Alcotest.test_case "power vs star" `Quick (fun () ->
+        assert (lex "a ** b * c" = [ IDENT "a"; POW; IDENT "b"; STAR; IDENT "c"; EOF ]));
+    Alcotest.test_case "continuation" `Quick (fun () ->
+        assert (lex "x = 1 + &\n 2\n" =
+                [ IDENT "x"; ASSIGN; INT 1; PLUS; INT 2; NEWLINE; EOF ]));
+    Alcotest.test_case "bad char rejected" `Quick (fun () ->
+        match Diag.guard (fun () -> lex "x # y") with
+        | Error { phase = Diag.Lex; _ } -> ()
+        | _ -> Alcotest.fail "expected lexical error");
+  ]
+
+let parser_tests =
+  [
+    check_parses "simple program" simple_program;
+    check_parses "do loop with step"
+      "PROGRAM p\nINTEGER i, s\nDO i = 1, 10, 2\n s = s + i\nENDDO\nEND\n";
+    check_parses "while loop"
+      "PROGRAM p\nINTEGER i\ni = 0\nWHILE (i .LT. 10)\n i = i + 1\nENDWHILE\nEND\n";
+    check_parses "logical if" "PROGRAM p\nINTEGER x\nIF (x .EQ. 0) x = 1\nEND\n";
+    check_parses "elseif chain"
+      "PROGRAM p\nINTEGER x, y\nIF (x .LT. 0) THEN\n y = -1\nELSEIF (x .EQ. 0) THEN\n y = 0\nELSE\n y = 1\nENDIF\nEND\n";
+    check_parses "parenthesised conditions"
+      "PROGRAM p\nINTEGER a, b, c\nIF ((a + b .GT. c) .AND. (a .LT. b .OR. .NOT. (c .EQ. 0))) THEN\n a = 1\nENDIF\nEND\n";
+    check_parses "common parameter data"
+      "PROGRAM p\nPARAMETER (n = 10)\nCOMMON /blk/ g, arr(100)\nINTEGER x(n)\nDATA g /42/\nx(1) = g\nEND\n";
+    check_parses "print read star forms"
+      "PROGRAM p\nINTEGER x\nREAD *, x\nPRINT *, x + 1\nPRINT x\nEND\n";
+    Alcotest.test_case "assignment precedence shape" `Quick (fun () ->
+        match parse "PROGRAM p\nINTEGER x\nx = 1 + 2 * 3 ** 2\nEND\n" with
+        | [ { Ast.body = [ Ast.Assign (_, e, _) ]; _ } ] ->
+            Alcotest.(check string) "expr" "1 + 2 * 3 ** 2"
+              (Pretty.expr_to_string e)
+        | _ -> Alcotest.fail "unexpected parse shape");
+    Alcotest.test_case "declarations after statements rejected" `Quick
+      (fun () ->
+        match Diag.guard (fun () -> parse "PROGRAM p\nx = 1\nINTEGER x\nEND\n") with
+        | Error { phase = Diag.Parse; _ } -> ()
+        | _ -> Alcotest.fail "expected syntax error");
+  ]
+
+let sema_tests =
+  [
+    check_analyzes "simple program" simple_program;
+    check_analyzes "function call and intrinsics"
+      {|
+PROGRAM p
+  INTEGER x
+  x = twice(3) + mod(10, 3) + max(1, 2) + abs(-4)
+  PRINT *, x
+END
+
+INTEGER FUNCTION twice(n)
+  INTEGER n
+  twice = 2 * n
+END
+|};
+    check_analyzes "whole array actual"
+      {|
+PROGRAM p
+  INTEGER a(10)
+  CALL fill(a, 10)
+END
+
+SUBROUTINE fill(v, n)
+  INTEGER v(10), n, i
+  DO i = 1, n
+    v(i) = 0
+  ENDDO
+END
+|};
+    check_analyzes "implicit locals" "PROGRAM p\nimpl = 3\nPRINT *, impl\nEND\n";
+    check_sema_rejects "unknown subroutine" "undefined subroutine"
+      "PROGRAM p\nCALL nosuch(1)\nEND\n";
+    check_sema_rejects "arity mismatch" "expects"
+      "PROGRAM p\nCALL s(1, 2)\nEND\nSUBROUTINE s(a)\nINTEGER a\nEND\n";
+    check_sema_rejects "assign to parameter" "named constant"
+      "PROGRAM p\nPARAMETER (n = 1)\nn = 2\nEND\n";
+    check_sema_rejects "scalar subscripted" "cannot be subscripted"
+      "PROGRAM p\nINTEGER x\nx(1) = 2\nEND\n";
+    check_sema_rejects "array without subscript" "without a subscript"
+      "PROGRAM p\nINTEGER a(5), x\nx = a\nEND\n";
+    check_sema_rejects "two mains" "PROGRAM"
+      "PROGRAM p\nEND\nPROGRAM q\nEND\n";
+    check_sema_rejects "inconsistent common" "member list"
+      "PROGRAM p\nCOMMON /b/ x, y\nEND\nSUBROUTINE s\nCOMMON /b/ y, x\nEND\n";
+    check_sema_rejects "common name reused" "COMMON member"
+      "PROGRAM p\nCOMMON /b/ g\nEND\nSUBROUTINE s\nINTEGER g\ng = 1\nEND\n";
+    check_sema_rejects "zero do step" "nonzero"
+      "PROGRAM p\nINTEGER i\nDO i = 1, 10, 0\nENDDO\nEND\n";
+    check_sema_rejects "call a function" "use it in an expression"
+      "PROGRAM p\nCALL f(1)\nEND\nINTEGER FUNCTION f(x)\nINTEGER x\nf = x\nEND\n";
+    Alcotest.test_case "parameter folding" `Quick (fun () ->
+        let t =
+          analyze
+            "PROGRAM p\nPARAMETER (n = 4, m = n * n + 2)\nINTEGER x\nx = m\nEND\n"
+        in
+        let ps = Symtab.main_proc t in
+        match Symtab.var ps "m" with
+        | Some { Symtab.kind = Symtab.Const 18; _ } -> ()
+        | _ -> Alcotest.fail "m should fold to 18");
+    Alcotest.test_case "data recorded on globals" `Quick (fun () ->
+        let t =
+          analyze "PROGRAM p\nCOMMON /b/ g\nDATA g /7/\nPRINT *, g\nEND\n"
+        in
+        match Names.SM.find "g" t.Symtab.globals with
+        | { Symtab.init = Some 7; _ } -> ()
+        | _ -> Alcotest.fail "g should be DATA-initialised to 7");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pretty round-trip on the hand-written programs *)
+
+let roundtrip_tests =
+  let rt name src =
+    Alcotest.test_case ("roundtrip " ^ name) `Quick (fun () ->
+        let p1 = parse src in
+        let s1 = Pretty.program_to_string p1 in
+        let p2 = parse s1 in
+        let s2 = Pretty.program_to_string p2 in
+        Alcotest.(check string) "print . parse . print fixpoint" s1 s2)
+  in
+  [
+    rt "simple" simple_program;
+    rt "decls"
+      "PROGRAM p\nPARAMETER (n = 10)\nCOMMON /blk/ g, arr(100)\nINTEGER x(n), y\nDATA g /-3/\nx(1) = g - -2\ny = -x(1) ** 2\nEND\n";
+    rt "control"
+      "PROGRAM p\nINTEGER i, x\nDO i = 1, 10, 2\n IF (i .GT. 5 .AND. .NOT. (x .EQ. 0)) THEN\n  x = x / i\n ELSE\n  x = mod(x, 3)\n ENDIF\nENDDO\nWHILE (x .GT. 0)\n x = x - 1\nENDWHILE\nEND\n";
+  ]
+
+let suites =
+  [
+    ("lexer", lexer_tests);
+    ("parser", parser_tests);
+    ("sema", sema_tests);
+    ("pretty", roundtrip_tests);
+  ]

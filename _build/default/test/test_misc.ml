@@ -1,0 +1,187 @@
+(* Remaining coverage: the generic dataflow functor (backward direction),
+   the cloning advisor, and suite metadata sanity. *)
+
+open Ipcp_frontend
+open Names
+module Cfg = Ipcp_ir.Cfg
+module Instr = Ipcp_ir.Instr
+module Liveness = Ipcp_ir.Liveness
+module Dataflow = Ipcp_dataflow.Dataflow
+module Driver = Ipcp_core.Driver
+module Cloning = Ipcp_core.Cloning
+
+(* liveness re-expressed through the generic functor, to cross-check both
+   the functor's backward mode and the dedicated implementation *)
+module LiveL = struct
+  type t = SS.t option
+
+  let top = None
+
+  let meet a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (SS.union a b)
+
+  let equal a b =
+    match (a, b) with
+    | None, None -> true
+    | Some a, Some b -> SS.equal a b
+    | _ -> false
+
+  let pp ppf = function
+    | None -> Fmt.string ppf "T"
+    | Some s -> Fmt.(list string) ppf (SS.elements s)
+end
+
+module LiveSolver = Dataflow.Make (LiveL)
+
+let functor_liveness (cfg : Cfg.t) ~formals ~globals =
+  let exit = Liveness.exit_live ~cfg ~formals ~globals in
+  let transfer bid v =
+    let out =
+      match v with
+      | None -> SS.empty
+      | Some s -> s
+    in
+    (* for boundary blocks the framework injects [init] as the input *)
+    Some (Liveness.transfer_block cfg.Cfg.blocks.(bid) out)
+  in
+  (* The generic framework applies [init] at Treturn AND Tstop blocks; the
+     dedicated implementation distinguishes them (nothing is live at
+     STOP).  Compare only on procedures without STOP, which the test
+     selects. *)
+  LiveSolver.solve ~direction:Dataflow.Backward cfg ~init:(Some exit)
+    ~transfer
+
+let dataflow_tests =
+  [
+    Alcotest.test_case "generic backward solver matches dedicated liveness"
+      `Quick (fun () ->
+        for seed = 0 to 9 do
+          let src =
+            Ipcp_gen.Generator.generate
+              ~params:{ Ipcp_gen.Generator.default with Ipcp_gen.Generator.seed }
+              ()
+          in
+          let symtab = Sema.parse_and_analyze ~file:"<m>" src in
+          let cfgs = Ipcp_ir.Lower.lower_program symtab in
+          SM.iter
+            (fun p cfg ->
+              let has_stop =
+                Array.exists
+                  (fun (b : Cfg.block) -> b.Cfg.term = Cfg.Tstop)
+                  cfg.Cfg.blocks
+              in
+              if (not has_stop) || p <> symtab.Symtab.main then
+                if not has_stop then begin
+                  let psym = Symtab.proc symtab p in
+                  let formals = Symtab.formals psym in
+                  let globals = Symtab.global_names symtab in
+                  let dedicated = Liveness.compute ~formals ~globals cfg in
+                  let generic = functor_liveness cfg ~formals ~globals in
+                  let reach = Cfg.reachable cfg in
+                  Array.iteri
+                    (fun i (_ : Cfg.block) ->
+                      if reach.(i) then
+                        let g =
+                          match generic.LiveSolver.outv.(i) with
+                          | Some s -> s
+                          | None -> SS.empty
+                        in
+                        if not (SS.equal g dedicated.Liveness.live_in.(i))
+                        then
+                          Alcotest.failf "seed %d %s B%d: live sets differ"
+                            seed p i)
+                    cfg.Cfg.blocks
+                end)
+            cfgs
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let cloning_tests =
+  [
+    Alcotest.test_case "advisor groups edges by constant vector" `Quick
+      (fun () ->
+        let src =
+          {|
+PROGRAM p
+  INTEGER v(8)
+  CALL k(v, 1)
+  CALL k(v, 1)
+  CALL k(v, 2)
+END
+SUBROUTINE k(a, s)
+  INTEGER a(8), s
+  a(1) = s
+END
+|}
+        in
+        let _, t = Driver.analyze_source ~file:"<c>" src in
+        match Cloning.advise t with
+        | [ a ] ->
+            Alcotest.(check string) "proc" "k" a.Cloning.a_proc;
+            Alcotest.(check int) "two clones" 2 (List.length a.Cloning.a_groups);
+            Alcotest.(check bool) "gained > 0" true (a.Cloning.a_gained > 0);
+            (* the two s=1 sites share a clone *)
+            let sizes =
+              List.map (fun g -> List.length g.Cloning.cg_sites) a.Cloning.a_groups
+              |> List.sort compare
+            in
+            Alcotest.(check (list int)) "site split" [ 1; 2 ] sizes
+        | l -> Alcotest.failf "expected one advice, got %d" (List.length l));
+    Alcotest.test_case "no advice when edges agree" `Quick (fun () ->
+        let src =
+          "PROGRAM p\nINTEGER v(8)\nCALL k(v, 1)\nCALL k(v, 1)\nEND\nSUBROUTINE k(a, s)\nINTEGER a(8), s\na(1) = s\nEND\n"
+        in
+        let _, t = Driver.analyze_source ~file:"<c>" src in
+        Alcotest.(check int) "no advice" 0 (List.length (Cloning.advise t)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let metadata_tests =
+  [
+    Alcotest.test_case "expected tables cover exactly the suite" `Quick
+      (fun () ->
+        let names = Ipcp_suite.Programs.names |> List.sort compare in
+        let t2 =
+          List.map fst Ipcp_suite.Expected.table2 |> List.sort compare
+        in
+        let t3 =
+          List.map fst Ipcp_suite.Expected.table3 |> List.sort compare
+        in
+        Alcotest.(check (list string)) "table2 rows" names t2;
+        Alcotest.(check (list string)) "table3 rows" names t3);
+    Alcotest.test_case "paper rows satisfy their own orderings" `Quick
+      (fun () ->
+        (* a consistency check on the transcription of the paper's data *)
+        List.iter
+          (fun (name, (r : Ipcp_suite.Expected.row2)) ->
+            let open Ipcp_suite.Expected in
+            if
+              not
+                (r.t2_lit_r <= r.t2_intra_r
+                && r.t2_intra_r <= r.t2_pass_r
+                && r.t2_pass_r = r.t2_poly_r
+                && r.t2_poly <= r.t2_poly_r)
+            then Alcotest.failf "paper row %s inconsistent" name)
+          Ipcp_suite.Expected.table2);
+    Alcotest.test_case "characteristics computer is sane" `Quick (fun () ->
+        List.iter
+          (fun (p : Ipcp_suite.Programs.program) ->
+            let c = Ipcp_suite.Programs.characteristics p in
+            if c.Ipcp_suite.Programs.c_procs < 2 then
+              Alcotest.failf "%s: too few procedures" p.Ipcp_suite.Programs.name;
+            if c.Ipcp_suite.Programs.c_lines < c.Ipcp_suite.Programs.c_procs
+            then Alcotest.failf "%s: lines < procs?" p.Ipcp_suite.Programs.name)
+          Ipcp_suite.Programs.all);
+  ]
+
+let suites =
+  [
+    ("dataflow-generic", dataflow_tests);
+    ("cloning", cloning_tests);
+    ("suite-metadata", metadata_tests);
+  ]

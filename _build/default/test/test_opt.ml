@@ -1,0 +1,149 @@
+(* Unit tests for the source-level optimisations: folding, pruning,
+   useless-assignment elimination. *)
+
+open Ipcp_frontend
+module Fold = Ipcp_opt.Fold
+module Dce = Ipcp_opt.Dce
+
+(* go through Sema so intrinsics and names are resolved, as in the real
+   pipeline *)
+let parse_body src =
+  let symtab = Sema.parse_and_analyze ~file:"<opt>" src in
+  (Symtab.main_proc symtab).Symtab.proc.Ast.body
+
+let print_body body = String.concat "" (List.map Pretty.stmt_to_string body)
+
+let check_transform name f src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let got = print_body (f (parse_body ("PROGRAM p\n" ^ src ^ "END\n"))) in
+      let want = print_body (parse_body ("PROGRAM p\n" ^ expected ^ "END\n")) in
+      Alcotest.(check string) "transformed" want got)
+
+let fold_tests =
+  [
+    check_transform "folds literal arithmetic" Fold.fold_stmts
+      "x = 2 + 3 * 4\n" "x = 14\n";
+    check_transform "folds intrinsics and unary" Fold.fold_stmts
+      "x = max(2, 3) + abs(-4) - mod(9, 4)\n" "x = 6\n";
+    check_transform "never folds division by literal zero" Fold.fold_stmts
+      "x = 1 / 0\n" "x = 1 / 0\n";
+    check_transform "folds relations to boolean conditions" Fold.fold_stmts
+      "IF (2 .LT. 3) THEN\n y = 1\nENDIF\n"
+      "IF (.TRUE.) THEN\n y = 1\nENDIF\n";
+    check_transform "short-circuit .AND. drops unevaluated side"
+      Fold.fold_stmts
+      "IF (1 .EQ. 2 .AND. x .GT. 0) THEN\n y = 1\nENDIF\n"
+      "IF (.FALSE.) THEN\n y = 1\nENDIF\n";
+    check_transform "keeps symbolic operands" Fold.fold_stmts
+      "x = y + 2 * 3\n" "x = y + 6\n";
+  ]
+
+let prune_tests =
+  [
+    check_transform "drops false arms, unwraps true arms" Dce.prune_stmts
+      "IF (.FALSE.) THEN\n x = 1\nELSE\n x = 2\nENDIF\n" "x = 2\n";
+    check_transform "true first branch replaces the whole IF" Dce.prune_stmts
+      "IF (.TRUE.) THEN\n x = 1\nELSE\n x = 2\nENDIF\n" "x = 1\n";
+    check_transform "middle false arm removed, others kept" Dce.prune_stmts
+      "IF (a .GT. 0) THEN\n x = 1\nELSEIF (.FALSE.) THEN\n x = 2\nELSE\n x = 3\nENDIF\n"
+      "IF (a .GT. 0) THEN\n x = 1\nELSE\n x = 3\nENDIF\n";
+    check_transform "zero-trip DO keeps only the index assignment"
+      Dce.prune_stmts "DO i = 5, 2\n x = 1\nENDDO\n" "i = 5\n";
+    check_transform "normal DO kept" Dce.prune_stmts
+      "DO i = 1, 3\n x = 1\nENDDO\n" "DO i = 1, 3\n x = 1\nENDDO\n";
+    check_transform "false WHILE removed" Dce.prune_stmts
+      "WHILE (.FALSE.)\n x = 1\nENDWHILE\n" "";
+    check_transform "code after RETURN dropped" Dce.prune_stmts
+      "x = 1\nRETURN\nx = 2\n" "x = 1\nRETURN\n";
+    check_transform "code after STOP dropped" Dce.prune_stmts
+      "x = 1\nSTOP\nx = 2\n" "x = 1\nSTOP\n";
+    check_transform "CONTINUE removed" Dce.prune_stmts
+      "CONTINUE\nx = 1\n" "x = 1\n";
+  ]
+
+let dead_tests =
+  [
+    Alcotest.test_case "useless assignment removed, used one kept" `Quick
+      (fun () ->
+        let src =
+          {|
+PROGRAM p
+  INTEGER a, b
+  a = 1
+  b = 2
+  a = 3
+  PRINT *, a
+END
+|}
+        in
+        let symtab = Sema.parse_and_analyze ~file:"<o>" src in
+        let cfgs = Ipcp_ir.Lower.lower_program symtab in
+        let cg =
+          Ipcp_callgraph.Callgraph.build ~main:symtab.Symtab.main
+            ~order:symtab.Symtab.order cfgs
+        in
+        let mr = Ipcp_summary.Modref.compute symtab cfgs cg in
+        let prog =
+          List.map
+            (fun p -> (Symtab.proc symtab p).Symtab.proc)
+            symtab.Symtab.order
+        in
+        let cleaned = Dce.eliminate_dead symtab mr prog in
+        let body = (List.hd cleaned).Ast.body in
+        (* a = 1 (dead: overwritten) and b = 2 (dead: never used) vanish *)
+        Alcotest.(check int) "two statements remain" 2 (List.length body));
+    Alcotest.test_case "assignments with unsafe RHS are kept" `Quick
+      (fun () ->
+        let src =
+          "PROGRAM p\nINTEGER a, z\nz = 0\na = 1 / z\nPRINT *, z\nEND\n"
+        in
+        let symtab = Sema.parse_and_analyze ~file:"<o>" src in
+        let cfgs = Ipcp_ir.Lower.lower_program symtab in
+        let cg =
+          Ipcp_callgraph.Callgraph.build ~main:symtab.Symtab.main
+            ~order:symtab.Symtab.order cfgs
+        in
+        let mr = Ipcp_summary.Modref.compute symtab cfgs cg in
+        let prog =
+          List.map
+            (fun p -> (Symtab.proc symtab p).Symtab.proc)
+            symtab.Symtab.order
+        in
+        let cleaned = Dce.eliminate_dead symtab mr prog in
+        (* a is dead but 1/z may fault: the assignment must stay *)
+        Alcotest.(check int) "nothing deleted" 3
+          (List.length (List.hd cleaned).Ast.body));
+    Alcotest.test_case "by-reference output kept alive through callee REF"
+      `Quick (fun () ->
+        let src =
+          {|
+PROGRAM p
+  INTEGER x
+  x = 5
+  CALL use(x)
+END
+SUBROUTINE use(v)
+  INTEGER v
+  PRINT *, v
+END
+|}
+        in
+        let symtab = Sema.parse_and_analyze ~file:"<o>" src in
+        let cfgs = Ipcp_ir.Lower.lower_program symtab in
+        let cg =
+          Ipcp_callgraph.Callgraph.build ~main:symtab.Symtab.main
+            ~order:symtab.Symtab.order cfgs
+        in
+        let mr = Ipcp_summary.Modref.compute symtab cfgs cg in
+        let prog =
+          List.map
+            (fun p -> (Symtab.proc symtab p).Symtab.proc)
+            symtab.Symtab.order
+        in
+        let cleaned = Dce.eliminate_dead symtab mr prog in
+        Alcotest.(check int) "x = 5 kept" 2
+          (List.length (List.hd cleaned).Ast.body));
+  ]
+
+let suites =
+  [ ("opt-fold", fold_tests); ("opt-prune", prune_tests); ("opt-dce", dead_tests) ]

@@ -1,0 +1,208 @@
+(* Suite tests: the twelve benchmark programs must be well-formed, runnable,
+   and must reproduce the SHAPE of the paper's Tables 2 and 3 — the
+   orderings between techniques and the signature effects per program.
+   Exact measured counts are also pinned (as goldens of THIS implementation)
+   so that behavioural drift is caught. *)
+
+open Ipcp_frontend
+module Config = Ipcp_core.Config
+module Driver = Ipcp_core.Driver
+module Substitute = Ipcp_opt.Substitute
+module Intra = Ipcp_opt.Intra
+module Complete = Ipcp_opt.Complete
+module Programs = Ipcp_suite.Programs
+module Interp = Ipcp_interp.Interp
+
+let cfg jf ~retjf ~md =
+  { Config.jf; return_jfs = retjf; use_mod = md; symbolic_returns = false }
+
+let count config (p : Programs.program) =
+  let _, t =
+    Driver.analyze_source ~config ~file:p.Programs.name p.Programs.source
+  in
+  Substitute.count t
+
+type measured = {
+  poly_r : int;
+  pass_r : int;
+  intra_r : int;
+  lit_r : int;
+  poly_nr : int;
+  no_mod : int;
+  complete : int;
+  intra_only : int;
+}
+
+let measure (p : Programs.program) : measured =
+  let symtab =
+    Sema.parse_and_analyze ~file:p.Programs.name p.Programs.source
+  in
+  {
+    poly_r = count (cfg Config.Polynomial ~retjf:true ~md:true) p;
+    pass_r = count (cfg Config.Passthrough ~retjf:true ~md:true) p;
+    intra_r = count (cfg Config.Intraconst ~retjf:true ~md:true) p;
+    lit_r = count (cfg Config.Literal ~retjf:true ~md:true) p;
+    poly_nr = count (cfg Config.Polynomial ~retjf:false ~md:true) p;
+    no_mod = count (cfg Config.Polynomial ~retjf:true ~md:false) p;
+    complete =
+      (Complete.run
+         ~config:(cfg Config.Polynomial ~retjf:true ~md:true)
+         p.Programs.source)
+        .Complete.count;
+    intra_only = Intra.count symtab;
+  }
+
+(* goldens: measured values of this implementation, pinned for regression *)
+let goldens =
+  [
+    ("adm", (52, 52, 52, 52, 52, 8, 52, 48));
+    ("doduc", (114, 114, 114, 113, 112, 112, 114, 1));
+    ("fpppp", (38, 38, 32, 26, 34, 11, 38, 15));
+    ("linpackd", (28, 28, 28, 11, 28, 10, 28, 11));
+    ("matrix300", (39, 39, 23, 15, 39, 17, 39, 15));
+    ("mdg", (33, 33, 32, 23, 32, 27, 33, 20));
+    ("ocean", (56, 56, 56, 24, 24, 37, 70, 17));
+    ("qcd", (36, 36, 36, 36, 36, 34, 36, 35));
+    ("simple", (68, 68, 64, 57, 68, 0, 68, 57));
+    ("snasa7", (98, 98, 98, 62, 98, 97, 98, 62));
+    ("spec77", (41, 41, 41, 37, 41, 21, 45, 18));
+    ("trfd", (14, 14, 14, 14, 14, 10, 14, 13));
+  ]
+
+let validity_tests =
+  [
+    Alcotest.test_case "all twelve programs parse and check" `Quick (fun () ->
+        List.iter
+          (fun (p : Programs.program) ->
+            match
+              Diag.guard_s (fun () ->
+                  Sema.parse_and_analyze ~file:p.Programs.name
+                    p.Programs.source)
+            with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "%s: %s" p.Programs.name e)
+          Programs.all);
+    Alcotest.test_case "all twelve programs run to completion" `Quick
+      (fun () ->
+        List.iter
+          (fun (p : Programs.program) ->
+            let symtab =
+              Sema.parse_and_analyze ~file:p.Programs.name p.Programs.source
+            in
+            let r = Interp.run ~fuel:2_000_000 symtab in
+            match r.Interp.status with
+            | Interp.Completed | Interp.Stopped -> ()
+            | s ->
+                Alcotest.failf "%s: %a" p.Programs.name Interp.pp_status s)
+          Programs.all);
+    Alcotest.test_case "optimised suite programs print the same output"
+      `Quick (fun () ->
+        List.iter
+          (fun (p : Programs.program) ->
+            let symtab =
+              Sema.parse_and_analyze ~file:p.Programs.name p.Programs.source
+            in
+            let before = (Interp.run ~fuel:2_000_000 symtab).Interp.output in
+            let r = Complete.run p.Programs.source in
+            let symtab' =
+              Sema.parse_and_analyze ~file:p.Programs.name
+                r.Complete.final_source
+            in
+            let after = (Interp.run ~fuel:2_000_000 symtab').Interp.output in
+            if before <> after then
+              Alcotest.failf "%s: complete propagation changed the output"
+                p.Programs.name)
+          Programs.all);
+  ]
+
+let shape_tests =
+  [
+    Alcotest.test_case "Table 2 orderings hold on every program" `Quick
+      (fun () ->
+        List.iter
+          (fun (p : Programs.program) ->
+            let m = measure p in
+            if not (m.lit_r <= m.intra_r && m.intra_r <= m.pass_r) then
+              Alcotest.failf "%s: literal/intra/pass ordering broken"
+                p.Programs.name;
+            if m.pass_r <> m.poly_r then
+              Alcotest.failf
+                "%s: pass-through and polynomial should agree (paper: \
+                 'found the same set of constants')"
+                p.Programs.name;
+            if m.poly_nr > m.poly_r then
+              Alcotest.failf "%s: return JFs lost constants" p.Programs.name)
+          Programs.all);
+    Alcotest.test_case "signature effects per program" `Quick (fun () ->
+        let m name = measure (Option.get (Programs.by_name name)) in
+        (* adm: flat row, big no-MOD collapse, small interprocedural margin *)
+        let adm = m "adm" in
+        Alcotest.(check bool) "adm flat" true (adm.lit_r = adm.poly_r);
+        Alcotest.(check bool) "adm no-MOD collapse" true
+          (adm.no_mod * 3 < adm.poly_r);
+        (* doduc: intraprocedural-only collapses, no-MOD barely hurts *)
+        let doduc = m "doduc" in
+        Alcotest.(check bool) "doduc intra-only tiny" true
+          (doduc.intra_only * 10 < doduc.poly_r);
+        Alcotest.(check bool) "doduc no-MOD barely hurts" true
+          (doduc.no_mod * 10 >= doduc.poly_r * 9);
+        (* ocean: return JFs at least double the count; complete adds more *)
+        let ocean = m "ocean" in
+        Alcotest.(check bool) "ocean return JFs >= 2x" true
+          (ocean.poly_r >= 2 * ocean.poly_nr);
+        Alcotest.(check bool) "ocean complete gains" true
+          (ocean.complete > ocean.poly_r);
+        (* spec77: the only other complete-propagation gain *)
+        let spec77 = m "spec77" in
+        Alcotest.(check bool) "spec77 complete gains" true
+          (spec77.complete > spec77.poly_r);
+        (* simple: near-total no-MOD collapse *)
+        let simple = m "simple" in
+        Alcotest.(check bool) "simple no-MOD ~ 0" true (simple.no_mod <= 2);
+        (* linpackd/snasa7: the literal technique loses heavily *)
+        let lp = m "linpackd" and sn = m "snasa7" in
+        Alcotest.(check bool) "linpackd literal gap" true
+          (lp.lit_r * 2 < lp.poly_r);
+        Alcotest.(check bool) "snasa7 literal gap" true
+          (sn.lit_r * 3 <= sn.poly_r * 2);
+        (* qcd/trfd: flat rows, intra-only nearly equal *)
+        let qcd = m "qcd" and trfd = m "trfd" in
+        Alcotest.(check bool) "qcd flat" true (qcd.lit_r = qcd.poly_r);
+        Alcotest.(check bool) "qcd intra-only close" true
+          (qcd.poly_r - qcd.intra_only <= 2);
+        Alcotest.(check bool) "trfd flat" true (trfd.lit_r = trfd.poly_r);
+        (* matrix300: chains cost the intraprocedural JF *)
+        let mx = m "matrix300" in
+        Alcotest.(check bool) "matrix300 chain gap" true
+          (mx.intra_r < mx.pass_r);
+        (* mdg and fpppp: return JFs gain a little *)
+        let mdg = m "mdg" and fp = m "fpppp" in
+        Alcotest.(check bool) "mdg return gain" true (mdg.poly_r > mdg.poly_nr);
+        Alcotest.(check bool) "fpppp return gain" true (fp.poly_r > fp.poly_nr);
+        Alcotest.(check bool) "fpppp literal < intra < pass" true
+          (fp.lit_r < fp.intra_r && fp.intra_r < fp.pass_r));
+    Alcotest.test_case "golden counts pinned" `Quick (fun () ->
+        List.iter
+          (fun (p : Programs.program) ->
+            let m = measure p in
+            let g_poly_r, g_pass_r, g_intra_r, g_lit_r, g_poly_nr, g_no_mod,
+                g_complete, g_intra_only =
+              List.assoc p.Programs.name goldens
+            in
+            let check what got expect =
+              if got <> expect then
+                Alcotest.failf "%s %s: measured %d, golden %d"
+                  p.Programs.name what got expect
+            in
+            check "poly+R" m.poly_r g_poly_r;
+            check "pass+R" m.pass_r g_pass_r;
+            check "intra+R" m.intra_r g_intra_r;
+            check "literal+R" m.lit_r g_lit_r;
+            check "poly(no R)" m.poly_nr g_poly_nr;
+            check "no-MOD" m.no_mod g_no_mod;
+            check "complete" m.complete g_complete;
+            check "intra-only" m.intra_only g_intra_only)
+          Programs.all);
+  ]
+
+let suites = [ ("suite-validity", validity_tests); ("suite-shape", shape_tests) ]

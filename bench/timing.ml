@@ -16,7 +16,8 @@ let analyze_suite config () =
            p.Programs.source))
     Programs.all
 
-let cfg_of jf = { Config.default with Config.jf }
+(* timings are about the analysis, not the sanitizer: verifier off *)
+let cfg_of jf = { Config.default with Config.jf; verify_ir = false }
 
 (* staged pipeline slices, for the cost decomposition *)
 let frontend_only () =

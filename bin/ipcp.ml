@@ -6,6 +6,7 @@
     - [substitute] print the transformed source with constants substituted
     - [complete]   iterate propagation with dead-code elimination
     - [intra]      the purely intraprocedural baseline count
+    - [lint]       interprocedural diagnostics over the propagation results
     - [run]        interpret a program
     - [dump]       internal representations (tokens/ast/cfg/ssa/callgraph/
                    mod/rjf/liveness/constants)
@@ -70,16 +71,23 @@ let no_retjf =
 let symret =
   Arg.(value & flag & info [ "symbolic-returns" ] ~doc:"Evaluate return jump functions symbolically over the caller's entry values (extension beyond the paper).")
 
+let no_verify =
+  Arg.(
+    value & flag
+    & info [ "no-verify" ]
+        ~doc:"Skip the structural IR/SSA verifier between pipeline stages.")
+
 let config_term =
-  let make jf no_mod no_retjf symret =
+  let make jf no_mod no_retjf symret no_verify =
     {
       Config.jf;
       return_jfs = not no_retjf;
       use_mod = not no_mod;
       symbolic_returns = symret;
+      verify_ir = not no_verify;
     }
   in
-  Term.(const make $ jf_arg $ no_mod $ no_retjf $ symret)
+  Term.(const make $ jf_arg $ no_mod $ no_retjf $ symret $ no_verify)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
@@ -252,6 +260,89 @@ let dump_cmd =
     Term.(const run $ config_term $ what_arg $ file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint *)
+
+let lint_cmd =
+  let module Lint = Ipcp_analysis.Lint in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let werror_arg =
+    Arg.(value & flag & info [ "werror" ] ~doc:"Treat warnings as errors.")
+  in
+  let disable_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "disable" ] ~docv:"IDS"
+          ~doc:
+            "Disable checks by id (e.g. IPCP-W003); repeatable, accepts \
+             comma-separated lists.")
+  in
+  let list_checks_arg =
+    Arg.(
+      value & flag
+      & info [ "list-checks" ] ~doc:"List the available checks and exit.")
+  in
+  let opt_file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
+  in
+  let run config format werror disable list_checks path =
+    if list_checks then (
+      List.iter
+        (fun c ->
+          Fmt.pr "%s  %-7s  %s@." (Lint.id c)
+            (Diag.Severity.name (Lint.severity c))
+            (Lint.describe c))
+        Lint.all_checks;
+      exit 0);
+    let path =
+      match path with
+      | Some p -> p
+      | None ->
+          Fmt.epr "ipcp: lint requires a FILE (or --list-checks)@.";
+          exit 2
+    in
+    let disabled =
+      List.concat_map (String.split_on_char ',') disable
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match Lint.check_of_id s with
+             | Some c -> c
+             | None ->
+                 Fmt.epr "ipcp: unknown check id %s@." s;
+                 exit 2)
+    in
+    let symtab = parse_and_check path in
+    let t = or_die (Diag.guard_s (fun () -> Driver.analyze ~config symtab)) in
+    let findings =
+      Lint.run ~enabled:(fun c -> not (List.mem c disabled)) t
+    in
+    (match format with
+    | `Text ->
+        Fmt.pr "%s" (Lint.render_text findings);
+        let e, w, i = Lint.summary findings in
+        Fmt.epr "! lint: %d error(s), %d warning(s), %d info(s)@." e w i
+    | `Json -> Fmt.pr "%s@." (Lint.render_json findings));
+    let e, w, _ = Lint.summary findings in
+    if e > 0 || (werror && w > 0) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Report interprocedural diagnostics (constant division by zero, \
+          out-of-bounds subscripts, constant conditions, dead formals, \
+          unreachable procedures).")
+    Term.(
+      const run $ config_term $ format_arg $ werror_arg $ disable_arg
+      $ list_checks_arg $ opt_file_arg)
+
+(* ------------------------------------------------------------------ *)
 (* clone *)
 
 let clone_cmd =
@@ -316,6 +407,7 @@ let () =
             analyze_cmd;
             substitute_cmd;
             complete_cmd;
+            lint_cmd;
             intra_cmd;
             run_cmd;
             dump_cmd;

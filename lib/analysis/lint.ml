@@ -1,0 +1,433 @@
+(** Interprocedural lints: user-facing diagnostics powered by the
+    propagation fixpoint.
+
+    The 1986 framework computes, for every procedure, the set of
+    parameters that are constant on entry; this module turns those
+    lattice facts (plus the call graph and SSA form the driver already
+    built) into findings a programmer can act on:
+
+    - [IPCP-E001] division (or [MOD]) whose divisor is a propagated
+      constant zero — a guaranteed runtime fault if the site executes;
+    - [IPCP-E002] constant array subscript outside the declared bounds;
+    - [IPCP-W003] a branch or loop condition that folds to a constant
+      (always true / always false) under the propagated constants;
+    - [IPCP-W004] a procedure unreachable from the program entry in the
+      call graph;
+    - [IPCP-W005] a formal parameter the procedure never references;
+    - [IPCP-W006] a use of a local variable with no reaching definition
+      (it reads the undefined entry value on {e every} path);
+    - [IPCP-I007] a formal parameter with the same constant value at
+      every call site — a candidate for specialisation or an API smell.
+
+    Error-level findings are only reported in code not behind a
+    condition that itself folds to false, so a definite [IPCP-E001]
+    agrees with the interpreter's runtime faults (see the differential
+    property test). *)
+
+open Ipcp_frontend
+open Ipcp_frontend.Names
+module Loc = Ipcp_frontend.Loc
+module Instr = Ipcp_ir.Instr
+module Cfg = Ipcp_ir.Cfg
+module Ssa = Ipcp_ir.Ssa
+module Callgraph = Ipcp_callgraph.Callgraph
+module Driver = Ipcp_core.Driver
+module Substitute = Ipcp_opt.Substitute
+module Severity = Diag.Severity
+
+(* ------------------------------------------------------------------ *)
+(* Checks *)
+
+type check =
+  | Div_by_zero
+  | Subscript_bounds
+  | Const_condition
+  | Unreachable_proc
+  | Dead_formal
+  | Undefined_use
+  | Const_formal
+
+let all_checks =
+  [
+    Div_by_zero;
+    Subscript_bounds;
+    Const_condition;
+    Unreachable_proc;
+    Dead_formal;
+    Undefined_use;
+    Const_formal;
+  ]
+
+let id = function
+  | Div_by_zero -> "IPCP-E001"
+  | Subscript_bounds -> "IPCP-E002"
+  | Const_condition -> "IPCP-W003"
+  | Unreachable_proc -> "IPCP-W004"
+  | Dead_formal -> "IPCP-W005"
+  | Undefined_use -> "IPCP-W006"
+  | Const_formal -> "IPCP-I007"
+
+let check_of_id s =
+  List.find_opt (fun c -> String.equal (id c) (String.uppercase_ascii s)) all_checks
+
+let severity = function
+  | Div_by_zero | Subscript_bounds -> Severity.Error
+  | Const_condition | Unreachable_proc | Dead_formal | Undefined_use ->
+      Severity.Warning
+  | Const_formal -> Severity.Info
+
+let describe = function
+  | Div_by_zero -> "division or MOD by a propagated constant zero"
+  | Subscript_bounds -> "constant array subscript outside the declared bounds"
+  | Const_condition -> "branch or loop condition that is always true or false"
+  | Unreachable_proc -> "procedure unreachable from the program entry"
+  | Dead_formal -> "formal parameter never referenced by the procedure"
+  | Undefined_use -> "use of a variable with no reaching definition"
+  | Const_formal -> "formal parameter constant at every call site"
+
+type finding = {
+  f_check : check;
+  f_loc : Loc.t;
+  f_proc : string;  (** enclosing procedure *)
+  f_msg : string;
+}
+
+let finding_severity f = severity f.f_check
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%a: %a[%s]: %s" Loc.pp f.f_loc Severity.pp (finding_severity f)
+    (id f.f_check) f.f_msg
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding over the propagated facts.  [cu] maps the source
+   location of every scalar-variable use whose value the interprocedural
+   analysis proved constant to that constant (the substitution pass's
+   map); PARAMETER constants fold via the symbol table. *)
+
+let const_of cu (psym : Symtab.proc_sym) (e : Ast.expr) : int option =
+  let rec go e =
+    match e with
+    | Ast.Int (n, _) -> Some n
+    | Ast.Var (x, l) -> (
+        match Loc.Map.find_opt l cu with
+        | Some c -> Some c
+        | None -> (
+            match Symtab.var psym x with
+            | Some { Symtab.kind = Symtab.Const c; _ } -> Some c
+            | _ -> None))
+    | Ast.Unop (Ast.Neg, e, _) -> Option.map (fun v -> -v) (go e)
+    | Ast.Binop (op, a, b, _) -> (
+        match (go a, go b) with
+        | Some x, Some y -> Ast.eval_binop op x y
+        | _ -> None)
+    | Ast.Intrin (i, args, _) ->
+        let cs = List.map go args in
+        if List.for_all Option.is_some cs then
+          Ast.eval_intrin i (List.map Option.get cs)
+        else None
+    | Ast.Index _ | Ast.Callf _ -> None
+  in
+  go e
+
+(** Short-circuit evaluation of a condition over the constant facts. *)
+let cond_const cu psym (c : Ast.cond) : bool option =
+  let ec = const_of cu psym in
+  let rec go = function
+    | Ast.Rel (op, a, b) -> (
+        match (ec a, ec b) with
+        | Some x, Some y -> Some (Ast.eval_relop op x y)
+        | _ -> None)
+    | Ast.And (a, b) -> (
+        match go a with
+        | Some false -> Some false
+        | Some true -> go b
+        | None -> ( match go b with Some false -> Some false | _ -> None))
+    | Ast.Or (a, b) -> (
+        match go a with
+        | Some true -> Some true
+        | Some false -> go b
+        | None -> ( match go b with Some true -> Some true | _ -> None))
+    | Ast.Not c -> Option.map not (go c)
+    | Ast.Btrue -> Some true
+    | Ast.Bfalse -> Some false
+  in
+  go c
+
+(** A representative location inside a condition (the leftmost relation
+    operand), for anchoring constant-condition findings. *)
+let rec cond_loc = function
+  | Ast.Rel (_, a, _) -> Some (Ast.expr_loc a)
+  | Ast.And (a, b) | Ast.Or (a, b) -> (
+      match cond_loc a with Some l -> Some l | None -> cond_loc b)
+  | Ast.Not c -> cond_loc c
+  | Ast.Btrue | Ast.Bfalse -> None
+
+(* ------------------------------------------------------------------ *)
+(* The per-procedure AST walk: E001 / E002 / W003.
+
+   [reachable] is threaded through the walk and cleared inside branches
+   whose condition folds to false (and arms following an always-true
+   arm): error-level findings are only emitted for reachable code, so
+   they are definite. *)
+
+let walk_proc ~add ~cu ~psym (proc : Ast.proc) =
+  let ec = const_of cu psym in
+  let check_div ~reachable divisor ctx =
+    if reachable && ec divisor = Some 0 then
+      add Div_by_zero (Ast.expr_loc divisor)
+        (Fmt.str "%s by zero: the divisor is the constant 0" ctx)
+  in
+  let check_subscript ~reachable arr idx =
+    match Symtab.var psym arr with
+    | Some { Symtab.dim = Some n; _ } when reachable -> (
+        match ec idx with
+        | Some i when i < 1 || i > n ->
+            add Subscript_bounds (Ast.expr_loc idx)
+              (Fmt.str "subscript %d out of bounds for %s(%d)" i arr n)
+        | _ -> ())
+    | _ -> ()
+  in
+  let rec expr ~reachable e =
+    match e with
+    | Ast.Int _ | Ast.Var _ -> ()
+    | Ast.Index (a, i, _) ->
+        check_subscript ~reachable a i;
+        expr ~reachable i
+    | Ast.Callf (_, args, _) -> List.iter (expr ~reachable) args
+    | Ast.Intrin (i, args, _) ->
+        (match (i, args) with
+        | Ast.Imod, [ _; b ] -> check_div ~reachable b "MOD"
+        | _ -> ());
+        List.iter (expr ~reachable) args
+    | Ast.Unop (_, e, _) -> expr ~reachable e
+    | Ast.Binop (op, a, b, _) ->
+        if op = Ast.Div then check_div ~reachable b "division";
+        expr ~reachable a;
+        expr ~reachable b
+  in
+  let rec cond ~reachable = function
+    | Ast.Rel (_, a, b) ->
+        expr ~reachable a;
+        expr ~reachable b
+    | Ast.And (a, b) | Ast.Or (a, b) ->
+        cond ~reachable a;
+        cond ~reachable b
+    | Ast.Not c -> cond ~reachable c
+    | Ast.Btrue | Ast.Bfalse -> ()
+  in
+  let lvalue ~reachable = function
+    | Ast.Lvar _ -> ()
+    | Ast.Lindex (a, i, _) ->
+        check_subscript ~reachable a i;
+        expr ~reachable i
+  in
+  let flag_const_cond ~reachable c value default_loc what =
+    if reachable then
+      add Const_condition
+        (Option.value ~default:default_loc (cond_loc c))
+        (Fmt.str "%s is always %s" what
+           (if value then ".TRUE." else ".FALSE."))
+  in
+  let rec stmts ~reachable body = List.iter (stmt ~reachable) body
+  and stmt ~reachable s =
+    match s with
+    | Ast.Assign (lv, e, _) ->
+        lvalue ~reachable lv;
+        expr ~reachable e
+    | Ast.If (branches, els, loc) ->
+        (* arms after an always-true arm (and the ELSE) are unreachable *)
+        let rec arms ~reachable = function
+          | [] -> stmts ~reachable els
+          | (c, body) :: rest -> (
+              cond ~reachable c;
+              match cond_const cu psym c with
+              | Some true ->
+                  flag_const_cond ~reachable c true loc "branch condition";
+                  stmts ~reachable body;
+                  arms ~reachable:false rest
+              | Some false ->
+                  flag_const_cond ~reachable c false loc "branch condition";
+                  stmts ~reachable:false body;
+                  arms ~reachable rest
+              | None ->
+                  stmts ~reachable body;
+                  arms ~reachable rest)
+        in
+        arms ~reachable branches
+    | Ast.Do (_, lo, hi, step, body, _) ->
+        expr ~reachable lo;
+        expr ~reachable hi;
+        Option.iter (expr ~reachable) step;
+        (* a constant zero-trip loop never runs its body *)
+        let body_reachable =
+          match (ec lo, ec hi, Option.map ec step) with
+          | Some l, Some h, (None | Some (Some _)) ->
+              let st =
+                match Option.map ec step with
+                | Some (Some s) -> s
+                | _ -> 1
+              in
+              reachable && (if st >= 0 then l <= h else l >= h)
+          | _ -> reachable
+        in
+        stmts ~reachable:body_reachable body
+    | Ast.While (c, body, loc) ->
+        cond ~reachable c;
+        (match cond_const cu psym c with
+        | Some v ->
+            flag_const_cond ~reachable c v loc "loop condition";
+            stmts ~reachable:(reachable && v) body
+        | None -> stmts ~reachable body)
+    | Ast.Call (_, args, _) -> List.iter (expr ~reachable) args
+    | Ast.Print (es, _) -> List.iter (expr ~reachable) es
+    | Ast.Read (lvs, _) -> List.iter (lvalue ~reachable) lvs
+    | Ast.Return _ | Ast.Stop _ | Ast.Continue _ -> ()
+  in
+  stmts ~reachable:true proc.Ast.body
+
+(* ------------------------------------------------------------------ *)
+(* Whole-CFG name census, for dead-formal detection.  [Cfg.all_vars]
+   covers scalar defs and uses; arrays and by-reference addresses are
+   referenced by name on loads, stores and call arguments. *)
+
+let referenced_names (cfg : Cfg.t) : SS.t =
+  let acc = ref (Cfg.all_vars cfg) in
+  let add n = acc := SS.add n !acc in
+  Cfg.iter_instrs
+    (fun _ i ->
+      match i with
+      | Instr.Idef (_, Instr.Rload (a, _)) -> add a
+      | Instr.Istore (a, _, _) -> add a
+      | Instr.Icall s ->
+          List.iter
+            (function
+              | Instr.Ascalar (_, Some (Instr.Avar v)) -> add v
+              | Instr.Ascalar (_, Some (Instr.Aelem (a, _))) -> add a
+              | Instr.Aarray a -> add a
+              | Instr.Ascalar (_, None) -> ())
+            s.Instr.args
+      | _ -> ())
+    cfg;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* The engine *)
+
+let run ?(enabled = fun _ -> true) (t : Driver.t) : finding list =
+  let symtab = t.Driver.symtab in
+  let cu = Substitute.constant_uses t in
+  let reachable_procs = Callgraph.reachable_from_main t.Driver.cg in
+  let findings = ref [] in
+  let add_in proc check loc msg =
+    if enabled check then
+      findings := { f_check = check; f_loc = loc; f_proc = proc; f_msg = msg }
+        :: !findings
+  in
+  List.iter
+    (fun p ->
+      let psym = Symtab.proc symtab p in
+      let proc = psym.Symtab.proc in
+      let add = add_in p in
+      let is_main = String.equal p symtab.Symtab.main in
+      (* W004: unreachable procedure *)
+      if (not is_main) && not (SS.mem p reachable_procs) then
+        add Unreachable_proc proc.Ast.loc
+          (Fmt.str "procedure %s is never called (unreachable from %s)" p
+             symtab.Symtab.main);
+      (* W005: formals never referenced *)
+      let referenced = referenced_names (SM.find p t.Driver.cfgs) in
+      List.iteri
+        (fun i f ->
+          if not (SS.mem f referenced) then
+            add Dead_formal proc.Ast.loc
+              (Fmt.str "formal parameter %s (position %d) is never referenced"
+                 f (i + 1)))
+        (Symtab.formals psym);
+      (* I007: formals constant at every call site *)
+      if (not is_main) && SS.mem p reachable_procs then
+        SM.iter
+          (fun name c ->
+            if Symtab.is_formal psym name then
+              add Const_formal proc.Ast.loc
+                (Fmt.str
+                   "formal parameter %s is the constant %d at every call site"
+                   name c))
+          (Driver.constants t p);
+      (* W006: uses of the undefined entry value of a local *)
+      let conv = SM.find p t.Driver.convs in
+      Cfg.iter_value_operands
+        (function
+          | Instr.Ovar (v, Some l) when Ssa.version v = 0 -> (
+              let base = Ssa.base_name v in
+              match Symtab.var psym base with
+              | Some { Symtab.kind = Symtab.Local; _ }
+                when not (SM.mem base psym.Symtab.data) ->
+                  add Undefined_use l
+                    (Fmt.str "%s is used but never defined on any path" base)
+              | Some { Symtab.kind = Symtab.Result; _ } ->
+                  add Undefined_use l
+                    (Fmt.str
+                       "function result %s is read before it is assigned" base)
+              | _ -> ())
+          | _ -> ())
+        conv.Ssa.ssa;
+      (* E001 / E002 / W003: the AST walk over propagated constants *)
+      walk_proc ~add ~cu ~psym proc)
+    symtab.Symtab.order;
+  List.sort
+    (fun a b ->
+      match Loc.compare a.f_loc b.f_loc with
+      | 0 -> compare (id a.f_check) (id b.f_check)
+      | n -> n)
+    (List.rev !findings)
+
+(* ------------------------------------------------------------------ *)
+(* Summaries and rendering *)
+
+(** (errors, warnings, infos). *)
+let summary (fs : finding list) : int * int * int =
+  List.fold_left
+    (fun (e, w, i) f ->
+      match finding_severity f with
+      | Severity.Error -> (e + 1, w, i)
+      | Severity.Warning -> (e, w + 1, i)
+      | Severity.Info -> (e, w, i + 1))
+    (0, 0, 0) fs
+
+let render_text (fs : finding list) : string =
+  Fmt.str "%a"
+    Fmt.(list ~sep:(any "@.") pp_finding)
+    fs
+  ^ if fs = [] then "" else "\n"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let finding_json f =
+  Fmt.str
+    "{\"check\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"procedure\":\"%s\",\"message\":\"%s\"}"
+    (id f.f_check)
+    (Severity.name (finding_severity f))
+    (json_escape f.f_loc.Loc.file)
+    f.f_loc.Loc.line f.f_loc.Loc.col (json_escape f.f_proc)
+    (json_escape f.f_msg)
+
+let render_json (fs : finding list) : string =
+  let e, w, i = summary fs in
+  Fmt.str
+    "{\"findings\":[%s],\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d}}"
+    (String.concat "," (List.map finding_json fs))
+    e w i

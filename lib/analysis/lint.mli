@@ -1,0 +1,61 @@
+(** Interprocedural lints over the finished analysis: diagnostics
+    derived from the propagation fixpoint, the call graph and SSA form.
+
+    Check ids are stable and documented in README.md:
+    - [IPCP-E001] division or [MOD] by a propagated constant zero
+    - [IPCP-E002] constant array subscript out of declared bounds
+    - [IPCP-W003] branch/loop condition always true or false
+    - [IPCP-W004] procedure unreachable from the program entry
+    - [IPCP-W005] formal parameter never referenced
+    - [IPCP-W006] use of a variable with no reaching definition
+    - [IPCP-I007] formal parameter constant at every call site *)
+
+module Loc = Ipcp_frontend.Loc
+module Severity = Ipcp_frontend.Diag.Severity
+module Driver = Ipcp_core.Driver
+
+type check =
+  | Div_by_zero
+  | Subscript_bounds
+  | Const_condition
+  | Unreachable_proc
+  | Dead_formal
+  | Undefined_use
+  | Const_formal
+
+val all_checks : check list
+
+val id : check -> string
+(** The stable check id, e.g. ["IPCP-E001"]. *)
+
+val check_of_id : string -> check option
+(** Inverse of {!id} (case-insensitive). *)
+
+val severity : check -> Severity.t
+
+val describe : check -> string
+(** One-line description, for [--list-checks] style output and docs. *)
+
+type finding = {
+  f_check : check;
+  f_loc : Loc.t;
+  f_proc : string;  (** enclosing procedure *)
+  f_msg : string;
+}
+
+val finding_severity : finding -> Severity.t
+
+val pp_finding : finding Fmt.t
+
+val run : ?enabled:(check -> bool) -> Driver.t -> finding list
+(** All findings over the analyzed program, sorted by source location.
+    [enabled] filters checks (default: all). *)
+
+val summary : finding list -> int * int * int
+(** (errors, warnings, infos). *)
+
+val render_text : finding list -> string
+(** One [file:line:col: severity[ID]: message] line per finding. *)
+
+val render_json : finding list -> string
+(** A JSON object: [{"findings":[...],"summary":{...}}]. *)

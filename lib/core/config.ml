@@ -26,10 +26,21 @@ type t = {
   return_jfs : bool;
   use_mod : bool;
   symbolic_returns : bool;
+  verify_ir : bool;
+      (** run the structural IR/SSA verifier after lowering, SSA
+          construction and every transformation pass; on by default so
+          that any pass that corrupts the IR fails loudly (benchmarks
+          turn it off to keep timings about the analysis itself) *)
 }
 
 let default =
-  { jf = Passthrough; return_jfs = true; use_mod = true; symbolic_returns = false }
+  {
+    jf = Passthrough;
+    return_jfs = true;
+    use_mod = true;
+    symbolic_returns = false;
+    verify_ir = true;
+  }
 
 (** The configurations of the paper's Table 2, in column order. *)
 let table2 =

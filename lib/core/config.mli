@@ -13,6 +13,9 @@ type t = {
   symbolic_returns : bool;
       (** extension: evaluate return jump functions symbolically over the
           caller's entry values instead of requiring constant actuals *)
+  verify_ir : bool;
+      (** run the structural IR/SSA verifier after lowering, SSA
+          construction and every transformation pass (default: on) *)
 }
 
 val default : t

@@ -23,6 +23,7 @@ module Ssa = Ipcp_ir.Ssa
 module Lower = Ipcp_ir.Lower
 module Callgraph = Ipcp_callgraph.Callgraph
 module Modref = Ipcp_summary.Modref
+module Verify = Ipcp_verify.Verify
 
 type t = {
   config : Config.t;
@@ -40,7 +41,17 @@ type t = {
 let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
   (* preparation *)
   let cfgs = Lower.lower_program symtab in
+  if config.Config.verify_ir then
+    SM.iter
+      (fun _ cfg -> Verify.expect_ok ~what:"lowering" (Verify.check_lowered ~symtab cfg))
+      cfgs;
   let convs = SM.map Ssa.convert_full cfgs in
+  if config.Config.verify_ir then
+    SM.iter
+      (fun _ (conv : Ssa.conv) ->
+        Verify.expect_ok ~what:"SSA construction"
+          (Verify.check_ssa ~symtab conv.Ssa.ssa))
+      convs;
   let cg =
     Callgraph.build ~main:symtab.Symtab.main ~order:symtab.Symtab.order cfgs
   in

@@ -20,6 +20,22 @@ let phase_name = function
   | Analysis -> "analysis error"
   | Runtime -> "runtime error"
 
+(** Finding severities, shared by every user-facing diagnostic producer
+    (the lint engine renders findings at these levels; [Error] findings
+    make the CLI exit nonzero). *)
+module Severity = struct
+  type t = Error | Warning | Info
+
+  let name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+  (** Sort key: errors first. *)
+  let rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+  let compare a b = Int.compare (rank a) (rank b)
+
+  let pp ppf s = Fmt.string ppf (name s)
+end
+
 type t = { phase : phase; loc : Loc.t; msg : string }
 
 exception Error of t

@@ -28,12 +28,22 @@ type t = {
 }
 
 let round ?config src =
+  let verify_ir =
+    (Option.value ~default:Ipcp_core.Config.default config)
+      .Ipcp_core.Config.verify_ir
+  in
+  let verify what src =
+    if verify_ir then
+      Ipcp_verify.Verify.expect_ok ~what
+        (Ipcp_verify.Verify.check_source ~file:"<complete>" src)
+  in
   let symtab, t = Driver.analyze_source ?config ~file:"<complete>" src in
   let sub = Substitute.apply t in
   (* fold + prune on the substituted program, then useless-assignment
      elimination with fresh MOD/REF summaries for the pruned program *)
   let pruned = Dce.prune_program sub.Substitute.program in
   let pruned_src = Pretty.program_to_string pruned in
+  verify "constant folding and branch pruning" pruned_src;
   let symtab2 = Sema.parse_and_analyze ~file:"<complete>" pruned_src in
   let cfgs2 = Ipcp_ir.Lower.lower_program symtab2 in
   let cg2 =
@@ -48,7 +58,9 @@ let round ?config src =
   in
   let cleaned = Dce.eliminate_dead symtab2 modref2 prog2 in
   ignore symtab;
-  (sub.Substitute.total, t, Pretty.program_to_string cleaned)
+  let cleaned_src = Pretty.program_to_string cleaned in
+  verify "dead-assignment elimination" cleaned_src;
+  (sub.Substitute.total, t, cleaned_src)
 
 (** Run complete propagation starting from [src]. *)
 let run ?config ?(max_rounds = 5) (src : string) : t =

@@ -238,8 +238,9 @@ let count_proc (t : t) (ssa : Cfg.t) : int =
   !n
 
 (** Whole-program SCCP count (intraprocedural, MOD-aware): the
-    conditional-branch-aware sibling of {!Intra.count}. *)
-let count ?(use_mod = true) (symtab : Symtab.t) : int =
+    conditional-branch-aware sibling of {!Intra.count}.  [verify_ir]
+    sanity-checks every SSA CFG handed to the propagation. *)
+let count ?(use_mod = true) ?(verify_ir = true) (symtab : Symtab.t) : int =
   let cfgs = Ipcp_ir.Lower.lower_program symtab in
   let cg =
     Ipcp_callgraph.Callgraph.build ~main:symtab.Symtab.main
@@ -253,6 +254,9 @@ let count ?(use_mod = true) (symtab : Symtab.t) : int =
     (fun acc p ->
       let psym = Symtab.proc symtab p in
       let ssa = Ssa.convert (SM.find p cfgs) in
+      if verify_ir then
+        Ipcp_verify.Verify.expect_ok ~what:"SCCP input construction"
+          (Ipcp_verify.Verify.check_ssa ~symtab ssa);
       let entry_binding name =
         if p = symtab.Symtab.main then
           match SM.find_opt name symtab.Symtab.globals with

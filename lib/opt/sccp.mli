@@ -39,6 +39,7 @@ val run :
 val count_proc : t -> Cfg.t -> int
 (** Constant-valued substitutable uses in executable blocks. *)
 
-val count : ?use_mod:bool -> Ipcp_frontend.Symtab.t -> int
+val count : ?use_mod:bool -> ?verify_ir:bool -> Ipcp_frontend.Symtab.t -> int
 (** Whole-program intraprocedural SCCP count: the conditional-branch-aware
-    sibling of {!Intra.count}. *)
+    sibling of {!Intra.count}.  [verify_ir] (default true) sanity-checks
+    every SSA CFG handed to the propagation. *)

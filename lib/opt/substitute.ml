@@ -127,6 +127,10 @@ let apply (t : Driver.t) : result =
       t.Driver.symtab.Symtab.order
   in
   let total = SM.fold (fun _ c acc -> acc + c) !per_proc 0 in
+  if t.Driver.config.Ipcp_core.Config.verify_ir then
+    Ipcp_verify.Verify.expect_ok ~what:"constant substitution"
+      (Ipcp_verify.Verify.check_source ~file:"<substitute>"
+         (Pretty.program_to_string program));
   { program; per_proc = !per_proc; total }
 
 (** Just the count (the number every table of the paper reports). *)

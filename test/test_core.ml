@@ -21,7 +21,7 @@ let check_val t p name expected =
     (Clattice.to_string expected) (Clattice.to_string got)
 
 let cfg jf ~retjf ~md =
-  { Config.jf; return_jfs = retjf; use_mod = md; symbolic_returns = false }
+  { Config.default with Config.jf; return_jfs = retjf; use_mod = md }
 
 (* ------------------------------------------------------------------ *)
 

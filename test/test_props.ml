@@ -27,7 +27,7 @@ let all_configs =
         (fun return_jfs ->
           List.map
             (fun use_mod ->
-              { Config.jf; return_jfs; use_mod; symbolic_returns = false })
+              { Config.default with Config.jf; return_jfs; use_mod })
             [ true; false ])
         [ true; false ])
     [ Config.Literal; Config.Intraconst; Config.Passthrough; Config.Polynomial ]
@@ -129,9 +129,8 @@ let soundness_tests =
           check_soundness ~seed
             ~config:
               {
+                Config.default with
                 Config.jf = Config.Polynomial;
-                return_jfs = true;
-                use_mod = true;
                 symbolic_returns = true;
               }
             src
@@ -263,10 +262,57 @@ let preservation_tests =
         done);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Verifier has no false positives: on generated programs the pass
+   sanitizer reports zero violations after lowering, SSA construction,
+   and every source-to-source optimization pass. *)
+
+module Verify = Ipcp_verify.Verify
+
+let expect_clean ~seed ~stage = function
+  | [] -> ()
+  | v :: _ ->
+      QCheck.Test.fail_reportf "seed %d: %s: %s" seed stage
+        (Verify.violation_to_string v)
+
+let verifier_clean_prop seed =
+  let src = gen_src seed in
+  let symtab = Sema.parse_and_analyze ~file:"<gen>" src in
+  let cfgs = Ipcp_ir.Lower.lower_program symtab in
+  Names.SM.iter
+    (fun _ cfg ->
+      expect_clean ~seed ~stage:"lowering" (Verify.check_lowered ~symtab cfg);
+      expect_clean ~seed ~stage:"SSA"
+        (Verify.check_ssa ~symtab (Ipcp_ir.Ssa.convert cfg)))
+    cfgs;
+  (* Driver.analyze and Substitute.apply re-run the verifier internally
+     (verify_ir is on in Config.default and raises on violations); going
+     through check_source here also validates the printed output. *)
+  let t = Driver.analyze symtab in
+  let sub = Substitute.apply t in
+  expect_clean ~seed ~stage:"substitution"
+    (Verify.check_source ~file:"<sub>"
+       (Pretty.program_to_string sub.Substitute.program));
+  let r = Complete.run src in
+  expect_clean ~seed ~stage:"complete propagation"
+    (Verify.check_source ~file:"<complete>" r.Complete.final_source);
+  true
+
+let verifier_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"verifier clean after lowering, SSA and every opt pass"
+         ~count:25
+         QCheck.(make Gen.(int_bound 999))
+         verifier_clean_prop);
+  ]
+
 let suites =
   [
     ("gen-validity", generator_tests);
     ("prop-soundness", soundness_tests);
     ("prop-monotonicity", monotonicity_tests);
     ("prop-preservation", preservation_tests);
+    ("prop-verifier", verifier_tests);
   ]

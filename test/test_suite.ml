@@ -14,7 +14,7 @@ module Programs = Ipcp_suite.Programs
 module Interp = Ipcp_interp.Interp
 
 let cfg jf ~retjf ~md =
-  { Config.jf; return_jfs = retjf; use_mod = md; symbolic_returns = false }
+  { Config.default with Config.jf; return_jfs = retjf; use_mod = md }
 
 let count config (p : Programs.program) =
   let _, t =

@@ -1,6 +1,10 @@
 (** Bechamel timing harness: one [Test.make] per table and per ablation
     axis.  Reported numbers are wall-clock per full regeneration of the
-    artifact (monotonic clock, OLS estimate). *)
+    artifact (monotonic clock, OLS estimate).
+
+    Besides the text table, the results are written to
+    [BENCH_ipcp.json] — a flat benchmark-name → ns/run object — so the
+    perf trajectory is diffable across commits. *)
 
 open Bechamel
 open Toolkit
@@ -90,6 +94,19 @@ let tests =
              ignore (Driver.analyze_source ~file:"<g>" src)));
     ]
 
+(* flat name -> ns/run object; a failed OLS fit (nan) renders as null *)
+let write_json rows =
+  let module Json = Ipcp_obs.Json in
+  let j =
+    Json.Obj (List.map (fun (name, ns) -> (name, Json.Num ns)) rows)
+  in
+  let file = "BENCH_ipcp.json" in
+  let oc = open_out file in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote %s (%d benchmarks)@." file (List.length rows)
+
 let run () =
   let instance = Instance.monotonic_clock in
   let cfg =
@@ -124,4 +141,5 @@ let run () =
         else Fmt.str "%8.0f ns" ns
       in
       Fmt.pr "%-32s %14s@." name pretty)
-    rows
+    rows;
+  write_json rows

@@ -7,7 +7,8 @@
     - [complete]   iterate propagation with dead-code elimination
     - [intra]      the purely intraprocedural baseline count
     - [lint]       interprocedural diagnostics over the propagation results
-    - [run]        interpret a program
+    - [stats]      telemetry metrics aggregated over the bundled suite
+    - [run]        interpret a program (exits nonzero on a fault)
     - [dump]       internal representations (tokens/ast/cfg/ssa/callgraph/
                    mod/rjf/liveness/constants)
     - [clone]      procedure-cloning advice from the CONSTANTS sets
@@ -18,6 +19,11 @@ open Cmdliner
 open Ipcp_frontend
 module Config = Ipcp_core.Config
 module Driver = Ipcp_core.Driver
+module Obs = Ipcp_obs.Obs
+module Trace = Ipcp_obs.Trace
+module Metrics = Ipcp_obs.Metrics
+module Report = Ipcp_obs.Report
+module Json = Ipcp_obs.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -93,11 +99,92 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry options (shared by analyze/substitute/complete/lint) *)
+
+type obs_opts = {
+  o_trace : string option;  (** write a Chrome trace-event file here *)
+  o_stats : bool;  (** print the metrics registry on stderr *)
+  o_format : [ `Text | `Json ];
+}
+
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record nested phase spans and write them as Chrome \
+             trace-event JSON to $(docv) (loadable in Perfetto or \
+             chrome://tracing).")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Collect telemetry counters (solver, passes, Gc) and print \
+             them on stderr when the command finishes.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+      & info [ "stats-format" ] ~docv:"FMT"
+          ~doc:"Stats rendering: text or json.  Implies $(b,--stats).")
+  in
+  let make trace stats format =
+    {
+      o_trace = trace;
+      o_stats = stats || format <> None;
+      o_format = Option.value ~default:`Text format;
+    }
+  in
+  Term.(const make $ trace_arg $ stats_arg $ format_arg)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(** Run [f] with telemetry enabled if any output was requested, then emit
+    the requested artifacts.  The trace goes to its file; stats go to
+    stderr so they never corrupt a command's stdout (substituted source,
+    lint JSON, ...). *)
+let with_obs (o : obs_opts) f =
+  let active = o.o_trace <> None || o.o_stats in
+  if active then begin
+    Obs.set_enabled true;
+    Trace.reset ();
+    Metrics.reset ()
+  end;
+  let finish () =
+    if active then begin
+      (match o.o_trace with
+      | Some path -> write_file path (Trace.export_chrome ())
+      | None -> ());
+      if o.o_stats then
+        match o.o_format with
+        | `Text -> Fmt.epr "%a" Report.pp_text ()
+        | `Json -> Fmt.epr "%s@." (Json.to_string (Report.snapshot_json ()))
+    end
+  in
+  Fun.protect ~finally:finish f
+
+(* JSON stats must be the only thing on stderr, or `2>stats.json` would
+   not parse: informational "!" summaries are dropped in that mode *)
+let note (o : obs_opts) fmt =
+  if o.o_stats && o.o_format = `Json then
+    Format.ifprintf Format.err_formatter fmt
+  else Fmt.epr fmt
+
+(* ------------------------------------------------------------------ *)
 (* analyze *)
 
 let analyze_cmd =
-  let run config path =
+  let run config obs path =
     let symtab = parse_and_check path in
+    with_obs obs @@ fun () ->
     let t = Driver.analyze ~config symtab in
     Fmt.pr "configuration: %a@." Config.pp config;
     List.iter
@@ -122,33 +209,35 @@ let analyze_cmd =
       t.Driver.solver.Ipcp_core.Solver.stats.Ipcp_core.Solver.lowerings
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Run interprocedural constant propagation.")
-    Term.(const run $ config_term $ file_arg)
+    Term.(const run $ config_term $ obs_term $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* substitute *)
 
 let substitute_cmd =
-  let run config path =
+  let run config obs path =
     let symtab = parse_and_check path in
+    with_obs obs @@ fun () ->
     let t = Driver.analyze ~config symtab in
     let sub = Ipcp_opt.Substitute.apply t in
     Fmt.pr "%s" (Pretty.program_to_string sub.Ipcp_opt.Substitute.program);
-    Fmt.epr "! %d constants substituted@." sub.Ipcp_opt.Substitute.total
+    note obs "! %d constants substituted@." sub.Ipcp_opt.Substitute.total
   in
   Cmd.v
     (Cmd.info "substitute"
        ~doc:"Print the source with interprocedural constants substituted.")
-    Term.(const run $ config_term $ file_arg)
+    Term.(const run $ config_term $ obs_term $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* complete *)
 
 let complete_cmd =
-  let run config path =
+  let run config obs path =
     let src = or_die (load path) in
+    with_obs obs @@ fun () ->
     let r = Ipcp_opt.Complete.run ~config src in
     Fmt.pr "%s" r.Ipcp_opt.Complete.final_source;
-    Fmt.epr "! complete propagation: %d constants in %d round(s)@."
+    note obs "! complete propagation: %d constants in %d round(s)@."
       r.Ipcp_opt.Complete.count r.Ipcp_opt.Complete.rounds
   in
   Cmd.v
@@ -156,7 +245,7 @@ let complete_cmd =
        ~doc:
          "Iterate constant propagation with dead-code elimination to a \
           fixpoint.")
-    Term.(const run $ config_term $ file_arg)
+    Term.(const run $ config_term $ obs_term $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* intra *)
@@ -186,7 +275,11 @@ let run_cmd =
     let r = Ipcp_interp.Interp.run ~seed ~input symtab in
     List.iter (fun v -> Fmt.pr "%d@." v) r.Ipcp_interp.Interp.output;
     Fmt.epr "! %a after %d steps@." Ipcp_interp.Interp.pp_status
-      r.Ipcp_interp.Interp.status r.Ipcp_interp.Interp.steps_used
+      r.Ipcp_interp.Interp.status r.Ipcp_interp.Interp.steps_used;
+    (* a faulted execution is a failure, not just a stderr note *)
+    match r.Ipcp_interp.Interp.status with
+    | Ipcp_interp.Interp.Fault _ -> exit 1
+    | _ -> ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Interpret a program.")
     Term.(const run $ input_arg $ seed_arg $ file_arg)
@@ -292,7 +385,7 @@ let lint_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
   in
-  let run config format werror disable list_checks path =
+  let run config obs format werror disable list_checks path =
     if list_checks then (
       List.iter
         (fun c ->
@@ -319,17 +412,23 @@ let lint_cmd =
                  exit 2)
     in
     let symtab = parse_and_check path in
-    let t = or_die (Diag.guard_s (fun () -> Driver.analyze ~config symtab)) in
-    let findings =
-      Lint.run ~enabled:(fun c -> not (List.mem c disabled)) t
+    (* the exit decision happens outside with_obs so the trace and stats
+       are flushed first *)
+    let e, w =
+      with_obs obs @@ fun () ->
+      let t = or_die (Diag.guard_s (fun () -> Driver.analyze ~config symtab)) in
+      let findings =
+        Lint.run ~enabled:(fun c -> not (List.mem c disabled)) t
+      in
+      (match format with
+      | `Text ->
+          Fmt.pr "%s" (Lint.render_text findings);
+          let e, w, i = Lint.summary findings in
+          Fmt.epr "! lint: %d error(s), %d warning(s), %d info(s)@." e w i
+      | `Json -> Fmt.pr "%s@." (Lint.render_json findings));
+      let e, w, _ = Lint.summary findings in
+      (e, w)
     in
-    (match format with
-    | `Text ->
-        Fmt.pr "%s" (Lint.render_text findings);
-        let e, w, i = Lint.summary findings in
-        Fmt.epr "! lint: %d error(s), %d warning(s), %d info(s)@." e w i
-    | `Json -> Fmt.pr "%s@." (Lint.render_json findings));
-    let e, w, _ = Lint.summary findings in
     if e > 0 || (werror && w > 0) then exit 1
   in
   Cmd.v
@@ -339,8 +438,8 @@ let lint_cmd =
           out-of-bounds subscripts, constant conditions, dead formals, \
           unreachable procedures).")
     Term.(
-      const run $ config_term $ format_arg $ werror_arg $ disable_arg
-      $ list_checks_arg $ opt_file_arg)
+      const run $ config_term $ obs_term $ format_arg $ werror_arg
+      $ disable_arg $ list_checks_arg $ opt_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* clone *)
@@ -357,6 +456,100 @@ let clone_cmd =
     (Cmd.info "clone"
        ~doc:"Suggest procedure clones from divergent constant vectors.")
     Term.(const run $ config_term $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Also write a Chrome trace-event file covering the whole \
+             suite run.")
+  in
+  let run config format trace =
+    Obs.set_enabled true;
+    Trace.reset ();
+    (* one metrics snapshot per program; the trace accumulates across the
+       whole run *)
+    let per_program =
+      List.map
+        (fun (p : Ipcp_suite.Programs.program) ->
+          Metrics.reset ();
+          let name = p.Ipcp_suite.Programs.name in
+          let _symtab, t =
+            Driver.analyze_source ~config ~file:name
+              p.Ipcp_suite.Programs.source
+          in
+          ignore (Ipcp_opt.Substitute.apply t);
+          (name, Metrics.snapshot (), Metrics.convergence ()))
+        Ipcp_suite.Programs.all
+    in
+    let total = Report.merge (List.map (fun (_, s, _) -> s) per_program) in
+    (match trace with
+    | Some path -> write_file path (Trace.export_chrome ())
+    | None -> ());
+    match format with
+    | `Json ->
+        let programs =
+          List.map
+            (fun (name, snap, conv) ->
+              ( name,
+                Json.Obj
+                  [
+                    ("counters", Report.counters_json snap);
+                    ("convergence", Report.convergence_json conv);
+                  ] ))
+            per_program
+        in
+        Fmt.pr "%s@."
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("configuration", Json.Str (Fmt.str "%a" Config.pp config));
+                  ("programs", Json.Obj programs);
+                  ("total", Json.Obj [ ("counters", Report.counters_json total) ]);
+                ]))
+    | `Text ->
+        let col snap k = Option.value ~default:0 (List.assoc_opt k snap) in
+        Fmt.pr "configuration: %a@.@." Config.pp config;
+        Fmt.pr "%-11s %6s %9s %10s %8s %12s %11s@." "program" "pops"
+          "jf-evals" "lowerings" "meets" "symev-steps" "substituted";
+        List.iter
+          (fun (name, snap, _) ->
+            Fmt.pr "%-11s %6d %9d %10d %8d %12d %11d@." name
+              (col snap "solver.pops")
+              (col snap "solver.jf_evals")
+              (col snap "solver.lowerings")
+              (col snap "solver.meets")
+              (col snap "symeval.steps")
+              (col snap "substitute.substituted"))
+          per_program;
+        Fmt.pr "%-11s %6d %9d %10d %8d %12d %11d@.@." "TOTAL"
+          (col total "solver.pops")
+          (col total "solver.jf_evals")
+          (col total "solver.lowerings")
+          (col total "solver.meets")
+          (col total "symeval.steps")
+          (col total "substitute.substituted");
+        Fmt.pr "aggregate counters:@.";
+        Fmt.pr "%a" Report.pp_counters total
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the analysis over the bundled 12-program suite with \
+          telemetry enabled and report per-program and aggregate metrics.")
+    Term.(const run $ config_term $ format_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite / gen *)
@@ -408,6 +601,7 @@ let () =
             substitute_cmd;
             complete_cmd;
             lint_cmd;
+            stats_cmd;
             intra_cmd;
             run_cmd;
             dump_cmd;

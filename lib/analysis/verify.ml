@@ -361,6 +361,8 @@ let check_ssa_names (cfg : Cfg.t) : violation list =
 (* Entry points *)
 
 let check_cfg ?symtab ~ssa (cfg : Cfg.t) : violation list =
+  Ipcp_obs.Trace.span "verify" @@ fun () ->
+  Ipcp_obs.Metrics.incr "verify.checks";
   match check_structure cfg with
   | _ :: _ as vs -> vs (* graph traversals are unsafe; stop here *)
   | [] ->

@@ -54,7 +54,8 @@ let table2 =
   ]
 
 let pp ppf t =
-  Fmt.pf ppf "%s%s%s%s" (jf_kind_name t.jf)
+  Fmt.pf ppf "%s%s%s%s%s" (jf_kind_name t.jf)
     (if t.return_jfs then "+retjf" else "")
     (if t.use_mod then "+mod" else "-mod")
     (if t.symbolic_returns then "+symret" else "")
+    (if t.verify_ir then "+verify" else "-verify")

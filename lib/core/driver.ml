@@ -24,6 +24,7 @@ module Lower = Ipcp_ir.Lower
 module Callgraph = Ipcp_callgraph.Callgraph
 module Modref = Ipcp_summary.Modref
 module Verify = Ipcp_verify.Verify
+module Trace = Ipcp_obs.Trace
 
 type t = {
   config : Config.t;
@@ -39,13 +40,14 @@ type t = {
 }
 
 let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
+  Trace.span "analyze" @@ fun () ->
   (* preparation *)
-  let cfgs = Lower.lower_program symtab in
+  let cfgs = Trace.span "prepare:lower" (fun () -> Lower.lower_program symtab) in
   if config.Config.verify_ir then
     SM.iter
       (fun _ cfg -> Verify.expect_ok ~what:"lowering" (Verify.check_lowered ~symtab cfg))
       cfgs;
-  let convs = SM.map Ssa.convert_full cfgs in
+  let convs = Trace.span "prepare:ssa" (fun () -> SM.map Ssa.convert_full cfgs) in
   if config.Config.verify_ir then
     SM.iter
       (fun _ (conv : Ssa.conv) ->
@@ -53,40 +55,51 @@ let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
           (Verify.check_ssa ~symtab conv.Ssa.ssa))
       convs;
   let cg =
-    Callgraph.build ~main:symtab.Symtab.main ~order:symtab.Symtab.order cfgs
+    Trace.span "prepare:callgraph" (fun () ->
+        Callgraph.build ~main:symtab.Symtab.main ~order:symtab.Symtab.order
+          cfgs)
   in
   let modref =
-    if config.Config.use_mod then Some (Modref.compute symtab cfgs cg)
-    else None
+    Trace.span "prepare:modref" (fun () ->
+        if config.Config.use_mod then Some (Modref.compute symtab cfgs cg)
+        else None)
   in
   (* stage 1: return jump functions *)
   let rjfs =
-    if config.Config.return_jfs then
-      Returnjf.compute ~symtab ~modref ~convs ~cg
-        ~symbolic:config.Config.symbolic_returns
-    else Returnjf.empty
+    Trace.span "stage1:return-jump-functions" (fun () ->
+        if config.Config.return_jfs then
+          Returnjf.compute ~symtab ~modref ~convs ~cg
+            ~symbolic:config.Config.symbolic_returns
+        else Returnjf.empty)
   in
   (* stage 2: forward jump functions *)
-  let policy =
-    Returnjf.policy ~symtab ~modref ~rjfs
-      ~symbolic:config.Config.symbolic_returns
-  in
-  let evals =
-    SM.mapi
-      (fun p (conv : Ssa.conv) ->
-        Symeval.run ~symtab ~psym:(Symtab.proc symtab p) ~policy conv.Ssa.ssa)
-      convs
-  in
-  let jfs =
-    SM.mapi
-      (fun _p (ev : Symeval.t) ->
-        List.map
-          (Jumpfn.of_site ~symtab ~kind:config.Config.jf ev)
-          ev.Symeval.cfg.Cfg.sites)
-      evals
+  let evals, jfs =
+    Trace.span "stage2:jump-functions" @@ fun () ->
+    let policy =
+      Returnjf.policy ~symtab ~modref ~rjfs
+        ~symbolic:config.Config.symbolic_returns
+    in
+    let evals =
+      SM.mapi
+        (fun p (conv : Ssa.conv) ->
+          Symeval.run ~symtab ~psym:(Symtab.proc symtab p) ~policy
+            conv.Ssa.ssa)
+        convs
+    in
+    let jfs =
+      SM.mapi
+        (fun _p (ev : Symeval.t) ->
+          List.map
+            (Jumpfn.of_site ~symtab ~kind:config.Config.jf ev)
+            ev.Symeval.cfg.Cfg.sites)
+        evals
+    in
+    (evals, jfs)
   in
   (* stage 3: interprocedural propagation *)
-  let solver = Solver.solve ~symtab ~cg ~jfs in
+  let solver =
+    Trace.span "stage3:propagate" (fun () -> Solver.solve ~symtab ~cg ~jfs)
+  in
   { config; symtab; cfgs; convs; cg; modref; rjfs; evals; jfs; solver }
 
 (** CONSTANTS(p). *)
@@ -103,6 +116,7 @@ let total_constants t =
     constant here is a substitution candidate; the substitution pass maps
     their use-sites back to source locations. *)
 let final_eval t p : Symeval.t =
+  Trace.span ~args:[ ("proc", p) ] "stage4:record" @@ fun () ->
   let psym = Symtab.proc t.symtab p in
   let conv = SM.find p t.convs in
   let policy =

@@ -50,6 +50,13 @@ let pp ppf = function
   | Jvar x -> Fmt.string ppf x
   | Jexpr e -> Symexpr.pp ppf e
 
+(** Telemetry tag of the function's class. *)
+let kind_tag = function
+  | Jbottom -> "bottom"
+  | Jconst _ -> "const"
+  | Jvar _ -> "passthrough"
+  | Jexpr _ -> "polynomial"
+
 (** An abstract cost of evaluating the function once, used by the §3.1.5
     cost ablation: constants are free, a pass-through is one lookup, a
     polynomial costs its structural size. *)
@@ -148,7 +155,12 @@ let of_site ~(symtab : Symtab.t) ~(kind : Config.jf_kind) (ev : Symeval.t)
         | _ -> None)
       (Symtab.global_names symtab)
   in
-  { sj_site = s; jfs = formals @ globals }
+  let jfs = formals @ globals in
+  if Ipcp_obs.Obs.on () then
+    List.iter
+      (fun (_, jf) -> Ipcp_obs.Metrics.incr ("jumpfn.built." ^ kind_tag jf))
+      jfs;
+  { sj_site = s; jfs }
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation during interprocedural propagation *)

@@ -21,6 +21,10 @@ val support : t -> Ipcp_frontend.Names.SS.t
 
 val pp : t Fmt.t
 
+val kind_tag : t -> string
+(** Telemetry tag of the function's class: ["bottom"], ["const"],
+    ["passthrough"] or ["polynomial"]. *)
+
 val cost : t -> int
 (** Abstract evaluation cost, for the §3.1.5 ablation. *)
 

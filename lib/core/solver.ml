@@ -16,6 +16,8 @@
 open Ipcp_frontend.Names
 module Symtab = Ipcp_frontend.Symtab
 module Callgraph = Ipcp_callgraph.Callgraph
+module Obs = Ipcp_obs.Obs
+module Metrics = Ipcp_obs.Metrics
 
 type stats = {
   mutable pops : int;  (** worklist pops *)
@@ -94,14 +96,33 @@ let solve ~(symtab : Symtab.t) ~(cg : Callgraph.t)
   let enqueue p =
     if not (Hashtbl.mem queued p) then begin
       Hashtbl.replace queued p ();
-      Queue.add p queue
+      Queue.add p queue;
+      Metrics.incr "solver.pushes"
     end
+  in
+  (* VAL-lattice population, for the convergence log *)
+  let population () =
+    SM.fold
+      (fun _ m acc ->
+        SM.fold
+          (fun _ v (t, c, b) ->
+            match v with
+            | Clattice.Top -> (t + 1, c, b)
+            | Clattice.Const _ -> (t, c + 1, b)
+            | Clattice.Bottom -> (t, c, b + 1))
+          m acc)
+      !vals (0, 0, 0)
   in
   List.iter enqueue cg.Callgraph.procs;
   while not (Queue.is_empty queue) do
     let p = Queue.pop queue in
     Hashtbl.remove queued p;
     stats.pops <- stats.pops + 1;
+    if Obs.on () then begin
+      Metrics.incr "solver.pops";
+      let top, const, bottom = population () in
+      Metrics.converge ~worklist:(Queue.length queue) ~top ~const ~bottom
+    end;
     let env name =
       Option.value ~default:Clattice.Bottom
         (SM.find_opt name (SM.find p !vals))
@@ -115,16 +136,33 @@ let solve ~(symtab : Symtab.t) ~(cg : Callgraph.t)
           (fun ((param : Jumpfn.param), jf) ->
             stats.jf_evals <- stats.jf_evals + 1;
             stats.jf_eval_cost <- stats.jf_eval_cost + Jumpfn.cost jf;
+            if Obs.on () then begin
+              Metrics.incr "solver.jf_evals";
+              Metrics.incr ("solver.jf_evals." ^ Jumpfn.kind_tag jf);
+              Metrics.add "solver.jf_eval_cost" (Jumpfn.cost jf)
+            end;
             let v = Jumpfn.eval jf env in
             let name = param.Jumpfn.p_name in
             let cur =
               Option.value ~default:Clattice.Top (SM.find_opt name !qvals)
             in
             let nv = Clattice.meet cur v in
+            Metrics.incr "solver.meets";
             if not (Clattice.equal nv cur) then begin
               qvals := SM.add name nv !qvals;
               stats.lowerings <- stats.lowerings + 1;
-              lowered := true
+              lowered := true;
+              if Obs.on () then begin
+                Metrics.incr "solver.lowerings";
+                match (cur, nv) with
+                | Clattice.Top, Clattice.Const _ ->
+                    Metrics.incr "solver.trans.top_const"
+                | Clattice.Top, Clattice.Bottom ->
+                    Metrics.incr "solver.trans.top_bottom"
+                | Clattice.Const _, Clattice.Bottom ->
+                    Metrics.incr "solver.trans.const_bottom"
+                | _ -> Metrics.incr "solver.trans.other"
+              end
             end)
           sj.Jumpfn.jfs;
         if !lowered then begin

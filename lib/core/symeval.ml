@@ -195,7 +195,9 @@ let run ?(entry_binding = fun (_ : string) -> (None : value option))
       clip
         (Sexp (f (List.map (function Sexp x -> x | _ -> assert false) args)))
   in
+  let steps = ref 0 in
   let eval_rhs (r : Instr.rhs) =
+    incr steps;
     match r with
     | Instr.Rcopy o -> operand o
     | Instr.Runop (Ipcp_frontend.Ast.Neg, o) -> lift1 Symexpr.neg (operand o)
@@ -245,6 +247,15 @@ let run ?(entry_binding = fun (_ : string) -> (None : value option))
           b.Cfg.instrs)
       order
   done;
+  if Ipcp_obs.Obs.on () then begin
+    let module Metrics = Ipcp_obs.Metrics in
+    Metrics.incr "symeval.runs";
+    Metrics.add "symeval.passes" !passes;
+    Metrics.add "symeval.steps" !steps;
+    Metrics.add
+      ("symeval.steps/" ^ psym.Symtab.proc.Ipcp_frontend.Ast.name)
+      !steps
+  end;
   (* materialise entry names that were only ever read through [lookup], so
      that the exported [value] accessor sees them *)
   Cfg.all_vars ssa_cfg

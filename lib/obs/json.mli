@@ -1,0 +1,28 @@
+(** Minimal JSON tree, printer and parser (no external dependencies).
+
+    Shared by the trace exporter, the stats reports, the bench harness's
+    [BENCH_ipcp.json] and the tests that validate all three. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite floats print as [null]. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document.  Numbers without a fraction or
+    exponent parse as {!Int}, everything else as {!Num}. *)
+
+(** {2 Accessors} (all total; [None] on a shape mismatch) *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option

@@ -1,0 +1,80 @@
+(** The counter registry and the solver convergence log.
+
+    Counters are named monotone integers keyed by dotted paths
+    ("solver.pops", "jumpfn.built.const", "gc.minor_words/analyze", …);
+    a per-phase family uses a ["family/phase"] suffix so the flat
+    namespace still groups naturally when sorted.  Everything is global
+    mutable state, reset per run by the CLI — the analyzer is a batch
+    program, and threading a registry through every pipeline signature
+    would make the instrumentation the most invasive part of the code it
+    measures.
+
+    The convergence log is the solver's per-iteration trajectory:
+    worklist size plus the population of the VAL lattice (how many
+    (procedure, parameter) pairs currently sit at ⊤, at a constant, and
+    at ⊥).  Recording it is O(program) per iteration, so the solver only
+    calls in when telemetry is {!Obs.on}. *)
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 128
+
+let cell name =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add counters name r;
+      r
+
+let add name n =
+  if Obs.on () then begin
+    let r = cell name in
+    r := !r + n
+  end
+
+let incr name = add name 1
+
+let add_ns name ns = add name (Int64.to_int ns)
+
+(** Current value ([0] when never touched). *)
+let get name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+(** All counters, sorted by name. *)
+let snapshot () : (string * int) list =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Convergence log *)
+
+type conv_row = {
+  c_iter : int;  (** worklist iteration (0-based) *)
+  c_worklist : int;  (** queue length after the pop *)
+  c_top : int;  (** VAL entries still at ⊤ *)
+  c_const : int;  (** VAL entries at a constant *)
+  c_bottom : int;  (** VAL entries at ⊥ *)
+}
+
+let conv_rows : conv_row list ref = ref []
+let conv_n = ref 0
+
+let converge ~worklist ~top ~const ~bottom =
+  if Obs.on () then begin
+    conv_rows :=
+      {
+        c_iter = !conv_n;
+        c_worklist = worklist;
+        c_top = top;
+        c_const = const;
+        c_bottom = bottom;
+      }
+      :: !conv_rows;
+    conv_n := !conv_n + 1
+  end
+
+let convergence () : conv_row list = List.rev !conv_rows
+
+let reset () =
+  Hashtbl.reset counters;
+  conv_rows := [];
+  conv_n := 0

@@ -1,0 +1,35 @@
+(** Counter registry and solver convergence log (global, gated on
+    {!Obs.on}, reset per run). *)
+
+val add : string -> int -> unit
+(** Add to a named counter (no-op while telemetry is off). *)
+
+val incr : string -> unit
+
+val add_ns : string -> int64 -> unit
+(** Add a nanosecond duration to a counter. *)
+
+val get : string -> int
+(** Current value; [0] for a counter never touched. *)
+
+val snapshot : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** One solver worklist iteration: queue length after the pop, and the
+    VAL-lattice population at that moment. *)
+type conv_row = {
+  c_iter : int;
+  c_worklist : int;
+  c_top : int;
+  c_const : int;
+  c_bottom : int;
+}
+
+val converge : worklist:int -> top:int -> const:int -> bottom:int -> unit
+(** Append a row to the convergence log (no-op while telemetry is off). *)
+
+val convergence : unit -> conv_row list
+(** The log, in iteration order. *)
+
+val reset : unit -> unit
+(** Clear every counter and the convergence log. *)

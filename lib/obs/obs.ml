@@ -1,0 +1,16 @@
+(** The telemetry master switch and the monotonic clock.
+
+    All recording in {!Metrics} and {!Trace} is gated on {!on}: with the
+    switch off (the default) every instrumentation point reduces to one
+    boolean load, so the analysis pipeline pays nothing for carrying its
+    probes.  The clock is the ns-resolution [CLOCK_MONOTONIC] primitive
+    shipped with bechamel — the same one the timing harness measures
+    with, so span durations and bench numbers are directly comparable. *)
+
+let switch = ref false
+
+let set_enabled b = switch := b
+
+let on () = !switch
+
+let now_ns () : int64 = Monotonic_clock.now ()

@@ -1,0 +1,10 @@
+(** Telemetry master switch and monotonic clock. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off (off by default). *)
+
+val on : unit -> bool
+(** Is telemetry recording enabled? *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on [CLOCK_MONOTONIC]. *)

@@ -1,0 +1,64 @@
+(** Rendering of the metrics registry as text or JSON.
+
+    The CLI uses {!snapshot_json} / {!pp_text} for a single run's
+    [--stats] output, and {!merge} when the [stats] subcommand aggregates
+    one snapshot per suite program into a whole-suite total. *)
+
+let counters_json (snap : (string * int) list) : Json.t =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap)
+
+let convergence_json (rows : Metrics.conv_row list) : Json.t =
+  Json.Arr
+    (List.map
+       (fun (r : Metrics.conv_row) ->
+         Json.Obj
+           [
+             ("iter", Json.Int r.Metrics.c_iter);
+             ("worklist", Json.Int r.Metrics.c_worklist);
+             ("top", Json.Int r.Metrics.c_top);
+             ("const", Json.Int r.Metrics.c_const);
+             ("bottom", Json.Int r.Metrics.c_bottom);
+           ])
+       rows)
+
+(** The current registry and convergence log as one JSON object. *)
+let snapshot_json () : Json.t =
+  Json.Obj
+    [
+      ("counters", counters_json (Metrics.snapshot ()));
+      ("convergence", convergence_json (Metrics.convergence ()));
+    ]
+
+(** Sum a list of snapshots pointwise (missing keys count as 0). *)
+let merge (snaps : (string * int) list list) : (string * int) list =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 128 in
+  List.iter
+    (List.iter (fun (k, v) ->
+         Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k))))
+    snaps;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let pp_counters ppf (snap : (string * int) list) =
+  let width =
+    List.fold_left (fun w (k, _) -> max w (String.length k)) 0 snap
+  in
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-*s %12d@." width k v) snap
+
+let pp_convergence ppf (rows : Metrics.conv_row list) =
+  match rows with
+  | [] -> ()
+  | _ ->
+      Fmt.pf ppf "solver convergence (%d iterations):@." (List.length rows);
+      Fmt.pf ppf "  %6s %9s %6s %6s %7s@." "iter" "worklist" "top" "const"
+        "bottom";
+      List.iter
+        (fun (r : Metrics.conv_row) ->
+          Fmt.pf ppf "  %6d %9d %6d %6d %7d@." r.Metrics.c_iter
+            r.Metrics.c_worklist r.Metrics.c_top r.Metrics.c_const
+            r.Metrics.c_bottom)
+        rows
+
+(** The current registry and convergence log as human-readable text. *)
+let pp_text ppf () =
+  pp_counters ppf (Metrics.snapshot ());
+  pp_convergence ppf (Metrics.convergence ())

@@ -1,0 +1,16 @@
+(** Text/JSON rendering of the metrics registry. *)
+
+val counters_json : (string * int) list -> Json.t
+val convergence_json : Metrics.conv_row list -> Json.t
+
+val snapshot_json : unit -> Json.t
+(** [{"counters": {...}, "convergence": [...]}] for the current state. *)
+
+val merge : (string * int) list list -> (string * int) list
+(** Pointwise sum of counter snapshots, sorted by name. *)
+
+val pp_counters : Format.formatter -> (string * int) list -> unit
+val pp_convergence : Format.formatter -> Metrics.conv_row list -> unit
+
+val pp_text : Format.formatter -> unit -> unit
+(** Counters table followed by the convergence log. *)

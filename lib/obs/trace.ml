@@ -1,0 +1,86 @@
+(** Nested span tracing with Chrome trace-event export.
+
+    {!span} brackets a computation with begin/end events on the monotonic
+    clock.  Spans nest by dynamic extent (the end event is emitted in a
+    [Fun.protect] finaliser, so an escaping exception still closes the
+    span), which is exactly the stack discipline the Chrome trace-event
+    ["B"]/["E"] phase pair encodes — the export loads directly into
+    Perfetto or [chrome://tracing].
+
+    Each span also feeds three per-phase counters into {!Metrics} on
+    completion: ["time_ns/<name>"] (inclusive wall time),
+    ["gc.minor_words/<name>"] and ["gc.major_words/<name>"] (inclusive
+    allocation, from [Gc.quick_stat] deltas).  Inclusive means a parent
+    span's numbers contain its children's — the convention of every
+    hierarchical profiler. *)
+
+type ph = B | E
+
+type event = {
+  ev_name : string;
+  ev_ph : ph;
+  ev_ts : int64;  (** monotonic ns *)
+  ev_args : (string * string) list;
+}
+
+(* newest first *)
+let buf : event list ref = ref []
+
+let reset () = buf := []
+
+let events () : event list = List.rev !buf
+
+let is_empty () = !buf = []
+
+let span ?(args = []) name f =
+  if not (Obs.on ()) then f ()
+  else begin
+    (* [Gc.minor_words] is the precise per-domain accessor; the
+       [quick_stat] counters only advance at collection boundaries *)
+    let m0 = Gc.minor_words () in
+    let j0 = (Gc.quick_stat ()).Gc.major_words in
+    let t0 = Obs.now_ns () in
+    buf := { ev_name = name; ev_ph = B; ev_ts = t0; ev_args = args } :: !buf;
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Obs.now_ns () in
+        let m1 = Gc.minor_words () in
+        let j1 = (Gc.quick_stat ()).Gc.major_words in
+        buf := { ev_name = name; ev_ph = E; ev_ts = t1; ev_args = [] } :: !buf;
+        Metrics.add_ns ("time_ns/" ^ name) (Int64.sub t1 t0);
+        Metrics.add ("gc.minor_words/" ^ name) (int_of_float (m1 -. m0));
+        Metrics.add ("gc.major_words/" ^ name) (int_of_float (j1 -. j0)))
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export *)
+
+let export_chrome () : string =
+  let evs = events () in
+  let base = match evs with [] -> 0L | e :: _ -> e.ev_ts in
+  let ts e = Int64.to_float (Int64.sub e.ev_ts base) /. 1e3 in
+  let event_json e =
+    Json.Obj
+      ([
+         ("name", Json.Str e.ev_name);
+         ("cat", Json.Str "ipcp");
+         ("ph", Json.Str (match e.ev_ph with B -> "B" | E -> "E"));
+         ("ts", Json.Num (ts e));
+         ("pid", Json.Int 1);
+         ("tid", Json.Int 1);
+       ]
+      @
+      if e.ev_args = [] then []
+      else
+        [
+          ( "args",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.ev_args) );
+        ])
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.Arr (List.map event_json evs));
+         ("displayTimeUnit", Json.Str "ms");
+       ])

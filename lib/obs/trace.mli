@@ -1,0 +1,30 @@
+(** Nested span tracing with Chrome trace-event export (gated on
+    {!Obs.on}; without it, {!span} is the identity on its thunk). *)
+
+type ph = B | E
+
+type event = {
+  ev_name : string;
+  ev_ph : ph;
+  ev_ts : int64;  (** monotonic ns *)
+  ev_args : (string * string) list;
+}
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] bracketed by begin/end events, closing the
+    span even if [f] raises.  Completion also accumulates the
+    ["time_ns/<name>"], ["gc.minor_words/<name>"] and
+    ["gc.major_words/<name>"] counters in {!Metrics} (inclusive of child
+    spans). *)
+
+val events : unit -> event list
+(** Recorded events, oldest first. *)
+
+val is_empty : unit -> bool
+
+val reset : unit -> unit
+
+val export_chrome : unit -> string
+(** The event buffer as Chrome trace-event JSON
+    ([{"traceEvents": [...]}]), timestamps in microseconds relative to
+    the first event — loadable in Perfetto or [chrome://tracing]. *)

@@ -28,6 +28,8 @@ type t = {
 }
 
 let round ?config src =
+  Ipcp_obs.Trace.span "pass:complete-round" @@ fun () ->
+  Ipcp_obs.Metrics.incr "complete.rounds";
   let verify_ir =
     (Option.value ~default:Ipcp_core.Config.default config)
       .Ipcp_core.Config.verify_ir

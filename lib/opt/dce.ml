@@ -78,13 +78,35 @@ and prune_stmt (s : Ast.stmt) : [ `Stmts of Ast.stmt list ] =
   | Ast.Continue _ -> `Stmts []
   | s -> `Stmts [ s ]
 
+(* telemetry: statement counts before/after, for the per-pass deltas *)
+let rec n_stmts (ss : Ast.stmt list) : int =
+  List.fold_left (fun acc s -> acc + n_stmt s) 0 ss
+
+and n_stmt (s : Ast.stmt) : int =
+  match s with
+  | Ast.If (branches, els, _) ->
+      1
+      + List.fold_left (fun acc (_, b) -> acc + n_stmts b) 0 branches
+      + n_stmts els
+  | Ast.Do (_, _, _, _, body, _) | Ast.While (_, body, _) -> 1 + n_stmts body
+  | _ -> 1
+
+let n_prog (prog : Ast.program) : int =
+  List.fold_left (fun acc (p : Ast.proc) -> acc + n_stmts p.Ast.body) 0 prog
+
 (** Fold constants and prune unreachable code, to fixpoint-in-one-pass
     (folding first exposes the constant conditions pruning needs). *)
 let prune_program (prog : Ast.program) : Ast.program =
-  List.map
-    (fun (p : Ast.proc) ->
-      { p with Ast.body = prune_stmts (Fold.fold_stmts p.Ast.body) })
-    prog
+  Ipcp_obs.Trace.span "pass:prune" @@ fun () ->
+  let out =
+    List.map
+      (fun (p : Ast.proc) ->
+        { p with Ast.body = prune_stmts (Fold.fold_stmts p.Ast.body) })
+      prog
+  in
+  if Ipcp_obs.Obs.on () then
+    Ipcp_obs.Metrics.add "dce.pruned_stmts" (n_prog prog - n_prog out);
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Fault-safety of expressions *)
@@ -247,10 +269,16 @@ and live_stmt env (s : Ast.stmt) (live_out : SS.t) :
 (** Remove useless assignments from every procedure. *)
 let eliminate_dead (symtab : Symtab.t) (modref : Modref.t)
     (prog : Ast.program) : Ast.program =
-  List.map
-    (fun (p : Ast.proc) ->
-      let psym = Symtab.proc symtab p.Ast.name in
-      let env = { symtab; psym; modref } in
-      let _, body = live_stmts env p.Ast.body (exit_live env) in
-      { p with Ast.body })
-    prog
+  Ipcp_obs.Trace.span "pass:dce" @@ fun () ->
+  let out =
+    List.map
+      (fun (p : Ast.proc) ->
+        let psym = Symtab.proc symtab p.Ast.name in
+        let env = { symtab; psym; modref } in
+        let _, body = live_stmts env p.Ast.body (exit_live env) in
+        { p with Ast.body })
+      prog
+  in
+  if Ipcp_obs.Obs.on () then
+    Ipcp_obs.Metrics.add "dce.deleted_stmts" (n_prog prog - n_prog out);
+  out

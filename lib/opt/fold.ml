@@ -8,6 +8,12 @@
 
 open Ipcp_frontend
 
+(* telemetry: one tick per operation folded to a literal or condition
+   folded to a truth value *)
+let folded x =
+  Ipcp_obs.Metrics.incr "fold.folded";
+  x
+
 let rec fold_expr (e : Ast.expr) : Ast.expr =
   match e with
   | Ast.Int _ | Ast.Var _ -> e
@@ -26,19 +32,19 @@ let rec fold_expr (e : Ast.expr) : Ast.expr =
       with
       | Some vs -> (
           match Ast.eval_intrin i (List.rev vs) with
-          | Some v -> Ast.Int (v, l)
+          | Some v -> folded (Ast.Int (v, l))
           | None -> Ast.Intrin (i, args, l))
       | None -> Ast.Intrin (i, args, l))
   | Ast.Unop (op, e', l) -> (
       match fold_expr e' with
-      | Ast.Int (n, _) -> Ast.Int (Ast.eval_unop op n, l)
+      | Ast.Int (n, _) -> folded (Ast.Int (Ast.eval_unop op n, l))
       | e' -> Ast.Unop (op, e', l))
   | Ast.Binop (op, a, b, l) -> (
       let a = fold_expr a and b = fold_expr b in
       match (a, b) with
       | Ast.Int (x, _), Ast.Int (y, _) -> (
           match Ast.eval_binop op x y with
-          | Some v -> Ast.Int (v, l)
+          | Some v -> folded (Ast.Int (v, l))
           | None -> Ast.Binop (op, a, b, l) (* faults at run time *))
       | _ -> Ast.Binop (op, a, b, l))
 
@@ -48,7 +54,7 @@ let rec fold_cond (c : Ast.cond) : Ast.cond =
       let a = fold_expr a and b = fold_expr b in
       match (a, b) with
       | Ast.Int (x, _), Ast.Int (y, _) ->
-          if Ast.eval_relop op x y then Ast.Btrue else Ast.Bfalse
+          folded (if Ast.eval_relop op x y then Ast.Btrue else Ast.Bfalse)
       | _ -> Ast.Rel (op, a, b))
   | Ast.And (a, b) -> (
       match fold_cond a with
@@ -106,4 +112,5 @@ and fold_stmts b = List.map fold_stmt b
 
 let fold_proc (p : Ast.proc) : Ast.proc = { p with Ast.body = fold_stmts p.Ast.body }
 
-let fold_program (prog : Ast.program) : Ast.program = List.map fold_proc prog
+let fold_program (prog : Ast.program) : Ast.program =
+  Ipcp_obs.Trace.span "pass:fold" (fun () -> List.map fold_proc prog)

@@ -19,6 +19,7 @@ module Config = Ipcp_core.Config
     defaults to true, matching the paper ("for fair comparison, MOD
     information was used"). *)
 let count ?(use_mod = true) (symtab : Symtab.t) : int =
+  Ipcp_obs.Trace.span "pass:intra" @@ fun () ->
   let cfgs = Ipcp_ir.Lower.lower_program symtab in
   let convs = SM.map Ipcp_ir.Ssa.convert_full cfgs in
   let cg =
@@ -62,4 +63,5 @@ let count ?(use_mod = true) (symtab : Symtab.t) : int =
       in
       Ipcp_ir.Cfg.iter_value_operands add ev.Ipcp_core.Symeval.cfg)
     symtab.Symtab.order;
+  Ipcp_obs.Metrics.add "intra.constants" !total;
   !total

@@ -241,6 +241,7 @@ let count_proc (t : t) (ssa : Cfg.t) : int =
     conditional-branch-aware sibling of {!Intra.count}.  [verify_ir]
     sanity-checks every SSA CFG handed to the propagation. *)
 let count ?(use_mod = true) ?(verify_ir = true) (symtab : Symtab.t) : int =
+  Ipcp_obs.Trace.span "pass:sccp" @@ fun () ->
   let cfgs = Ipcp_ir.Lower.lower_program symtab in
   let cg =
     Ipcp_callgraph.Callgraph.build ~main:symtab.Symtab.main
@@ -270,3 +271,6 @@ let count ?(use_mod = true) ?(verify_ir = true) (symtab : Symtab.t) : int =
       in
       acc + count_proc t ssa)
     0 symtab.Symtab.order
+  |> fun n ->
+  Ipcp_obs.Metrics.add "sccp.constants" n;
+  n

@@ -103,6 +103,7 @@ type result = {
 }
 
 let apply (t : Driver.t) : result =
+  Ipcp_obs.Trace.span "pass:substitute" @@ fun () ->
   let subs = constant_uses t in
   let per_proc = ref SM.empty in
   let program =
@@ -127,6 +128,7 @@ let apply (t : Driver.t) : result =
       t.Driver.symtab.Symtab.order
   in
   let total = SM.fold (fun _ c acc -> acc + c) !per_proc 0 in
+  Ipcp_obs.Metrics.add "substitute.substituted" total;
   if t.Driver.config.Ipcp_core.Config.verify_ir then
     Ipcp_verify.Verify.expect_ok ~what:"constant substitution"
       (Ipcp_verify.Verify.check_source ~file:"<substitute>"

@@ -1,0 +1,254 @@
+(** Telemetry tests: the JSON codec, Chrome-trace validity (nesting +
+    monotonicity + stage coverage), agreement between the metric
+    registry and the solver's own statistics, and the zero-output
+    guarantee when telemetry is disabled. *)
+
+module Obs = Ipcp_obs.Obs
+module Trace = Ipcp_obs.Trace
+module Metrics = Ipcp_obs.Metrics
+module Json = Ipcp_obs.Json
+module Config = Ipcp_core.Config
+module Driver = Ipcp_core.Driver
+module Substitute = Ipcp_opt.Substitute
+module Programs = Ipcp_suite.Programs
+
+(* Every test that turns telemetry on runs under this bracket so the
+   global switch and registries never leak into unrelated tests. *)
+let with_obs f =
+  Obs.set_enabled true;
+  Trace.reset ();
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Trace.reset ();
+      Metrics.reset ())
+    f
+
+let analyze name =
+  let p = List.find (fun p -> p.Programs.name = name) Programs.all in
+  Driver.analyze_source ~file:p.Programs.name p.Programs.source
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("n", Json.Int (-42));
+        ("x", Json.Num 1.5);
+        ("s", Json.Str "a \"b\"\n\tc");
+        ("a", Json.Arr [ Json.Int 1; Json.Str "two"; Json.Bool false ]);
+        ("o", Json.Obj [ ("k", Json.Int 7) ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+  | Ok v' -> Alcotest.(check string) "roundtrip"
+               (Json.to_string v) (Json.to_string v')
+
+let test_json_nonfinite () =
+  (* non-finite floats must degrade to null, not produce invalid JSON *)
+  let s = Json.to_string (Json.Arr [ Json.Num Float.nan;
+                                     Json.Num Float.infinity ]) in
+  Alcotest.(check string) "nan/inf render as null" "[null,null]" s;
+  match Json.parse s with
+  | Ok (Json.Arr [ Json.Null; Json.Null ]) -> ()
+  | Ok j -> Alcotest.failf "unexpected parse: %s" (Json.to_string j)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok j ->
+          Alcotest.failf "%S parsed as %s but should fail" s
+            (Json.to_string j))
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "{\"a\":}"; "1 2"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export *)
+
+let fail_json what = Alcotest.failf "trace: %s" what
+
+let get_events trace_str =
+  match Json.parse trace_str with
+  | Error e -> fail_json ("export is not valid JSON: " ^ e)
+  | Ok j -> (
+      match Option.bind (Json.member "traceEvents" j) Json.to_list with
+      | None -> fail_json "no traceEvents array"
+      | Some evs -> evs)
+
+let ev_field name ev to_x =
+  match Option.bind (Json.member name ev) to_x with
+  | Some x -> x
+  | None -> fail_json ("event missing " ^ name)
+
+let test_trace_valid () =
+  with_obs @@ fun () ->
+  let _, d = analyze "adm" in
+  (* stage 4 (result recording) runs lazily, from the substitution
+     pass — same shape as the CLI's analyze command *)
+  ignore (Substitute.apply d);
+  let evs = get_events (Trace.export_chrome ()) in
+  Alcotest.(check bool) "has events" true (evs <> []);
+  (* B/E stack discipline + monotonic non-decreasing timestamps *)
+  let last_ts = ref neg_infinity in
+  let stack = ref [] in
+  List.iter
+    (fun ev ->
+      let name = ev_field "name" ev Json.to_str in
+      let ph = ev_field "ph" ev Json.to_str in
+      let ts =
+        match Option.bind (Json.member "ts" ev) Json.to_float with
+        | Some f -> f
+        | None -> float_of_int (ev_field "ts" ev Json.to_int)
+      in
+      if ts < !last_ts then fail_json "timestamps not monotonic";
+      last_ts := ts;
+      match ph with
+      | "B" -> stack := name :: !stack
+      | "E" -> (
+          match !stack with
+          | top :: rest when top = name -> stack := rest
+          | top :: _ ->
+              fail_json
+                (Printf.sprintf "E %S closes open span %S" name top)
+          | [] -> fail_json ("E " ^ name ^ " with empty span stack"))
+      | p -> fail_json ("unexpected phase " ^ p))
+    evs;
+  Alcotest.(check int) "all spans closed" 0 (List.length !stack);
+  (* the four pipeline stages of §4.1 must all be covered *)
+  let names =
+    List.map (fun ev -> ev_field "name" ev Json.to_str) evs
+  in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool) ("span " ^ stage) true (List.mem stage names))
+    [
+      "analyze";
+      "stage1:return-jump-functions";
+      "stage2:jump-functions";
+      "stage3:propagate";
+      "stage4:record";
+      "verify";
+    ]
+
+let test_trace_disabled () =
+  Obs.set_enabled false;
+  Trace.reset ();
+  Metrics.reset ();
+  ignore (analyze "adm");
+  Alcotest.(check bool) "no events when off" true (Trace.is_empty ());
+  Alcotest.(check (list (pair string int))) "no counters when off" []
+    (Metrics.snapshot ());
+  Alcotest.(check int) "no convergence log when off" 0
+    (List.length (Metrics.convergence ()))
+
+(* ------------------------------------------------------------------ *)
+(* metric registry vs. the solver's own numbers *)
+
+let test_counters_match_solver () =
+  List.iter
+    (fun name ->
+      with_obs @@ fun () ->
+      let _, d = analyze name in
+      let s = d.Driver.solver.Ipcp_core.Solver.stats in
+      let chk what counter expect =
+        Alcotest.(check int)
+          (Printf.sprintf "%s: %s" name what)
+          expect (Metrics.get counter)
+      in
+      chk "pops" "solver.pops" s.Ipcp_core.Solver.pops;
+      chk "jf evals" "solver.jf_evals" s.Ipcp_core.Solver.jf_evals;
+      chk "jf eval cost" "solver.jf_eval_cost"
+        s.Ipcp_core.Solver.jf_eval_cost;
+      chk "lowerings" "solver.lowerings" s.Ipcp_core.Solver.lowerings;
+      (* every pop logs one convergence row *)
+      Alcotest.(check int)
+        (name ^ ": convergence rows")
+        s.Ipcp_core.Solver.pops
+        (List.length (Metrics.convergence ())))
+    [ "adm"; "linpackd"; "mdg"; "spec77" ]
+
+let test_convergence_population () =
+  with_obs @@ fun () ->
+  ignore (analyze "mdg");
+  match Metrics.convergence () with
+  | [] -> Alcotest.fail "empty convergence log"
+  | first :: _ as rows ->
+      let size r =
+        Metrics.(r.c_top + r.c_const + r.c_bottom)
+      in
+      List.iteri
+        (fun i r ->
+          Alcotest.(check int)
+            (Printf.sprintf "row %d: iteration number" i)
+            i r.Metrics.c_iter;
+          Alcotest.(check int)
+            (Printf.sprintf "row %d: VAL population constant" i)
+            (size first) (size r))
+        rows
+
+let test_jumpfn_census_agrees () =
+  with_obs @@ fun () ->
+  let _, d = analyze "spec77" in
+  let c = Driver.census d in
+  let chk what counter expect =
+    Alcotest.(check int) what expect (Metrics.get counter)
+  in
+  chk "bottom jfs" "jumpfn.built.bottom" c.Driver.n_bottom;
+  chk "const jfs" "jumpfn.built.const" c.Driver.n_const;
+  chk "pass-through jfs" "jumpfn.built.passthrough" c.Driver.n_passthrough;
+  chk "polynomial jfs" "jumpfn.built.polynomial" c.Driver.n_poly
+
+let test_substitute_counter () =
+  with_obs @@ fun () ->
+  let _, d = analyze "linpackd" in
+  let r = Substitute.apply d in
+  Alcotest.(check bool) "some substitutions" true (r.Substitute.total > 0);
+  Alcotest.(check int) "substitute counter = result total"
+    r.Substitute.total
+    (Metrics.get "substitute.substituted")
+
+(* ------------------------------------------------------------------ *)
+(* Config.pp renders verify_ir (regression: it used to be dropped) *)
+
+let test_config_pp_verify () =
+  let pp c = Fmt.str "%a" Config.pp c in
+  let on = { Config.default with Config.verify_ir = true } in
+  let off = { Config.default with Config.verify_ir = false } in
+  Alcotest.(check bool) "verify_ir visible in Config.pp" true
+    (pp on <> pp off);
+  Alcotest.(check bool) "+verify marker" true
+    (Astring.String.is_infix ~affix:"+verify" (pp on));
+  Alcotest.(check bool) "-verify marker" true
+    (Astring.String.is_infix ~affix:"-verify" (pp off))
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json non-finite" `Quick test_json_nonfinite;
+        Alcotest.test_case "json parse errors" `Quick test_json_errors;
+        Alcotest.test_case "trace valid + nested + staged" `Quick
+          test_trace_valid;
+        Alcotest.test_case "disabled telemetry is silent" `Quick
+          test_trace_disabled;
+        Alcotest.test_case "counters match Solver.stats" `Quick
+          test_counters_match_solver;
+        Alcotest.test_case "convergence log population" `Quick
+          test_convergence_population;
+        Alcotest.test_case "jump-function census agrees" `Quick
+          test_jumpfn_census_agrees;
+        Alcotest.test_case "substitute counter" `Quick
+          test_substitute_counter;
+        Alcotest.test_case "Config.pp renders verify_ir" `Quick
+          test_config_pp_verify;
+      ] );
+  ]

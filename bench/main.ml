@@ -2,10 +2,13 @@
     over the synthetic suite, prints the §3.1.5 ablations, then runs the
     bechamel timing benchmarks (one [Test.make] per artifact).
 
-    [dune exec bench/main.exe] — add [--no-timing] for the tables only. *)
+    [dune exec bench/main.exe] — add [--no-timing] for the tables only,
+    [--quick] for a trimmed sampling budget (CI). *)
 
 let () =
-  let timing = not (Array.exists (( = ) "--no-timing") Sys.argv) in
+  let flag f = Array.exists (( = ) f) Sys.argv in
+  let timing = not (flag "--no-timing") in
+  let quick = flag "--quick" in
   Tables.print_table1 ();
   Tables.print_table2 ();
   Tables.print_table3 ();
@@ -13,4 +16,4 @@ let () =
   Tables.print_ablation ();
   Tables.print_extensions ();
   Tables.print_cloning ();
-  if timing then Timing.run ()
+  if timing then Timing.run ~quick ()

@@ -13,6 +13,15 @@ module Intra = Ipcp_opt.Intra
 module Complete = Ipcp_opt.Complete
 module Programs = Ipcp_suite.Programs
 module Expected = Ipcp_suite.Expected
+module Pool = Ipcp_par.Pool
+
+(* Measure every suite row in parallel (one worker per program), print
+   after the join: [Pool.map_list] preserves order, so the rendered
+   tables are identical to the sequential loop's. *)
+let suite_rows f =
+  Pool.map_list ~jobs:(Pool.default_jobs ())
+    (fun (p : Programs.program) -> (p, f p))
+    Programs.all
 
 let count_with config (p : Programs.program) =
   let _, t = Driver.analyze_source ~config ~file:p.Programs.name p.Programs.source in
@@ -82,15 +91,14 @@ let print_table2 () =
   Fmt.pr "%-11s | %6s %6s %6s %6s | %6s %6s |@." "Program" "poly" "pass"
     "intra" "lit" "poly" "pass";
   List.iter
-    (fun (p : Programs.program) ->
-      let m = measure_table2 p in
+    (fun ((p : Programs.program), m) ->
       let e = Expected.row2 p.Programs.name in
       Fmt.pr "%-11s | %6d %6d %6d %6d | %6d %6d |  paper: %d/%d/%d/%d | %d/%d@."
         p.Programs.name m.m_poly_r m.m_pass_r m.m_intra_r m.m_lit_r m.m_poly
         m.m_pass e.Expected.t2_poly_r e.Expected.t2_pass_r
         e.Expected.t2_intra_r e.Expected.t2_lit_r e.Expected.t2_poly
         e.Expected.t2_pass)
-    Programs.all
+    (suite_rows measure_table2)
 
 (* ------------------------------------------------------------------ *)
 (* Table 3 *)
@@ -123,14 +131,13 @@ let print_table3 () =
   Fmt.pr "%-11s | %7s %7s %9s %7s | %s@." "Program" "-MOD" "+MOD" "complete"
     "intra" "paper -MOD/+MOD/complete/intra";
   List.iter
-    (fun (p : Programs.program) ->
-      let m = measure_table3 p in
+    (fun ((p : Programs.program), m) ->
       let e = Expected.row3 p.Programs.name in
       Fmt.pr "%-11s | %7d %7d %9d %7d |  paper: %d/%d/%d/%d@."
         p.Programs.name m.m_no_mod m.m_with_mod m.m_complete m.m_intra_only
         e.Expected.t3_no_mod e.Expected.t3_with_mod e.Expected.t3_complete
         e.Expected.t3_intra_only)
-    Programs.all
+    (suite_rows measure_table3)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: §3.1.5 cost model and the bounded-lowering claim *)
@@ -142,26 +149,27 @@ let print_ablation () =
     "Jconst" "Jvar" "Jexpr" "Jbot" "Σcost" "pops" "jf-evals" "lower"
     "passes";
   List.iter
-    (fun (p : Programs.program) ->
-      let _, t =
-        Driver.analyze_source
-          ~config:(cfg Ipcp_core.Config.Polynomial ~retjf:true ~md:true)
-          ~file:p.Programs.name p.Programs.source
-      in
-      let c = Driver.census t in
-      let s = t.Driver.solver.Ipcp_core.Solver.stats in
-      let max_passes =
-        Ipcp_frontend.Names.SM.fold
-          (fun _ (ev : Ipcp_core.Symeval.t) acc ->
-            max acc ev.Ipcp_core.Symeval.passes)
-          t.Driver.evals 0
-      in
+    (fun ((p : Programs.program), (c, s, max_passes)) ->
       Fmt.pr "%-11s | %6d %6d %6d %6d %8d | %5d %8d %6d | %6d@."
         p.Programs.name c.Driver.n_const c.Driver.n_passthrough
         c.Driver.n_poly c.Driver.n_bottom c.Driver.total_cost
         s.Ipcp_core.Solver.pops s.Ipcp_core.Solver.jf_evals
         s.Ipcp_core.Solver.lowerings max_passes)
-    Programs.all;
+    (suite_rows (fun p ->
+         let _, t =
+           Driver.analyze_source
+             ~config:(cfg Ipcp_core.Config.Polynomial ~retjf:true ~md:true)
+             ~file:p.Programs.name p.Programs.source
+         in
+         let c = Driver.census t in
+         let s = t.Driver.solver.Ipcp_core.Solver.stats in
+         let max_passes =
+           Ipcp_frontend.Names.SM.fold
+             (fun _ (ev : Ipcp_core.Symeval.t) acc ->
+               max acc ev.Ipcp_core.Symeval.passes)
+             t.Driver.evals 0
+         in
+         (c, s, max_passes)));
   Fmt.pr
     "(lowerings never exceed 2 x the number of VAL entries — the lattice-depth bound of §3.1.5)@."
 
@@ -171,45 +179,55 @@ let print_ablation () =
 let print_extensions () =
   Fmt.pr
     "@.Extensions: symbolic return JFs; SCCP baseline; binding-graph solver@.";
-  Fmt.pr "%-11s | %8s %8s | %8s %8s | %14s %14s@." "Program" "poly+R"
-    "+symret" "intra" "SCCP" "cg pops/evals" "bg pops/evals";
+  Fmt.pr "%-11s | %8s %8s | %8s %8s | %14s %14s %14s@." "Program" "poly+R"
+    "+symret" "intra" "SCCP" "scc pops/evals" "fifo pops/evals"
+    "bg pops/evals";
   List.iter
-    (fun (p : Programs.program) ->
-      let symtab =
-        Sema.parse_and_analyze ~file:p.Programs.name p.Programs.source
-      in
-      let base_cfg = cfg Ipcp_core.Config.Polynomial ~retjf:true ~md:true in
-      let t = Driver.analyze ~config:base_cfg symtab in
-      let base = Substitute.count t in
-      let symret =
-        Substitute.count
-          (Driver.analyze
-             ~config:{ base_cfg with Ipcp_core.Config.symbolic_returns = true }
-             symtab)
-      in
-      let intra = Intra.count symtab in
-      let sccp = Ipcp_opt.Sccp.count symtab in
-      let s = t.Driver.solver.Ipcp_core.Solver.stats in
-      let bg =
-        Ipcp_core.Bindgraph.solve ~symtab ~cg:t.Driver.cg ~jfs:t.Driver.jfs
-      in
-      let bs = bg.Ipcp_core.Solver.stats in
-      Fmt.pr "%-11s | %8d %8d | %8d %8d | %6d/%-7d %6d/%-7d@."
+    (fun ((p : Programs.program), (base, symret, intra, sccp, s, fs, bs)) ->
+      Fmt.pr "%-11s | %8d %8d | %8d %8d | %6d/%-7d %6d/%-7d %6d/%-7d@."
         p.Programs.name base symret intra sccp s.Ipcp_core.Solver.pops
-        s.Ipcp_core.Solver.jf_evals bs.Ipcp_core.Solver.pops
+        s.Ipcp_core.Solver.jf_evals fs.Ipcp_core.Solver.pops
+        fs.Ipcp_core.Solver.jf_evals bs.Ipcp_core.Solver.pops
         bs.Ipcp_core.Solver.jf_evals)
-    Programs.all
+    (suite_rows (fun p ->
+         let symtab =
+           Sema.parse_and_analyze ~file:p.Programs.name p.Programs.source
+         in
+         let base_cfg = cfg Ipcp_core.Config.Polynomial ~retjf:true ~md:true in
+         let t = Driver.analyze ~config:base_cfg symtab in
+         let base = Substitute.count t in
+         let symret =
+           Substitute.count
+             (Driver.analyze
+                ~config:
+                  { base_cfg with Ipcp_core.Config.symbolic_returns = true }
+                symtab)
+         in
+         let intra = Intra.count symtab in
+         let sccp = Ipcp_opt.Sccp.count symtab in
+         let s = t.Driver.solver.Ipcp_core.Solver.stats in
+         (* the paper's FIFO worklist on the same jump functions, for the
+            scheduling comparison *)
+         let fifo =
+           Ipcp_core.Solver.solve ~strategy:Ipcp_core.Solver.Fifo ~symtab
+             ~cg:t.Driver.cg ~jfs:t.Driver.jfs ()
+         in
+         let bg =
+           Ipcp_core.Bindgraph.solve ~symtab ~cg:t.Driver.cg ~jfs:t.Driver.jfs
+         in
+         ( base,
+           symret,
+           intra,
+           sccp,
+           s,
+           fifo.Ipcp_core.Solver.stats,
+           bg.Ipcp_core.Solver.stats )))
 
 let print_cloning () =
   Fmt.pr "@.Cloning advisor (Metzger–Stroud, §5): potential gains@.";
   List.iter
-    (fun (p : Programs.program) ->
-      let _, t =
-        Driver.analyze_source
-          ~config:(cfg Ipcp_core.Config.Polynomial ~retjf:true ~md:true)
-          ~file:p.Programs.name p.Programs.source
-      in
-      match Ipcp_core.Cloning.advise t with
+    (fun ((p : Programs.program), advs) ->
+      match advs with
       | [] -> Fmt.pr "%-11s no profitable clones@." p.Programs.name
       | advs ->
           let gained =
@@ -217,7 +235,13 @@ let print_cloning () =
           in
           Fmt.pr "%-11s %d procedures worth cloning, +%d constants@."
             p.Programs.name (List.length advs) gained)
-    Programs.all
+    (suite_rows (fun p ->
+         let _, t =
+           Driver.analyze_source
+             ~config:(cfg Ipcp_core.Config.Polynomial ~retjf:true ~md:true)
+             ~file:p.Programs.name p.Programs.source
+         in
+         Ipcp_core.Cloning.advise t))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1: the lattice *)

@@ -49,6 +49,18 @@ let gen_src n_procs =
       { Ipcp_gen.Generator.default with Ipcp_gen.Generator.n_procs; seed = 11 }
     ()
 
+(* domain-pool scaling: the same 64-procedure program analyzed with a
+   fixed worker count, so the jobs-1/jobs-N ratio reads off the pool's
+   win (results are bit-identical across the variants by construction) *)
+let par_cfg jobs = { Config.default with Config.verify_ir = false; jobs }
+
+let par_test n =
+  Test.make
+    ~name:(Fmt.str "par:jobs-%d" n)
+    (let src = gen_src 64 in
+     Staged.stage (fun () ->
+         ignore (Driver.analyze_source ~config:(par_cfg n) ~file:"<g>" src)))
+
 let tests =
   Test.make_grouped ~name:"ipcp"
     [
@@ -92,6 +104,15 @@ let tests =
         (let src = gen_src 32 in
          Staged.stage (fun () ->
              ignore (Driver.analyze_source ~file:"<g>" src)));
+      Test.make ~name:"scale:64-procs"
+        (let src = gen_src 64 in
+         Staged.stage (fun () ->
+             ignore (Driver.analyze_source ~file:"<g>" src)));
+      (* multicore pipeline: same work, varying domain count *)
+      par_test 1;
+      par_test 2;
+      par_test 4;
+      par_test 8;
     ]
 
 (* flat name -> ns/run object; a failed OLS fit (nan) renders as null *)
@@ -107,10 +128,14 @@ let write_json rows =
   close_out oc;
   Fmt.pr "@.wrote %s (%d benchmarks)@." file (List.length rows)
 
-let run () =
+(** [quick] trims the per-benchmark sampling budget for CI: the OLS
+    estimates get noisier, but every benchmark still runs and the JSON
+    artifact keeps its shape. *)
+let run ?(quick = false) () =
   let instance = Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+    if quick then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
   in
   let raw = Benchmark.all cfg [ instance ] tests in
   let ols =

@@ -83,17 +83,29 @@ let no_verify =
     & info [ "no-verify" ]
         ~doc:"Skip the structural IR/SSA verifier between pipeline stages.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for per-procedure pipeline stages.  1 forces \
+           the sequential path; results are identical either way.  \
+           Default (or 0): $(b,IPCP_JOBS), else the machine's \
+           recommended domain count.")
+
 let config_term =
-  let make jf no_mod no_retjf symret no_verify =
+  let make jf no_mod no_retjf symret no_verify jobs =
     {
       Config.jf;
       return_jfs = not no_retjf;
       use_mod = not no_mod;
       symbolic_returns = symret;
       verify_ir = not no_verify;
+      jobs = (if jobs <= 0 then Ipcp_par.Pool.default_jobs () else jobs);
     }
   in
-  Term.(const make $ jf_arg $ no_mod $ no_retjf $ symret $ no_verify)
+  Term.(
+    const make $ jf_arg $ no_mod $ no_retjf $ symret $ no_verify $ jobs_arg)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
@@ -479,20 +491,31 @@ let stats_cmd =
   let run config format trace =
     Obs.set_enabled true;
     Trace.reset ();
-    (* one metrics snapshot per program; the trace accumulates across the
-       whole run *)
+    (* One metrics snapshot per program; the trace accumulates across the
+       whole run.  The programs themselves run in parallel (one worker
+       per program, the per-program pipeline sequential inside it) —
+       metrics registries are domain-local, so each task resets its own,
+       snapshots before finishing, and clears the registry so nothing
+       leaks into the joined totals.  Tracing wants the event buffer, and
+       workers do not record events, so [--trace] forces the sequential
+       path. *)
+    let suite_jobs = if trace <> None then 1 else config.Config.jobs in
+    let one (p : Ipcp_suite.Programs.program) =
+      Metrics.reset ();
+      let name = p.Ipcp_suite.Programs.name in
+      let _symtab, t =
+        Driver.analyze_source
+          ~config:{ config with Config.jobs = 1 }
+          ~file:name p.Ipcp_suite.Programs.source
+      in
+      ignore (Ipcp_opt.Substitute.apply t);
+      let row = (name, Metrics.snapshot (), Metrics.convergence ()) in
+      Metrics.reset ();
+      row
+    in
     let per_program =
-      List.map
-        (fun (p : Ipcp_suite.Programs.program) ->
-          Metrics.reset ();
-          let name = p.Ipcp_suite.Programs.name in
-          let _symtab, t =
-            Driver.analyze_source ~config ~file:name
-              p.Ipcp_suite.Programs.source
-          in
-          ignore (Ipcp_opt.Substitute.apply t);
-          (name, Metrics.snapshot (), Metrics.convergence ()))
-        Ipcp_suite.Programs.all
+      if suite_jobs <= 1 then List.map one Ipcp_suite.Programs.all
+      else Ipcp_par.Pool.map_list ~jobs:suite_jobs one Ipcp_suite.Programs.all
     in
     let total = Report.merge (List.map (fun (_, s, _) -> s) per_program) in
     (match trace with

@@ -77,3 +77,16 @@ let bottom_up t = t.components
 
 (** Callers before callees: the top-down order. *)
 let top_down t = List.rev t.components
+
+(** Dense priority ranks in reverse postorder over the condensation:
+    [rank p < rank q] whenever [p]'s component strictly precedes [q]'s
+    in the top-down order (callers first), with DFS discovery order as
+    the tie-break inside a component.  The solver's priority worklist pops
+    the smallest rank, so a procedure is processed after the callers
+    that feed its VAL set. *)
+let top_down_ranks t : int SM.t =
+  List.fold_left
+    (fun (i, m) comp ->
+      List.fold_left (fun (i, m) p -> (i + 1, SM.add p i m)) (i, m) comp)
+    (0, SM.empty) (top_down t)
+  |> snd

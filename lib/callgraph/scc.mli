@@ -20,3 +20,8 @@ val bottom_up : t -> string list list
 (** Callees before callers. *)
 
 val top_down : t -> string list list
+
+val top_down_ranks : t -> int SM.t
+(** Dense per-procedure priority: reverse postorder over the
+    condensation, callers before callees.  Drives the solver's priority
+    worklist. *)

@@ -31,6 +31,12 @@ type t = {
           construction and every transformation pass; on by default so
           that any pass that corrupts the IR fails loudly (benchmarks
           turn it off to keep timings about the analysis itself) *)
+  jobs : int;
+      (** worker domains for the per-procedure pipeline stages;
+          [1] takes the exact sequential code path, and parallel results
+          are bit-identical to it by construction (see {!Ipcp_par.Pool}).
+          Default: [IPCP_JOBS] or the machine's recommended domain
+          count. *)
 }
 
 let default =
@@ -40,6 +46,7 @@ let default =
     use_mod = true;
     symbolic_returns = false;
     verify_ir = true;
+    jobs = Ipcp_par.Pool.default_jobs ();
   }
 
 (** The configurations of the paper's Table 2, in column order. *)

@@ -16,6 +16,12 @@ type t = {
   verify_ir : bool;
       (** run the structural IR/SSA verifier after lowering, SSA
           construction and every transformation pass (default: on) *)
+  jobs : int;
+      (** worker domains for per-procedure pipeline stages (1 = exact
+          sequential path; parallel output is bit-identical to it).
+          Default: [IPCP_JOBS] or the recommended domain count.
+          Deliberately not part of {!pp}: a configuration names an
+          analysis, not an execution schedule. *)
 }
 
 val default : t

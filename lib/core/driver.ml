@@ -22,9 +22,11 @@ module Cfg = Ipcp_ir.Cfg
 module Ssa = Ipcp_ir.Ssa
 module Lower = Ipcp_ir.Lower
 module Callgraph = Ipcp_callgraph.Callgraph
+module Scc = Ipcp_callgraph.Scc
 module Modref = Ipcp_summary.Modref
 module Verify = Ipcp_verify.Verify
 module Trace = Ipcp_obs.Trace
+module Pool = Ipcp_par.Pool
 
 type t = {
   config : Config.t;
@@ -39,17 +41,60 @@ type t = {
   solver : Solver.t;
 }
 
+(* Parallel lowering.  Call sites are numbered by one counter walking the
+   procedures in declaration order; to lower procedures independently we
+   pre-compute each procedure's site-id offset (prefix sums over the
+   AST-level {!Lower.count_sites}) and give every task its own counter
+   starting there — the numbering is exactly the sequential one. *)
+let lower_parallel ~jobs (symtab : Symtab.t) : Cfg.t SM.t =
+  let procs =
+    List.rev (Symtab.fold_procs (fun psym acc -> psym :: acc) symtab [])
+  in
+  let tasks =
+    let off = ref 0 in
+    List.map
+      (fun (psym : Symtab.proc_sym) ->
+        let o = !off in
+        off := o + Lower.count_sites psym.Symtab.proc;
+        (psym, o))
+      procs
+  in
+  List.fold_left
+    (fun acc (name, cfg) -> SM.add name cfg acc)
+    SM.empty
+    (Pool.map_list ~jobs
+       (fun ((psym : Symtab.proc_sym), off) ->
+         ( psym.Symtab.proc.Ipcp_frontend.Ast.name,
+           Lower.lower_proc symtab ~site_counter:(ref off) psym ))
+       tasks)
+
 let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
   Trace.span "analyze" @@ fun () ->
+  let jobs = max 1 config.Config.jobs in
+  (* Workers record no trace events, so when a verification fan-out runs
+     parallel we bracket it with one coordinator-side span to keep the
+     phase visible in the trace. *)
+  let verify_fanout check m =
+    if jobs <= 1 then SM.iter check m
+    else Trace.span "verify" (fun () -> Pool.iter_sm ~jobs check m)
+  in
   (* preparation *)
-  let cfgs = Trace.span "prepare:lower" (fun () -> Lower.lower_program symtab) in
+  let cfgs =
+    Trace.span "prepare:lower" (fun () ->
+        if jobs <= 1 then Lower.lower_program symtab
+        else lower_parallel ~jobs symtab)
+  in
   if config.Config.verify_ir then
-    SM.iter
+    verify_fanout
       (fun _ cfg -> Verify.expect_ok ~what:"lowering" (Verify.check_lowered ~symtab cfg))
       cfgs;
-  let convs = Trace.span "prepare:ssa" (fun () -> SM.map Ssa.convert_full cfgs) in
+  let convs =
+    Trace.span "prepare:ssa" (fun () ->
+        if jobs <= 1 then SM.map Ssa.convert_full cfgs
+        else Pool.map_sm ~jobs (fun _ cfg -> Ssa.convert_full cfg) cfgs)
+  in
   if config.Config.verify_ir then
-    SM.iter
+    verify_fanout
       (fun _ (conv : Ssa.conv) ->
         Verify.expect_ok ~what:"SSA construction"
           (Verify.check_ssa ~symtab conv.Ssa.ssa))
@@ -59,6 +104,9 @@ let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
         Callgraph.build ~main:symtab.Symtab.main ~order:symtab.Symtab.order
           cfgs)
   in
+  (* the SCC condensation is shared by stage 1's bottom-up walk and the
+     solver's priority worklist *)
+  let scc = Trace.span "prepare:scc" (fun () -> Scc.compute cg) in
   let modref =
     Trace.span "prepare:modref" (fun () ->
         if config.Config.use_mod then Some (Modref.compute symtab cfgs cg)
@@ -68,37 +116,40 @@ let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
   let rjfs =
     Trace.span "stage1:return-jump-functions" (fun () ->
         if config.Config.return_jfs then
-          Returnjf.compute ~symtab ~modref ~convs ~cg
-            ~symbolic:config.Config.symbolic_returns
+          Returnjf.compute ~scc ~symtab ~modref ~convs ~cg
+            ~symbolic:config.Config.symbolic_returns ()
         else Returnjf.empty)
   in
-  (* stage 2: forward jump functions *)
+  (* stage 2: forward jump functions — symbolic evaluation and the jump
+     functions of each procedure's sites, fused per procedure so one
+     parallel fan-out covers both *)
   let evals, jfs =
     Trace.span "stage2:jump-functions" @@ fun () ->
     let policy =
       Returnjf.policy ~symtab ~modref ~rjfs
         ~symbolic:config.Config.symbolic_returns
     in
-    let evals =
-      SM.mapi
+    let pairs =
+      Pool.map_sm ~jobs
         (fun p (conv : Ssa.conv) ->
-          Symeval.run ~symtab ~psym:(Symtab.proc symtab p) ~policy
-            conv.Ssa.ssa)
+          let ev =
+            Symeval.run ~symtab ~psym:(Symtab.proc symtab p) ~policy
+              conv.Ssa.ssa
+          in
+          let sjs =
+            List.map
+              (Jumpfn.of_site ~symtab ~kind:config.Config.jf ev)
+              ev.Symeval.cfg.Cfg.sites
+          in
+          (ev, sjs))
         convs
     in
-    let jfs =
-      SM.mapi
-        (fun _p (ev : Symeval.t) ->
-          List.map
-            (Jumpfn.of_site ~symtab ~kind:config.Config.jf ev)
-            ev.Symeval.cfg.Cfg.sites)
-        evals
-    in
-    (evals, jfs)
+    (SM.map fst pairs, SM.map snd pairs)
   in
   (* stage 3: interprocedural propagation *)
   let solver =
-    Trace.span "stage3:propagate" (fun () -> Solver.solve ~symtab ~cg ~jfs)
+    Trace.span "stage3:propagate" (fun () ->
+        Solver.solve ~scc ~symtab ~cg ~jfs ())
   in
   { config; symtab; cfgs; convs; cg; modref; rjfs; evals; jfs; solver }
 
@@ -129,6 +180,17 @@ let final_eval t p : Symeval.t =
     | _ -> None (* stays symbolic: entry value unknown *)
   in
   Symeval.run ~entry_binding ~symtab:t.symtab ~psym ~policy conv.Ssa.ssa
+
+(** Stage 4 over every procedure — the fan-out the substitution pass
+    consumes, parallel across procedures when [config.jobs > 1] (workers
+    record no trace events, so the parallel case gets one coordinator-side
+    span). *)
+let final_evals (t : t) : Symeval.t SM.t =
+  let jobs = max 1 t.config.Config.jobs in
+  if jobs <= 1 then SM.mapi (fun p _ -> final_eval t p) t.convs
+  else
+    Trace.span "stage4:record" (fun () ->
+        Pool.map_sm ~jobs (fun p _ -> final_eval t p) t.convs)
 
 (* ------------------------------------------------------------------ *)
 (* Convenience front ends *)

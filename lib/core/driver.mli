@@ -40,6 +40,10 @@ val final_eval : t -> string -> Symeval.t
     the propagation fixpoint.  SSA names whose values fold to constants
     here are the substitution candidates. *)
 
+val final_evals : t -> Symeval.t Ipcp_frontend.Names.SM.t
+(** {!final_eval} for every procedure, parallel across procedures when
+    [config.jobs > 1] (results identical to the sequential map). *)
+
 (** Census of the jump functions built, for the §3.1.5 cost ablation. *)
 type jf_census = {
   n_bottom : int;

@@ -184,10 +184,11 @@ let of_proc ~(symtab : Symtab.t) ~(modref : Modref.t option) ~(rjfs : t)
     targets := RT.add RResult (exit_value proc.Ipcp_frontend.Ast.name) !targets;
   !targets
 
-(** Build all return jump functions, bottom-up over the call graph. *)
-let compute ~(symtab : Symtab.t) ~(modref : Modref.t option)
-  ~(convs : Ssa.conv SM.t) ~(cg : Callgraph.t) ~symbolic : t =
-  let scc = Scc.compute cg in
+(** Build all return jump functions, bottom-up over the call graph.
+    [?scc] reuses an already-computed condensation of [cg]. *)
+let compute ?scc ~(symtab : Symtab.t) ~(modref : Modref.t option)
+  ~(convs : Ssa.conv SM.t) ~(cg : Callgraph.t) ~symbolic () : t =
+  let scc = match scc with Some s -> s | None -> Scc.compute cg in
   List.fold_left
     (fun rjfs comp ->
       (* within an SCC, callee functions default to ⊥ (absent) *)

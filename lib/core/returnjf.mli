@@ -48,14 +48,16 @@ val policy :
     modified ones take the callee's return jump function value. *)
 
 val compute :
+  ?scc:Ipcp_callgraph.Scc.t ->
   symtab:Symtab.t ->
   modref:Modref.t option ->
   convs:Ssa.conv Ipcp_frontend.Names.SM.t ->
   cg:Callgraph.t ->
   symbolic:bool ->
+  unit ->
   t
 (** Build all return jump functions, bottom-up over the SCC condensation.
     Within a recursive component, not-yet-available callee functions are ⊥
-    (conservative). *)
+    (conservative).  [?scc] reuses an already-computed condensation. *)
 
 val pp : t Fmt.t

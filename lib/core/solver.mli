@@ -2,10 +2,16 @@
     worklist scheme of §2/§4.1.  Each call edge folds the evaluation of
     its jump functions into the callee's VAL via the lattice meet;
     lowering a value re-enqueues the callee.  CONSTANTS(p) is read off the
-    fixpoint. *)
+    fixpoint.
+
+    The worklist is by default a priority queue in reverse postorder over
+    the call-graph SCC condensation (callers before callees); the paper's
+    plain FIFO is kept as {!Fifo} for comparison.  Both disciplines reach
+    the same fixpoint. *)
 
 module Symtab = Ipcp_frontend.Symtab
 module Callgraph = Ipcp_callgraph.Callgraph
+module Scc = Ipcp_callgraph.Scc
 
 type stats = {
   mutable pops : int;  (** worklist pops *)
@@ -20,6 +26,10 @@ type t = {
   stats : stats;
 }
 
+type strategy = Scc_order | Fifo
+(** Worklist discipline: SCC-condensation priority order (default) or
+    the paper's FIFO. *)
+
 val params_of : Symtab.t -> Symtab.proc_sym -> string list
 (** Parameters tracked for a procedure: its scalar formals plus every
     scalar global of the program (the paper's extended definition of
@@ -30,10 +40,15 @@ val main_seed : Symtab.t -> Clattice.t Ipcp_frontend.Names.SM.t
     constants, everything else ⊥. *)
 
 val solve :
+  ?strategy:strategy ->
+  ?scc:Scc.t ->
   symtab:Symtab.t ->
   cg:Callgraph.t ->
   jfs:Jumpfn.site_jfs list Ipcp_frontend.Names.SM.t ->
+  unit ->
   t
+(** [?scc] lets the caller reuse an already-computed condensation for
+    the {!Scc_order} ranks; it is computed on demand otherwise. *)
 
 val constants : t -> string -> int Ipcp_frontend.Names.SM.t
 (** CONSTANTS(p): the (name, value) pairs known constant on entry. *)

@@ -299,3 +299,59 @@ let lower_program (symtab : Symtab.t) : Cfg.t Names.SM.t =
       let cfg = lower_proc symtab ~site_counter psym in
       Names.SM.add psym.Symtab.proc.Ast.name cfg acc)
     symtab Names.SM.empty
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic site counting *)
+
+(* [lower_call] runs (and bumps the site counter) exactly once per [CALL]
+   statement or function-call expression, so the number of site ids a
+   procedure consumes can be read off its AST.  That lets a parallel
+   driver pre-compute each procedure's site-id offset — prefix sums over
+   the declaration order — and lower procedures independently while
+   reproducing the exact numbering of the sequential walk. *)
+
+let rec count_expr (e : Ast.expr) : int =
+  match e with
+  | Ast.Int _ | Ast.Var _ -> 0
+  | Ast.Index (_, i, _) -> count_expr i
+  | Ast.Unop (_, e, _) -> count_expr e
+  | Ast.Binop (_, e1, e2, _) -> count_expr e1 + count_expr e2
+  | Ast.Intrin (_, args, _) -> count_exprs args
+  | Ast.Callf (_, args, _) -> 1 + count_exprs args
+
+and count_exprs es = List.fold_left (fun n e -> n + count_expr e) 0 es
+
+let rec count_cond = function
+  | Ast.Rel (_, e1, e2) -> count_expr e1 + count_expr e2
+  | Ast.And (c1, c2) | Ast.Or (c1, c2) -> count_cond c1 + count_cond c2
+  | Ast.Not c -> count_cond c
+  | Ast.Btrue | Ast.Bfalse -> 0
+
+let rec count_stmt (s : Ast.stmt) : int =
+  match s with
+  | Ast.Assign (Ast.Lvar _, e, _) -> count_expr e
+  | Ast.Assign (Ast.Lindex (_, i, _), e, _) -> count_expr i + count_expr e
+  | Ast.If (branches, els, _) ->
+      List.fold_left
+        (fun n (c, body) -> n + count_cond c + count_body body)
+        (count_body els) branches
+  | Ast.Do (_, lo, hi, step, body, _) ->
+      count_expr lo + count_expr hi
+      + (match step with Some e -> count_expr e | None -> 0)
+      + count_body body
+  | Ast.While (c, body, _) -> count_cond c + count_body body
+  | Ast.Call (_, args, _) -> 1 + count_exprs args
+  | Ast.Print (es, _) -> count_exprs es
+  | Ast.Read (lvs, _) ->
+      List.fold_left
+        (fun n lv ->
+          match lv with
+          | Ast.Lvar _ -> 0 + n
+          | Ast.Lindex (_, i, _) -> count_expr i + n)
+        0 lvs
+  | Ast.Return _ | Ast.Stop _ | Ast.Continue _ -> 0
+
+and count_body body = List.fold_left (fun n s -> n + count_stmt s) 0 body
+
+(** Number of call-site ids [lower_proc] will consume for [proc]. *)
+let count_sites (proc : Ast.proc) : int = count_body proc.Ast.body

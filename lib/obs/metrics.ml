@@ -3,27 +3,62 @@
     Counters are named monotone integers keyed by dotted paths
     ("solver.pops", "jumpfn.built.const", "gc.minor_words/analyze", …);
     a per-phase family uses a ["family/phase"] suffix so the flat
-    namespace still groups naturally when sorted.  Everything is global
-    mutable state, reset per run by the CLI — the analyzer is a batch
-    program, and threading a registry through every pipeline signature
-    would make the instrumentation the most invasive part of the code it
-    measures.
+    namespace still groups naturally when sorted.  Everything is mutable
+    state, reset per run by the CLI — the analyzer is a batch program,
+    and threading a registry through every pipeline signature would make
+    the instrumentation the most invasive part of the code it measures.
+
+    {b Domain safety.}  Since the pipeline's per-procedure stages run on
+    a pool of domains ({!Ipcp_par.Pool}), the registry is {e
+    domain-local}: every domain accumulates into its own private tables
+    (no locks, no contended atomics on the hot increment path).  The
+    pool drains each worker's accumulator when a parallel batch
+    finishes and {!absorb}s it into the coordinating domain's registry,
+    so after a join the main registry holds exactly the totals a
+    sequential run would have produced — counters are sums, and sums
+    commute.  The convergence log is not merged: the solver is a
+    sequential stage and always logs into the domain that runs it.
 
     The convergence log is the solver's per-iteration trajectory:
     worklist size plus the population of the VAL lattice (how many
     (procedure, parameter) pairs currently sit at ⊤, at a constant, and
-    at ⊥).  Recording it is O(program) per iteration, so the solver only
-    calls in when telemetry is {!Obs.on}. *)
+    at ⊥).  The solver maintains the population incrementally, so a row
+    costs O(1). *)
 
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 128
+(* ------------------------------------------------------------------ *)
+(* Convergence log rows *)
+
+type conv_row = {
+  c_iter : int;  (** worklist iteration (0-based) *)
+  c_worklist : int;  (** queue length after the pop *)
+  c_top : int;  (** VAL entries still at ⊤ *)
+  c_const : int;  (** VAL entries at a constant *)
+  c_bottom : int;  (** VAL entries at ⊥ *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The per-domain registry *)
+
+type registry = {
+  counters : (string, int ref) Hashtbl.t;
+  mutable conv_rows : conv_row list;  (** newest first *)
+  mutable conv_n : int;
+}
+
+let registry_key : registry Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { counters = Hashtbl.create 128; conv_rows = []; conv_n = 0 })
+
+let registry () = Domain.DLS.get registry_key
 
 let cell name =
-  match Hashtbl.find_opt counters name with
-  | Some r -> r
+  let r = registry () in
+  match Hashtbl.find_opt r.counters name with
+  | Some c -> c
   | None ->
-      let r = ref 0 in
-      Hashtbl.add counters name r;
-      r
+      let c = ref 0 in
+      Hashtbl.add r.counters name c;
+      c
 
 let add name n =
   if Obs.on () then begin
@@ -37,44 +72,63 @@ let add_ns name ns = add name (Int64.to_int ns)
 
 (** Current value ([0] when never touched). *)
 let get name =
-  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+  match Hashtbl.find_opt (registry ()).counters name with
+  | Some r -> !r
+  | None -> 0
 
-(** All counters, sorted by name. *)
+(** All counters of the calling domain, sorted by name. *)
 let snapshot () : (string * int) list =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters []
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) (registry ()).counters []
   |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Worker-domain hand-off *)
+
+(** Take everything the calling domain has accumulated — counters {e
+    and} convergence rows — and clear its registry.  The domain pool
+    calls this on each worker lane when a batch completes; zero-valued
+    counters are dropped.  Returns [[]] when telemetry is off. *)
+let drain () : (string * int) list =
+  if not (Obs.on ()) then []
+  else begin
+    let r = registry () in
+    let snap =
+      Hashtbl.fold
+        (fun k c acc -> if !c = 0 then acc else (k, !c) :: acc)
+        r.counters []
+      |> List.sort compare
+    in
+    Hashtbl.reset r.counters;
+    r.conv_rows <- [];
+    r.conv_n <- 0;
+    snap
+  end
+
+(** Fold a drained accumulator into the calling domain's registry. *)
+let absorb (kvs : (string * int) list) = List.iter (fun (k, v) -> add k v) kvs
 
 (* ------------------------------------------------------------------ *)
 (* Convergence log *)
 
-type conv_row = {
-  c_iter : int;  (** worklist iteration (0-based) *)
-  c_worklist : int;  (** queue length after the pop *)
-  c_top : int;  (** VAL entries still at ⊤ *)
-  c_const : int;  (** VAL entries at a constant *)
-  c_bottom : int;  (** VAL entries at ⊥ *)
-}
-
-let conv_rows : conv_row list ref = ref []
-let conv_n = ref 0
-
 let converge ~worklist ~top ~const ~bottom =
   if Obs.on () then begin
-    conv_rows :=
+    let r = registry () in
+    r.conv_rows <-
       {
-        c_iter = !conv_n;
+        c_iter = r.conv_n;
         c_worklist = worklist;
         c_top = top;
         c_const = const;
         c_bottom = bottom;
       }
-      :: !conv_rows;
-    conv_n := !conv_n + 1
+      :: r.conv_rows;
+    r.conv_n <- r.conv_n + 1
   end
 
-let convergence () : conv_row list = List.rev !conv_rows
+let convergence () : conv_row list = List.rev (registry ()).conv_rows
 
 let reset () =
-  Hashtbl.reset counters;
-  conv_rows := [];
-  conv_n := 0
+  let r = registry () in
+  Hashtbl.reset r.counters;
+  r.conv_rows <- [];
+  r.conv_n <- 0

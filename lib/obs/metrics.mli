@@ -1,5 +1,9 @@
-(** Counter registry and solver convergence log (global, gated on
-    {!Obs.on}, reset per run). *)
+(** Counter registry and solver convergence log (domain-local, gated on
+    {!Obs.on}, reset per run).  Every domain accumulates into its own
+    registry; the domain pool moves worker accumulators to the
+    coordinating domain with {!drain}/{!absorb} when a parallel batch
+    joins, so the main domain's registry ends up with the sequential
+    totals. *)
 
 val add : string -> int -> unit
 (** Add to a named counter (no-op while telemetry is off). *)
@@ -13,7 +17,16 @@ val get : string -> int
 (** Current value; [0] for a counter never touched. *)
 
 val snapshot : unit -> (string * int) list
-(** All counters, sorted by name. *)
+(** All counters of the calling domain, sorted by name. *)
+
+val drain : unit -> (string * int) list
+(** Take the calling domain's non-zero counters and clear its whole
+    registry (convergence log included).  Used by the domain pool on
+    worker lanes at batch completion; [[]] while telemetry is off. *)
+
+val absorb : (string * int) list -> unit
+(** Fold a {!drain}ed accumulator into the calling domain's registry
+    (no-op while telemetry is off). *)
 
 (** One solver worklist iteration: queue length after the pop, and the
     VAL-lattice population at that moment. *)

@@ -2,15 +2,19 @@
 
     All recording in {!Metrics} and {!Trace} is gated on {!on}: with the
     switch off (the default) every instrumentation point reduces to one
-    boolean load, so the analysis pipeline pays nothing for carrying its
-    probes.  The clock is the ns-resolution [CLOCK_MONOTONIC] primitive
-    shipped with bechamel — the same one the timing harness measures
-    with, so span durations and bench numbers are directly comparable. *)
+    atomic load, so the analysis pipeline pays nothing for carrying its
+    probes.  The switch is an [Atomic.t] because pool worker domains
+    read it; it is only ever written by the main domain, before a
+    parallel region starts (the batch hand-off in the pool synchronises
+    the write).  The clock is the ns-resolution [CLOCK_MONOTONIC]
+    primitive shipped with bechamel — the same one the timing harness
+    measures with, so span durations and bench numbers are directly
+    comparable. *)
 
-let switch = ref false
+let switch = Atomic.make false
 
-let set_enabled b = switch := b
+let set_enabled b = Atomic.set switch b
 
-let on () = !switch
+let on () = Atomic.get switch
 
 let now_ns () : int64 = Monotonic_clock.now ()

@@ -12,7 +12,16 @@
     ["gc.minor_words/<name>"] and ["gc.major_words/<name>"] (inclusive
     allocation, from [Gc.quick_stat] deltas).  Inclusive means a parent
     span's numbers contain its children's — the convention of every
-    hierarchical profiler. *)
+    hierarchical profiler.
+
+    {b Domain safety.}  The event buffer belongs to the main domain
+    alone: a span entered on a pool worker still measures itself and
+    feeds the per-phase counters (which are domain-local and merged at
+    batch join), but records no begin/end events.  Workers run strictly
+    within a coordinator-side span — the driver brackets every parallel
+    fan-out — so the exported trace keeps its single-stack B/E
+    discipline and stays deterministic while worker wall-time remains
+    visible in the enclosing span and in the merged counters. *)
 
 type ph = B | E
 
@@ -35,18 +44,24 @@ let is_empty () = !buf = []
 let span ?(args = []) name f =
   if not (Obs.on ()) then f ()
   else begin
+    (* events only from the main domain; a worker's span still feeds the
+       (domain-local) counters *)
+    let record = Domain.is_main_domain () in
     (* [Gc.minor_words] is the precise per-domain accessor; the
        [quick_stat] counters only advance at collection boundaries *)
     let m0 = Gc.minor_words () in
     let j0 = (Gc.quick_stat ()).Gc.major_words in
     let t0 = Obs.now_ns () in
-    buf := { ev_name = name; ev_ph = B; ev_ts = t0; ev_args = args } :: !buf;
+    if record then
+      buf := { ev_name = name; ev_ph = B; ev_ts = t0; ev_args = args } :: !buf;
     Fun.protect
       ~finally:(fun () ->
         let t1 = Obs.now_ns () in
         let m1 = Gc.minor_words () in
         let j1 = (Gc.quick_stat ()).Gc.major_words in
-        buf := { ev_name = name; ev_ph = E; ev_ts = t1; ev_args = [] } :: !buf;
+        if record then
+          buf :=
+            { ev_name = name; ev_ph = E; ev_ts = t1; ev_args = [] } :: !buf;
         Metrics.add_ns ("time_ns/" ^ name) (Int64.sub t1 t0);
         Metrics.add ("gc.minor_words/" ^ name) (int_of_float (m1 -. m0));
         Metrics.add ("gc.major_words/" ^ name) (int_of_float (j1 -. j0)))

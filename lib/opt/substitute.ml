@@ -26,8 +26,7 @@ module Symeval = Ipcp_core.Symeval
     whole program. *)
 let constant_uses (t : Driver.t) : int Loc.Map.t =
   SM.fold
-    (fun p _ acc ->
-      let ev = Driver.final_eval t p in
+    (fun _ (ev : Symeval.t) acc ->
       let acc = ref acc in
       let add = function
         | Instr.Ovar (v, Some loc) -> (
@@ -38,7 +37,7 @@ let constant_uses (t : Driver.t) : int Loc.Map.t =
       in
       Cfg.iter_value_operands add ev.Symeval.cfg;
       !acc)
-    t.Driver.symtab.Symtab.procs Loc.Map.empty
+    (Driver.final_evals t) Loc.Map.empty
 
 (* ------------------------------------------------------------------ *)
 (* AST rewriting.  [lookup] returns the constant for a use location and is

@@ -1,0 +1,210 @@
+(** A hand-rolled fixed-size domain pool with deterministic assembly.
+
+    OCaml 5 gives the analyzer true shared-memory parallelism; this
+    module is the only place that touches [Domain] directly.  The design
+    goals, in order:
+
+    {ol
+    {- {e Determinism}: parallel output must be bit-identical to the
+       sequential path.  Workers compute into per-task result slots that
+       the coordinator reads back in canonical input order, so neither
+       scheduling nor work partitioning can leak into results.  A map
+       over a string map is rebuilt in ascending key order; the first
+       exception {e in input order} (not in completion order) is
+       re-raised.}
+    {- {e Zero new dependencies}: no domainslib — a mutex, two condition
+       variables and one atomic cursor are the whole machinery.}
+    {- {e Exact sequential fallback}: with [jobs = 1] (or a single
+       task, or when already inside a worker) the combinators reduce to
+       the ordinary [Array.map]/[SM.mapi]/[SM.iter] they replace, so a
+       sequential run executes exactly the code it always did.}}
+
+    The pool is lazy and grows to the largest [jobs - 1] ever requested;
+    idle workers block on a condition variable and cost nothing.  Worker
+    domains are daemons — they hold no resources that outlive the
+    process, so they are deliberately never joined (the runtime exits
+    cleanly with domains parked in [Condition.wait]).
+
+    Work distribution inside a batch is a single atomic cursor over the
+    task indices: lanes claim the next index until the batch is
+    exhausted.  Tasks are therefore self-balancing, which matters
+    because per-procedure work is heavily skewed.
+
+    Telemetry: when a batch completes, each worker lane drains its
+    domain-local {!Ipcp_obs.Metrics} accumulator and the coordinator
+    absorbs the drains, so counters end up exactly as a sequential run
+    would have left them (sums commute).  Trace {e events} are emitted
+    only by the main domain — see {!Ipcp_obs.Trace}.
+
+    Nested parallelism is intentionally flattened: a task that calls
+    back into the pool runs its inner map sequentially.  The outer fan
+    is already using the hardware, and flattening keeps the worklist
+    bounded and the semantics obvious. *)
+
+open Ipcp_frontend.Names
+module Metrics = Ipcp_obs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Job-count policy *)
+
+let env_jobs () =
+  match Sys.getenv_opt "IPCP_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+(** [IPCP_JOBS] when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
+(* The pool *)
+
+type batch = {
+  b_run : int -> unit;  (** execute task [i]; must never raise *)
+  b_n : int;  (** number of tasks *)
+  b_width : int;  (** worker lanes allowed to claim tasks *)
+  b_next : int Atomic.t;  (** next unclaimed task index *)
+  b_expected : int;  (** workers that must check in before the join *)
+  mutable b_finished : int;
+  b_drains : (string * int) list array;  (** per-worker telemetry *)
+}
+
+let lock = Mutex.create ()
+let work_cv = Condition.create ()  (* coordinator -> workers: new batch *)
+let done_cv = Condition.create ()  (* workers -> coordinator: batch done *)
+let current : batch option ref = ref None
+let generation = ref 0  (* bumped per batch; workers key off it *)
+let spawned = ref 0  (* workers alive, = pool size *)
+
+(* nesting guards: a worker lane must never submit a batch, and neither
+   must the coordinator while one is in flight *)
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let coordinator_busy = ref false
+
+let rec claim b =
+  let i = Atomic.fetch_and_add b.b_next 1 in
+  if i < b.b_n then begin
+    b.b_run i;
+    claim b
+  end
+
+let worker_loop wid gen0 =
+  Domain.DLS.set in_worker_key true;
+  let seen = ref gen0 in
+  let rec loop () =
+    Mutex.lock lock;
+    while !generation = !seen do
+      Condition.wait work_cv lock
+    done;
+    seen := !generation;
+    let b = !current in
+    Mutex.unlock lock;
+    match b with
+    | None -> () (* no batch with a fresh generation: shut down *)
+    | Some b ->
+        if wid < b.b_width then claim b;
+        if wid < Array.length b.b_drains then
+          b.b_drains.(wid) <- Metrics.drain ();
+        Mutex.lock lock;
+        b.b_finished <- b.b_finished + 1;
+        if b.b_finished = b.b_expected then Condition.signal done_cv;
+        Mutex.unlock lock;
+        loop ()
+  in
+  loop ()
+
+(* must hold [lock] *)
+let ensure_workers want =
+  while !spawned < want do
+    let wid = !spawned in
+    let gen0 = !generation in
+    ignore (Domain.spawn (fun () -> worker_loop wid gen0) : unit Domain.t);
+    incr spawned
+  done
+
+(** Run [run_one 0 .. run_one (n-1)] on [lanes] lanes (the calling
+    domain is one of them).  Returns once every task ran and every
+    worker checked in; then merges the workers' telemetry. *)
+let run_batch ~lanes ~n run_one =
+  Mutex.lock lock;
+  ensure_workers (lanes - 1);
+  let b =
+    {
+      b_run = run_one;
+      b_n = n;
+      b_width = lanes - 1;
+      b_next = Atomic.make 0;
+      b_expected = !spawned;
+      b_finished = 0;
+      b_drains = Array.make !spawned [];
+    }
+  in
+  current := Some b;
+  incr generation;
+  coordinator_busy := true;
+  Condition.broadcast work_cv;
+  Mutex.unlock lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock lock;
+      while b.b_finished < b.b_expected do
+        Condition.wait done_cv lock
+      done;
+      current := None;
+      coordinator_busy := false;
+      Mutex.unlock lock;
+      (* lane order: deterministic, and sums commute anyway *)
+      Array.iter Metrics.absorb b.b_drains)
+    (fun () -> claim b)
+
+(* ------------------------------------------------------------------ *)
+(* Combinators *)
+
+let map_array ~jobs f xs =
+  let n = Array.length xs in
+  let jobs = min jobs n in
+  if jobs <= 1 || Domain.DLS.get in_worker_key || !coordinator_busy then
+    Array.map f xs
+  else begin
+    let slots = Array.make n None in
+    let run_one i =
+      slots.(i) <-
+        Some
+          (match f xs.(i) with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+    in
+    run_batch ~lanes:jobs ~n run_one;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      slots
+  end
+
+let map_list ~jobs f xs = Array.to_list (map_array ~jobs f (Array.of_list xs))
+
+let map_sm ~jobs f m =
+  if jobs <= 1 then SM.mapi f m
+  else begin
+    let kvs = Array.of_list (SM.bindings m) in
+    let rs = map_array ~jobs (fun (k, v) -> f k v) kvs in
+    (* canonical join: rebuild in ascending key order *)
+    let acc = ref SM.empty in
+    Array.iteri (fun i (k, _) -> acc := SM.add k rs.(i) !acc) kvs;
+    !acc
+  end
+
+let iter_sm ~jobs f m =
+  if jobs <= 1 then SM.iter f m
+  else
+    ignore
+      (map_array ~jobs (fun (k, v) -> f k v) (Array.of_list (SM.bindings m))
+        : unit array)

@@ -1,0 +1,29 @@
+(** Fixed-size domain pool with deterministic result assembly.
+
+    Workers compute, a single join rebuilds results in canonical input
+    order, so parallel output is bit-identical to the sequential path.
+    [jobs = 1] (or a single task, or a call from inside a worker) takes
+    the exact sequential code path.  Exceptions raised by tasks are
+    re-raised on the caller — the first in {e input} order, regardless
+    of completion order.  Worker-domain telemetry accumulators are
+    merged into the caller's registry when a batch joins. *)
+
+open Ipcp_frontend.Names
+
+val default_jobs : unit -> int
+(** [IPCP_JOBS] when set to a positive integer, else
+    [Domain.recommended_domain_count ()] (at least 1). *)
+
+val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map over at most [jobs] lanes (the
+    calling domain is one of them). *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val map_sm : jobs:int -> (string -> 'a -> 'b) -> 'a SM.t -> 'b SM.t
+(** Keyed parallel map; the result map is rebuilt in ascending key
+    order by the joining domain.  [jobs = 1] is exactly [SM.mapi]. *)
+
+val iter_sm : jobs:int -> (string -> 'a -> unit) -> 'a SM.t -> unit
+(** Keyed parallel iteration, for effectful per-procedure passes (the
+    IR verifier).  [jobs = 1] is exactly [SM.iter]. *)

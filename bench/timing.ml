@@ -8,17 +8,20 @@
 
 open Bechamel
 open Toolkit
+module Ipcp = Ipcp_api.Ipcp
 module Config = Ipcp_core.Config
-module Driver = Ipcp_core.Driver
 module Programs = Ipcp_suite.Programs
 
+let source_of (p : Programs.program) =
+  Ipcp.Source.of_string ~file:p.Programs.name p.Programs.source
+
+let analyze_one ?cache config (p : Programs.program) =
+  match Ipcp.analyze ~config ?cache (source_of p) with
+  | Ok r -> r
+  | Error e -> failwith e
+
 let analyze_suite config () =
-  List.iter
-    (fun (p : Programs.program) ->
-      ignore
-        (Driver.analyze_source ~config ~file:p.Programs.name
-           p.Programs.source))
-    Programs.all
+  List.iter (fun p -> ignore (analyze_one config p)) Programs.all
 
 (* timings are about the analysis, not the sanitizer: verifier off *)
 let cfg_of jf = { Config.default with Config.jf; verify_ir = false }
@@ -49,6 +52,11 @@ let gen_src n_procs =
       { Ipcp_gen.Generator.default with Ipcp_gen.Generator.n_procs; seed = 11 }
     ()
 
+let analyze_src config src =
+  match Ipcp.analyze ~config (Ipcp.Source.of_string ~file:"<g>" src) with
+  | Ok r -> r
+  | Error e -> failwith e
+
 (* domain-pool scaling: the same 64-procedure program analyzed with a
    fixed worker count, so the jobs-1/jobs-N ratio reads off the pool's
    win (results are bit-identical across the variants by construction) *)
@@ -58,8 +66,25 @@ let par_test n =
   Test.make
     ~name:(Fmt.str "par:jobs-%d" n)
     (let src = gen_src 64 in
-     Staged.stage (fun () ->
-         ignore (Driver.analyze_source ~config:(par_cfg n) ~file:"<g>" src)))
+     Staged.stage (fun () -> ignore (analyze_src (par_cfg n) src)))
+
+(* incremental engine over the whole suite: [incr:cold] starts from a
+   cleared cache directory and persists every artifact; [incr:warm]
+   replays a prepopulated one.  The warm/cold ratio is the engine's win
+   on an unchanged input. *)
+let incr_dir =
+  Filename.concat (Filename.get_temp_dir_name ()) "ipcp-bench-cache"
+
+let incr_cfg = { Config.default with Config.verify_ir = false }
+
+let incr_run () =
+  List.iter
+    (fun p -> ignore (analyze_one ~cache:(Ipcp.Cache.Dir incr_dir) incr_cfg p))
+    Programs.all
+
+let incr_cold () =
+  ignore (Ipcp.Cache.clear incr_dir);
+  incr_run ()
 
 let tests =
   Test.make_grouped ~name:"ipcp"
@@ -94,25 +119,27 @@ let tests =
       (* scaling on generated programs *)
       Test.make ~name:"scale:8-procs"
         (let src = gen_src 8 in
-         Staged.stage (fun () ->
-             ignore (Driver.analyze_source ~file:"<g>" src)));
+         Staged.stage (fun () -> ignore (analyze_src Config.default src)));
       Test.make ~name:"scale:16-procs"
         (let src = gen_src 16 in
-         Staged.stage (fun () ->
-             ignore (Driver.analyze_source ~file:"<g>" src)));
+         Staged.stage (fun () -> ignore (analyze_src Config.default src)));
       Test.make ~name:"scale:32-procs"
         (let src = gen_src 32 in
-         Staged.stage (fun () ->
-             ignore (Driver.analyze_source ~file:"<g>" src)));
+         Staged.stage (fun () -> ignore (analyze_src Config.default src)));
       Test.make ~name:"scale:64-procs"
         (let src = gen_src 64 in
-         Staged.stage (fun () ->
-             ignore (Driver.analyze_source ~file:"<g>" src)));
+         Staged.stage (fun () -> ignore (analyze_src Config.default src)));
       (* multicore pipeline: same work, varying domain count *)
       par_test 1;
       par_test 2;
       par_test 4;
       par_test 8;
+      (* incremental reanalysis: cold populate vs warm replay *)
+      Test.make ~name:"incr:cold" (Staged.stage incr_cold);
+      Test.make ~name:"incr:warm"
+        ((* prepopulate once so every sampled run is genuinely warm *)
+         incr_cold ();
+         Staged.stage incr_run);
     ]
 
 (* flat name -> ns/run object; a failed OLS fit (nan) renders as null *)

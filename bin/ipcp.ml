@@ -8,249 +8,94 @@
     - [intra]      the purely intraprocedural baseline count
     - [lint]       interprocedural diagnostics over the propagation results
     - [stats]      telemetry metrics aggregated over the bundled suite
+    - [watch]      reanalyze a file whenever it changes (incremental)
+    - [cache]      inspect or clear an incremental cache directory
     - [run]        interpret a program (exits nonzero on a fault)
     - [dump]       internal representations (tokens/ast/cfg/ssa/callgraph/
                    mod/rjf/liveness/constants)
     - [clone]      procedure-cloning advice from the CONSTANTS sets
     - [suite]      print a bundled benchmark program
-    - [gen]        emit a random well-formed program *)
+    - [gen]        emit a random well-formed program
+
+    Analysis commands go through the stable {!Ipcp_api.Ipcp} facade; only
+    [dump] (whose whole point is the internals) reaches below it. *)
 
 open Cmdliner
 open Ipcp_frontend
-module Config = Ipcp_core.Config
-module Driver = Ipcp_core.Driver
-module Obs = Ipcp_obs.Obs
-module Trace = Ipcp_obs.Trace
-module Metrics = Ipcp_obs.Metrics
-module Report = Ipcp_obs.Report
-module Json = Ipcp_obs.Json
+open Cli_common
+module Ipcp = Ipcp_api.Ipcp
+module Config = Ipcp.Config
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let load path =
-  match Diag.guard_s (fun () -> read_file path) with
-  | Ok s -> Ok s
-  | Error e -> Error e
-
-let or_die = function
-  | Ok v -> v
-  | Error e ->
-      Fmt.epr "ipcp: %s@." e;
-      exit 1
-
-let parse_and_check path =
+(* [dump]/[intra]/[run] want the checked symbol table itself *)
+let parse_and_check (src : Ipcp.Source.t) =
   or_die
-    (Result.bind (load path) (fun src ->
-         Diag.guard_s (fun () -> Sema.parse_and_analyze ~file:path src)))
-
-(* ------------------------------------------------------------------ *)
-(* Shared options *)
-
-let jf_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "literal" -> Ok Config.Literal
-    | "intra" | "intraprocedural" -> Ok Config.Intraconst
-    | "pass" | "pass-through" | "passthrough" -> Ok Config.Passthrough
-    | "poly" | "polynomial" -> Ok Config.Polynomial
-    | _ -> Error (`Msg (Fmt.str "unknown jump function kind %S" s))
-  in
-  Arg.conv (parse, fun ppf k -> Fmt.string ppf (Config.jf_kind_name k))
-
-let jf_arg =
-  let doc =
-    "Forward jump function implementation: literal, intra, pass, or poly."
-  in
-  Arg.(value & opt jf_conv Config.Passthrough & info [ "jf" ] ~doc)
-
-let no_mod =
-  Arg.(value & flag & info [ "no-mod" ] ~doc:"Disable interprocedural MOD information (worst-case call effects).")
-
-let no_retjf =
-  Arg.(value & flag & info [ "no-return-jfs" ] ~doc:"Disable return jump functions.")
-
-let symret =
-  Arg.(value & flag & info [ "symbolic-returns" ] ~doc:"Evaluate return jump functions symbolically over the caller's entry values (extension beyond the paper).")
-
-let no_verify =
-  Arg.(
-    value & flag
-    & info [ "no-verify" ]
-        ~doc:"Skip the structural IR/SSA verifier between pipeline stages.")
-
-let jobs_arg =
-  Arg.(
-    value & opt int 0
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Worker domains for per-procedure pipeline stages.  1 forces \
-           the sequential path; results are identical either way.  \
-           Default (or 0): $(b,IPCP_JOBS), else the machine's \
-           recommended domain count.")
-
-let config_term =
-  let make jf no_mod no_retjf symret no_verify jobs =
-    {
-      Config.jf;
-      return_jfs = not no_retjf;
-      use_mod = not no_mod;
-      symbolic_returns = symret;
-      verify_ir = not no_verify;
-      jobs = (if jobs <= 0 then Ipcp_par.Pool.default_jobs () else jobs);
-    }
-  in
-  Term.(
-    const make $ jf_arg $ no_mod $ no_retjf $ symret $ no_verify $ jobs_arg)
-
-let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
-
-(* ------------------------------------------------------------------ *)
-(* Telemetry options (shared by analyze/substitute/complete/lint) *)
-
-type obs_opts = {
-  o_trace : string option;  (** write a Chrome trace-event file here *)
-  o_stats : bool;  (** print the metrics registry on stderr *)
-  o_format : [ `Text | `Json ];
-}
-
-let obs_term =
-  let trace_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:
-            "Record nested phase spans and write them as Chrome \
-             trace-event JSON to $(docv) (loadable in Perfetto or \
-             chrome://tracing).")
-  in
-  let stats_arg =
-    Arg.(
-      value & flag
-      & info [ "stats" ]
-          ~doc:
-            "Collect telemetry counters (solver, passes, Gc) and print \
-             them on stderr when the command finishes.")
-  in
-  let format_arg =
-    Arg.(
-      value
-      & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
-      & info [ "stats-format" ] ~docv:"FMT"
-          ~doc:"Stats rendering: text or json.  Implies $(b,--stats).")
-  in
-  let make trace stats format =
-    {
-      o_trace = trace;
-      o_stats = stats || format <> None;
-      o_format = Option.value ~default:`Text format;
-    }
-  in
-  Term.(const make $ trace_arg $ stats_arg $ format_arg)
-
-let write_file path contents =
-  let oc = open_out_bin path in
-  output_string oc contents;
-  close_out oc
-
-(** Run [f] with telemetry enabled if any output was requested, then emit
-    the requested artifacts.  The trace goes to its file; stats go to
-    stderr so they never corrupt a command's stdout (substituted source,
-    lint JSON, ...). *)
-let with_obs (o : obs_opts) f =
-  let active = o.o_trace <> None || o.o_stats in
-  if active then begin
-    Obs.set_enabled true;
-    Trace.reset ();
-    Metrics.reset ()
-  end;
-  let finish () =
-    if active then begin
-      (match o.o_trace with
-      | Some path -> write_file path (Trace.export_chrome ())
-      | None -> ());
-      if o.o_stats then
-        match o.o_format with
-        | `Text -> Fmt.epr "%a" Report.pp_text ()
-        | `Json -> Fmt.epr "%s@." (Json.to_string (Report.snapshot_json ()))
-    end
-  in
-  Fun.protect ~finally:finish f
-
-(* JSON stats must be the only thing on stderr, or `2>stats.json` would
-   not parse: informational "!" summaries are dropped in that mode *)
-let note (o : obs_opts) fmt =
-  if o.o_stats && o.o_format = `Json then
-    Format.ifprintf Format.err_formatter fmt
-  else Fmt.epr fmt
+    (Diag.guard_s (fun () ->
+         Sema.parse_and_analyze ~file:(Ipcp.Source.file src)
+           (Ipcp.Source.text src)))
 
 (* ------------------------------------------------------------------ *)
 (* analyze *)
 
 let analyze_cmd =
-  let run config obs path =
-    let symtab = parse_and_check path in
+  let run config obs cache path =
+    let src = load_source path in
     with_obs obs @@ fun () ->
-    let t = Driver.analyze ~config symtab in
+    let r = or_die (Ipcp.analyze ~config ~cache src) in
     Fmt.pr "configuration: %a@." Config.pp config;
     List.iter
       (fun p ->
-        let cs = Driver.constants t p in
-        if not (Names.SM.is_empty cs) then
-          Fmt.pr "CONSTANTS(%s) = {%a}@." p
-            Fmt.(
-              list ~sep:(any ", ") (fun ppf (n, c) -> Fmt.pf ppf "(%s, %d)" n c))
-            (Names.SM.bindings cs))
-      symtab.Symtab.order;
-    let sub = Ipcp_opt.Substitute.apply t in
-    Fmt.pr "constants substituted: %d@." sub.Ipcp_opt.Substitute.total;
-    let census = Driver.census t in
+        match Ipcp.Result.constants r p with
+        | [] -> ()
+        | cs ->
+            Fmt.pr "CONSTANTS(%s) = {%a}@." p
+              Fmt.(
+                list ~sep:(any ", ") (fun ppf (n, c) ->
+                    Fmt.pf ppf "(%s, %d)" n c))
+              cs)
+      (Ipcp.Result.procedures r);
+    Fmt.pr "constants substituted: %d@." (Ipcp.Result.substitution r).Ipcp.Result.total;
+    let census = Ipcp.Result.census r in
     Fmt.pr
       "jump functions built: %d constant, %d pass-through, %d polynomial, %d bottom@."
-      census.Driver.n_const census.Driver.n_passthrough census.Driver.n_poly
-      census.Driver.n_bottom;
+      census.Ipcp.Result.n_const census.Ipcp.Result.n_passthrough
+      census.Ipcp.Result.n_poly census.Ipcp.Result.n_bottom;
+    let st = Ipcp.Result.solver_stats r in
     Fmt.pr "solver: %d pops, %d jump-function evaluations, %d lowerings@."
-      t.Driver.solver.Ipcp_core.Solver.stats.Ipcp_core.Solver.pops
-      t.Driver.solver.Ipcp_core.Solver.stats.Ipcp_core.Solver.jf_evals
-      t.Driver.solver.Ipcp_core.Solver.stats.Ipcp_core.Solver.lowerings
+      st.Ipcp.Result.pops st.Ipcp.Result.jf_evals st.Ipcp.Result.lowerings;
+    cache_note obs (Ipcp.Result.cache r)
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Run interprocedural constant propagation.")
-    Term.(const run $ config_term $ obs_term $ file_arg)
+    Term.(const run $ config_term $ obs_term $ cache_term () $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* substitute *)
 
 let substitute_cmd =
-  let run config obs path =
-    let symtab = parse_and_check path in
+  let run config obs cache path =
+    let src = load_source path in
     with_obs obs @@ fun () ->
-    let t = Driver.analyze ~config symtab in
-    let sub = Ipcp_opt.Substitute.apply t in
-    Fmt.pr "%s" (Pretty.program_to_string sub.Ipcp_opt.Substitute.program);
-    note obs "! %d constants substituted@." sub.Ipcp_opt.Substitute.total
+    let r = or_die (Ipcp.analyze ~config ~cache src) in
+    let sub = Ipcp.Result.substitution r in
+    Fmt.pr "%s" (Pretty.program_to_string sub.Ipcp.Result.program);
+    note obs "! %d constants substituted@." sub.Ipcp.Result.total;
+    cache_note obs (Ipcp.Result.cache r)
   in
   Cmd.v
     (Cmd.info "substitute"
        ~doc:"Print the source with interprocedural constants substituted.")
-    Term.(const run $ config_term $ obs_term $ file_arg)
+    Term.(const run $ config_term $ obs_term $ cache_term () $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* complete *)
 
 let complete_cmd =
   let run config obs path =
-    let src = or_die (load path) in
+    let src = load_source path in
     with_obs obs @@ fun () ->
-    let r = Ipcp_opt.Complete.run ~config src in
-    Fmt.pr "%s" r.Ipcp_opt.Complete.final_source;
+    let r = or_die (Ipcp.complete ~config src) in
+    Fmt.pr "%s" r.Ipcp.final_source;
     note obs "! complete propagation: %d constants in %d round(s)@."
-      r.Ipcp_opt.Complete.count r.Ipcp_opt.Complete.rounds
+      r.Ipcp.count r.Ipcp.rounds
   in
   Cmd.v
     (Cmd.info "complete"
@@ -264,12 +109,13 @@ let complete_cmd =
 
 let intra_cmd =
   let run no_mod path =
-    let symtab = parse_and_check path in
+    let symtab = parse_and_check (load_source path) in
     Fmt.pr "intraprocedural constants substituted: %d@."
       (Ipcp_opt.Intra.count ~use_mod:(not no_mod) symtab)
   in
   Cmd.v
-    (Cmd.info "intra" ~doc:"Purely intraprocedural constant propagation baseline.")
+    (Cmd.info "intra"
+       ~doc:"Purely intraprocedural constant propagation baseline.")
     Term.(const run $ no_mod $ file_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -277,13 +123,17 @@ let intra_cmd =
 
 let run_cmd =
   let input_arg =
-    Arg.(value & opt (list int) [] & info [ "input" ] ~doc:"Comma-separated integers consumed by READ.")
+    Arg.(
+      value & opt (list int) []
+      & info [ "input" ] ~doc:"Comma-separated integers consumed by READ.")
   in
   let seed_arg =
-    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed for undefined-variable values.")
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Seed for undefined-variable values.")
   in
   let run input seed path =
-    let symtab = parse_and_check path in
+    let symtab = parse_and_check (load_source path) in
     let r = Ipcp_interp.Interp.run ~seed ~input symtab in
     List.iter (fun v -> Fmt.pr "%d@." v) r.Ipcp_interp.Interp.output;
     Fmt.epr "! %a after %d steps@." Ipcp_interp.Interp.pp_status
@@ -306,8 +156,9 @@ let dump_cmd =
       & opt (enum [ ("ast", `Ast); ("cfg", `Cfg); ("ssa", `Ssa); ("callgraph", `Cg); ("mod", `Mod); ("rjf", `Rjf); ("liveness", `Live); ("vals", `Vals) ]) `Ssa
       & info [ "what" ] ~doc:"One of ast, cfg, ssa, callgraph, mod, rjf, liveness, vals.")
   in
+  let module Driver = Ipcp_core.Driver in
   let run config what path =
-    let symtab = parse_and_check path in
+    let symtab = parse_and_check (load_source path) in
     match what with
     | `Ast ->
         List.iter
@@ -397,7 +248,7 @@ let lint_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
   in
-  let run config obs format werror disable list_checks path =
+  let run config obs cache format werror disable list_checks path =
     if list_checks then (
       List.iter
         (fun c ->
@@ -423,14 +274,14 @@ let lint_cmd =
                  Fmt.epr "ipcp: unknown check id %s@." s;
                  exit 2)
     in
-    let symtab = parse_and_check path in
+    let src = load_source path in
     (* the exit decision happens outside with_obs so the trace and stats
        are flushed first *)
     let e, w =
       with_obs obs @@ fun () ->
-      let t = or_die (Diag.guard_s (fun () -> Driver.analyze ~config symtab)) in
+      let r = or_die (Ipcp.analyze ~config ~cache src) in
       let findings =
-        Lint.run ~enabled:(fun c -> not (List.mem c disabled)) t
+        Ipcp.Result.lints ~enabled:(fun c -> not (List.mem c disabled)) r
       in
       (match format with
       | `Text ->
@@ -438,6 +289,7 @@ let lint_cmd =
           let e, w, i = Lint.summary findings in
           Fmt.epr "! lint: %d error(s), %d warning(s), %d info(s)@." e w i
       | `Json -> Fmt.pr "%s@." (Lint.render_json findings));
+      cache_note obs (Ipcp.Result.cache r);
       let e, w, _ = Lint.summary findings in
       (e, w)
     in
@@ -450,17 +302,16 @@ let lint_cmd =
           out-of-bounds subscripts, constant conditions, dead formals, \
           unreachable procedures).")
     Term.(
-      const run $ config_term $ obs_term $ format_arg $ werror_arg
-      $ disable_arg $ list_checks_arg $ opt_file_arg)
+      const run $ config_term $ obs_term $ cache_term () $ format_arg
+      $ werror_arg $ disable_arg $ list_checks_arg $ opt_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* clone *)
 
 let clone_cmd =
   let run config path =
-    let symtab = parse_and_check path in
-    let t = Driver.analyze ~config symtab in
-    match Ipcp_core.Cloning.advise t with
+    let r = or_die (Ipcp.analyze ~config (load_source path)) in
+    match Ipcp_core.Cloning.advise (Ipcp.Result.driver r) with
     | [] -> Fmt.pr "no profitable cloning opportunities@."
     | advs -> List.iter (Fmt.pr "%a" Ipcp_core.Cloning.pp_advice) advs
   in
@@ -488,28 +339,30 @@ let stats_cmd =
             "Also write a Chrome trace-event file covering the whole \
              suite run.")
   in
-  let run config format trace =
+  let run config cache format trace =
     Obs.set_enabled true;
     Trace.reset ();
-    (* One metrics snapshot per program; the trace accumulates across the
-       whole run.  The programs themselves run in parallel (one worker
-       per program, the per-program pipeline sequential inside it) —
-       metrics registries are domain-local, so each task resets its own,
-       snapshots before finishing, and clears the registry so nothing
-       leaks into the joined totals.  Tracing wants the event buffer, and
-       workers do not record events, so [--trace] forces the sequential
-       path. *)
+    (* One metrics window per program (the facade resets the registry on
+       entry and captures deterministic counters).  The programs
+       themselves run in parallel (one worker per program, the
+       per-program pipeline sequential inside it) — metrics registries
+       are domain-local, and each task clears its own before finishing
+       so nothing leaks into the joined totals.  Tracing wants the event
+       buffer, and workers do not record events, so [--trace] forces the
+       sequential path.  With [--cache] a second run of this command
+       replays every program's stored counters, so its output is
+       byte-identical to the run that populated the cache. *)
     let suite_jobs = if trace <> None then 1 else config.Config.jobs in
     let one (p : Ipcp_suite.Programs.program) =
-      Metrics.reset ();
       let name = p.Ipcp_suite.Programs.name in
-      let _symtab, t =
-        Driver.analyze_source
-          ~config:{ config with Config.jobs = 1 }
-          ~file:name p.Ipcp_suite.Programs.source
+      let r =
+        or_die
+          (Ipcp.analyze
+             ~config:{ config with Config.jobs = 1 }
+             ~cache
+             (Ipcp.Source.of_string ~file:name p.Ipcp_suite.Programs.source))
       in
-      ignore (Ipcp_opt.Substitute.apply t);
-      let row = (name, Metrics.snapshot (), Metrics.convergence ()) in
+      let row = (name, Ipcp.Result.stats r, Ipcp.Result.convergence r) in
       Metrics.reset ();
       row
     in
@@ -571,8 +424,117 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Run the analysis over the bundled 12-program suite with \
-          telemetry enabled and report per-program and aggregate metrics.")
-    Term.(const run $ config_term $ format_arg $ trace_arg)
+          telemetry enabled and report per-program and aggregate \
+          metrics (deterministic counters only, so runs are comparable).")
+    Term.(const run $ config_term $ cache_term () $ format_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cache *)
+
+let cache_cmd =
+  let action_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stat", `Stat); ("clear", `Clear) ])) None
+      & info [] ~docv:"ACTION" ~doc:"One of stat, clear.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & pos 1 string Ipcp.Cache.default_dir
+      & info [] ~docv:"DIR"
+          ~doc:
+            (Fmt.str "Cache directory (default %s)." Ipcp.Cache.default_dir))
+  in
+  let run action dir =
+    match action with
+    | `Clear ->
+        let n = Ipcp.Cache.clear dir in
+        Fmt.pr "%s: %d entr%s removed@." dir n (if n = 1 then "y" else "ies")
+    | `Stat -> (
+        match Ipcp.Cache.entries dir with
+        | [] -> Fmt.pr "%s: no cache entries@." dir
+        | es ->
+            let bytes = ref 0 in
+            List.iter
+              (fun (e : Ipcp.Cache.entry) ->
+                bytes := !bytes + e.Ipcp.Cache.ei_bytes;
+                Fmt.pr "%-52s %8d  %s@." e.Ipcp.Cache.ei_file
+                  e.Ipcp.Cache.ei_bytes
+                  (match e.Ipcp.Cache.ei_status with
+                  | Ok () -> "ok"
+                  | Error err -> Ipcp.Cache.describe_error err))
+              es;
+            Fmt.pr "%d entr%s, %d bytes@." (List.length es)
+              (if List.length es = 1 then "y" else "ies")
+              !bytes)
+  in
+  Cmd.v
+    (Cmd.info "cache" ~doc:"Inspect or clear an incremental cache directory.")
+    Term.(const run $ action_arg $ dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* watch *)
+
+let watch_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "interval" ] ~docv:"SECS"
+          ~doc:"Polling interval in seconds.")
+  in
+  let max_runs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-runs" ] ~docv:"N"
+          ~doc:"Stop after $(docv) analyses (0 = run until interrupted).")
+  in
+  let run config cache interval max_runs path =
+    let mtime () =
+      try Some (Unix.stat path).Unix.st_mtime with Unix.Unix_error _ -> None
+    in
+    let analyze_once () =
+      match Ipcp.analyze ~config ~cache (load_source path) with
+      | Error e -> Fmt.pr "%s: %s@." path e
+      | Ok r ->
+          let c = Ipcp.Result.cache r in
+          Fmt.pr "%s: %d constants substituted (%s)@." path
+            (Ipcp.Result.substitution r).Ipcp.Result.total
+            (match c.Ipcp.Cache.r_cold with
+            | Some reason -> "cold: " ^ reason
+            | None ->
+                Fmt.str "warm: %d/%d procedure(s) reanalyzed"
+                  c.Ipcp.Cache.r_dirty c.Ipcp.Cache.r_procs)
+    in
+    let rec loop runs last =
+      if max_runs > 0 && runs >= max_runs then ()
+      else begin
+        let now = mtime () in
+        let runs =
+          (* skip while the file is mid-save (absent) or unchanged *)
+          if now <> None && now <> last then begin
+            analyze_once ();
+            runs + 1
+          end
+          else runs
+        in
+        let last = if now = None then last else now in
+        if not (max_runs > 0 && runs >= max_runs) then Unix.sleepf interval;
+        loop runs last
+      end
+    in
+    loop 0 None
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Poll FILE and reanalyze it on every change.  With the cache \
+          (on by default here) each rerun only reanalyzes the edited \
+          procedures and their transitive callers.")
+    Term.(
+      const run $ config_term
+      $ cache_term ~default:(Ipcp.Cache.Dir Ipcp.Cache.default_dir) ()
+      $ interval_arg $ max_runs_arg $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite / gen *)
@@ -625,6 +587,8 @@ let () =
             complete_cmd;
             lint_cmd;
             stats_cmd;
+            cache_cmd;
+            watch_cmd;
             intra_cmd;
             run_cmd;
             dump_cmd;

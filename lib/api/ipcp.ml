@@ -1,0 +1,213 @@
+(** The stable [Ipcp] facade — see ipcp.mli for the contract. *)
+
+module Config = Ipcp_core.Config
+module Driver = Ipcp_core.Driver
+module Solver = Ipcp_core.Solver
+module Obs = Ipcp_obs.Obs
+module Metrics = Ipcp_obs.Metrics
+module Incr = Ipcp_incr.Incr
+module Store = Ipcp_incr.Store
+module Lint = Ipcp_analysis.Lint
+module Substitute = Ipcp_opt.Substitute
+module Complete = Ipcp_opt.Complete
+module Sema = Ipcp_frontend.Sema
+module Diag = Ipcp_frontend.Diag
+module Symtab = Ipcp_frontend.Symtab
+
+let api_version = 1
+
+(* ------------------------------------------------------------------ *)
+
+module Source = struct
+  type t = { file : string; text : string }
+
+  let of_string ?(file = "<string>") text = { file; text }
+
+  let of_file path =
+    match open_in_bin path with
+    | exception Sys_error e -> Error e
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match really_input_string ic (in_channel_length ic) with
+            | text -> Ok { file = path; text }
+            | exception Sys_error e -> Error e
+            | exception End_of_file -> Error (path ^ ": truncated read"))
+
+  let file t = t.file
+
+  let text t = t.text
+end
+
+module Cache = struct
+  type policy = Incr.policy = Disabled | Dir of string
+
+  let default_dir = ".ipcp-cache"
+
+  type report = Incr.report = {
+    r_enabled : bool;
+    r_cold : string option;
+    r_procs : int;
+    r_changed : int;
+    r_dirty : int;
+    r_ir_reused : int;
+    r_summary_reused : int;
+    r_fixpoint_reused : bool;
+    r_substitution_reused : bool;
+  }
+
+  type load_error = Store.load_error =
+    | Missing
+    | Stale of string
+    | Corrupt of string
+
+  let describe_error = Store.load_error_to_string
+
+  type entry = Store.entry_info = {
+    ei_file : string;
+    ei_bytes : int;
+    ei_status : (unit, load_error) result;
+  }
+
+  let entries = Store.entries
+
+  let clear = Store.clear
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* Counters that depend on the environment rather than the input: wall
+   times, allocation volumes, and the incremental engine's own
+   bookkeeping.  Everything else is a pure function of (source, config),
+   which is what makes a replayed warm run print the same statistics as
+   the cold run that produced it. *)
+let deterministic counters =
+  List.filter
+    (fun (k, _) ->
+      not
+        (String.starts_with ~prefix:"time_ns/" k
+        || String.starts_with ~prefix:"gc." k
+        || String.starts_with ~prefix:"incr." k))
+    counters
+
+module Result = struct
+  type census = Driver.jf_census = {
+    n_bottom : int;
+    n_const : int;
+    n_passthrough : int;
+    n_poly : int;
+    total_cost : int;
+  }
+
+  type solver_stats = {
+    pops : int;
+    jf_evals : int;
+    jf_eval_cost : int;
+    lowerings : int;
+  }
+
+  type substitution = Substitute.result = {
+    program : Ipcp_frontend.Ast.program;
+    per_proc : int Ipcp_frontend.Names.SM.t;
+    total : int;
+  }
+
+  type t = {
+    driver : Driver.t;
+    substitution : substitution;
+    stats : (string * int) list;
+    convergence : Metrics.conv_row list;
+    cache : Cache.report;
+  }
+
+  let config t = t.driver.Driver.config
+
+  let procedures t = t.driver.Driver.symtab.Symtab.order
+
+  let constants t p =
+    Ipcp_frontend.Names.SM.bindings (Driver.constants t.driver p)
+
+  let total_constants t = Driver.total_constants t.driver
+
+  let census t = Driver.census t.driver
+
+  let solver_stats t =
+    let s = t.driver.Driver.solver.Solver.stats in
+    {
+      pops = s.Solver.pops;
+      jf_evals = s.Solver.jf_evals;
+      jf_eval_cost = s.Solver.jf_eval_cost;
+      lowerings = s.Solver.lowerings;
+    }
+
+  let stats t = t.stats
+
+  let convergence t = t.convergence
+
+  let cache t = t.cache
+
+  let substitution t = t.substitution
+
+  let lints ?enabled t = Lint.run ?enabled t.driver
+
+  let driver t = t.driver
+end
+
+(* ------------------------------------------------------------------ *)
+
+let analyze_symtab ?(config = Config.default) ?(cache = Cache.Disabled) ~key
+    (symtab : Symtab.t) : Result.t =
+  (* each call owns the telemetry window, so per-run statistics are
+     comparable regardless of what the process did before *)
+  if Obs.on () then Metrics.reset ();
+  let o = Incr.analyze ~config ~policy:cache ~key symtab in
+  let driver = o.Incr.o_driver in
+  let substitution =
+    match o.Incr.o_substitution with
+    | Some s -> s
+    | None -> Substitute.apply driver
+  in
+  let live () =
+    if not (Obs.on ()) then { Incr.rs_counters = []; rs_convergence = [] }
+    else
+      {
+        Incr.rs_counters = deterministic (Metrics.snapshot ());
+        rs_convergence = Metrics.convergence ();
+      }
+  in
+  let run =
+    match o.Incr.o_replay with
+    (* a snapshot written with telemetry off has nothing to replay; fall
+       back to the (deterministic, warm-path) live counters *)
+    | Some r when r.Incr.rs_counters <> [] || not (Obs.on ()) -> r
+    | Some _ | None -> live ()
+  in
+  (match o.Incr.o_commit with
+  | Some commit -> ignore (commit run substitution)
+  | None -> ());
+  {
+    Result.driver;
+    substitution;
+    stats = run.Incr.rs_counters;
+    convergence = run.Incr.rs_convergence;
+    cache = o.Incr.o_report;
+  }
+
+let analyze ?config ?cache (src : Source.t) : (Result.t, string) result =
+  Diag.guard_s (fun () ->
+      let symtab =
+        Sema.parse_and_analyze ~file:src.Source.file src.Source.text
+      in
+      analyze_symtab ?config ?cache ~key:src.Source.file symtab)
+
+type complete = Complete.t = {
+  count : int;
+  rounds : int;
+  final_source : string;
+  final : Driver.t;
+}
+
+let complete ?config ?max_rounds (src : Source.t) : (complete, string) result
+    =
+  Diag.guard_s (fun () -> Complete.run ?config ?max_rounds src.Source.text)

@@ -1,0 +1,196 @@
+(** The stable public API of the analyzer: [Ipcp_api.Ipcp].
+
+    This facade is the supported entry point for programmatic consumers
+    (the CLI, the benchmark harness and the test suite all go through
+    it).  Its surface is versioned by {!api_version}: additions bump
+    nothing, and any breaking change to a type or function documented
+    here bumps it.  Everything underneath — [Driver], [Solver], the IR
+    — remains reachable through {!Result.driver}, but with no stability
+    promise.
+
+    Typical use:
+
+    {[
+      match Ipcp_api.Ipcp.(analyze (Source.of_string text)) with
+      | Error e -> prerr_endline e
+      | Ok r ->
+          List.iter
+            (fun p -> ... Ipcp_api.Ipcp.Result.constants r p ...)
+            (Ipcp_api.Ipcp.Result.procedures r)
+    ]}
+
+    Passing [~cache:(Cache.Dir dir)] turns on the incremental engine:
+    per-procedure artifacts and the converged fixpoint are persisted
+    under [dir] and replayed on the next run, with only edited
+    procedures and their transitive callers reanalyzed. *)
+
+module Config = Ipcp_core.Config
+(** Analysis configurations (re-exported; part of the stable surface). *)
+
+val api_version : int
+(** Version of this facade's contract.  Currently [1]. *)
+
+(** A compilation unit: a file name (used in diagnostics, source
+    locations, and as the cache key) plus its text. *)
+module Source : sig
+  type t
+
+  val of_file : string -> (t, string) result
+  (** Read a source file; [Error] carries the I/O error message. *)
+
+  val of_string : ?file:string -> string -> t
+  (** Wrap in-memory text; [file] defaults to ["<string>"]. *)
+
+  val file : t -> string
+
+  val text : t -> string
+end
+
+(** Cache policy and cache-directory management. *)
+module Cache : sig
+  type policy =
+    | Disabled  (** analyze from scratch, no cache I/O *)
+    | Dir of string  (** persist to / replay from this directory *)
+
+  val default_dir : string
+  (** [".ipcp-cache"] — the conventional location, used by the CLI's
+      [--cache] default. *)
+
+  (** What the incremental engine did for one [analyze] call. *)
+  type report = {
+    r_enabled : bool;  (** a cache directory was in play *)
+    r_cold : string option;
+        (** [Some reason] when no usable snapshot was found; [None] on a
+            warm run (even a fully-dirty one) *)
+    r_procs : int;  (** procedures in the program *)
+    r_changed : int;  (** procedures whose content changed *)
+    r_dirty : int;  (** changed plus their transitive callers *)
+    r_ir_reused : int;  (** CFG+SSA replayed from the cache *)
+    r_summary_reused : int;
+        (** symbolic evaluations / jump functions / MOD rows replayed *)
+    r_fixpoint_reused : bool;
+    r_substitution_reused : bool;
+  }
+
+  type load_error = Missing | Stale of string | Corrupt of string
+
+  val describe_error : load_error -> string
+
+  type entry = {
+    ei_file : string;  (** file name within the cache directory *)
+    ei_bytes : int;
+    ei_status : (unit, load_error) result;
+  }
+
+  val entries : string -> entry list
+  (** Inventory of a cache directory. *)
+
+  val clear : string -> int
+  (** Remove every entry; returns the number of files removed. *)
+end
+
+(** The outcome of one analysis. *)
+module Result : sig
+  (** Jump-function census (the paper's cost ablation, §3.1.5). *)
+  type census = {
+    n_bottom : int;
+    n_const : int;
+    n_passthrough : int;
+    n_poly : int;
+    total_cost : int;
+  }
+
+  type solver_stats = {
+    pops : int;  (** worklist pops *)
+    jf_evals : int;  (** jump-function evaluations *)
+    jf_eval_cost : int;  (** Σ cost(J) over evaluations *)
+    lowerings : int;  (** VAL entries lowered *)
+  }
+
+  (** The constant-substitution transform of the analyzed program. *)
+  type substitution = {
+    program : Ipcp_frontend.Ast.program;  (** the transformed source *)
+    per_proc : int Ipcp_frontend.Names.SM.t;
+    total : int;  (** the number every table of the paper reports *)
+  }
+
+  type t
+
+  val config : t -> Config.t
+
+  val procedures : t -> string list
+  (** Procedure names in declaration order (the main program first). *)
+
+  val constants : t -> string -> (string * int) list
+  (** CONSTANTS(p): the (parameter, value) pairs proven constant on
+      entry to [p], in name order. *)
+
+  val total_constants : t -> int
+  (** Total (procedure, parameter) pairs proven constant. *)
+
+  val census : t -> census
+
+  val solver_stats : t -> solver_stats
+
+  val stats : t -> (string * int) list
+  (** Deterministic analysis counters of the run that produced this
+      result, sorted by name — wall-clock, GC and cache-bookkeeping
+      counters are excluded, so a replayed warm run reports the same
+      statistics as the cold run that produced its cache entry.  Empty
+      when telemetry ([Ipcp_obs.Obs]) is off. *)
+
+  val convergence : t -> Ipcp_obs.Metrics.conv_row list
+  (** The solver's convergence log (empty when telemetry is off). *)
+
+  val cache : t -> Cache.report
+
+  val substitution : t -> substitution
+
+  val lints :
+    ?enabled:(Ipcp_analysis.Lint.check -> bool) ->
+    t ->
+    Ipcp_analysis.Lint.finding list
+  (** Interprocedural diagnostics over this result (computed on demand;
+      see {!Ipcp_analysis.Lint}). *)
+
+  val driver : t -> Ipcp_core.Driver.t
+  (** Escape hatch to the underlying pipeline state.  {b Unstable}: not
+      covered by {!api_version}. *)
+end
+
+val analyze :
+  ?config:Config.t ->
+  ?cache:Cache.policy ->
+  Source.t ->
+  (Result.t, string) result
+(** Parse, semantically check and analyze one source.  [Error] carries a
+    rendered diagnostic (lexical/syntax/semantic errors included).
+    [cache] defaults to [Disabled].
+
+    When telemetry is enabled the call resets the metrics registry on
+    entry, so {!Result.stats} always describes exactly this run. *)
+
+val analyze_symtab :
+  ?config:Config.t ->
+  ?cache:Cache.policy ->
+  key:string ->
+  Ipcp_frontend.Symtab.t ->
+  Result.t
+(** As {!analyze}, for callers that already hold a checked symbol table.
+    [key] names the cache entry (use the source path).  Raises
+    [Ipcp_frontend.Diag.Error] on analysis errors. *)
+
+type complete = {
+  count : int;  (** constants substituted across all rounds *)
+  rounds : int;
+  final_source : string;
+  final : Ipcp_core.Driver.t;  (** unstable, like {!Result.driver} *)
+}
+
+val complete :
+  ?config:Config.t ->
+  ?max_rounds:int ->
+  Source.t ->
+  (complete, string) result
+(** "Complete propagation" (the paper's Table 3): iterate propagation
+    with dead-code elimination until the source stabilises. *)

@@ -185,18 +185,27 @@ let of_proc ~(symtab : Symtab.t) ~(modref : Modref.t option) ~(rjfs : t)
   !targets
 
 (** Build all return jump functions, bottom-up over the call graph.
-    [?scc] reuses an already-computed condensation of [cg]. *)
-let compute ?scc ~(symtab : Symtab.t) ~(modref : Modref.t option)
-  ~(convs : Ssa.conv SM.t) ~(cg : Callgraph.t) ~symbolic () : t =
+    [?scc] reuses an already-computed condensation of [cg].  [?reuse]
+    (with [?base]) lets the incremental engine keep a procedure's stored
+    functions instead of re-running its symbolic evaluation: a procedure
+    for which [reuse p] holds takes its entry from [base] verbatim.
+    Sound only when [p] and everything [p] transitively calls are
+    unchanged since [base] was computed. *)
+let compute ?scc ?(base : t = empty) ?(reuse = fun (_ : string) -> false)
+    ~(symtab : Symtab.t) ~(modref : Modref.t option)
+    ~(convs : Ssa.conv SM.t) ~(cg : Callgraph.t) ~symbolic () : t =
   let scc = match scc with Some s -> s | None -> Scc.compute cg in
   List.fold_left
     (fun rjfs comp ->
       (* within an SCC, callee functions default to ⊥ (absent) *)
       List.fold_left
         (fun rjfs p ->
-          let psym = Symtab.proc symtab p in
-          let conv = SM.find p convs in
-          SM.add p (of_proc ~symtab ~modref ~rjfs ~symbolic psym conv) rjfs)
+          match if reuse p then SM.find_opt p base else None with
+          | Some entry -> SM.add p entry rjfs
+          | None ->
+              let psym = Symtab.proc symtab p in
+              let conv = SM.find p convs in
+              SM.add p (of_proc ~symtab ~modref ~rjfs ~symbolic psym conv) rjfs)
         rjfs comp)
     empty (Scc.bottom_up scc)
 

@@ -103,43 +103,11 @@ type t = {
 
 let value t v = Option.value ~default:Top (Hashtbl.find_opt t.values v)
 
-(** [entry_binding] optionally binds entry symbols (used by the
-    substitution pass, where VAL(p) is known); [None] leaves the symbol
-    symbolic. *)
-let run ?(entry_binding = fun (_ : string) -> (None : value option))
-    ~symtab:(_ : Symtab.t) ~(psym : Symtab.proc_sym) ~(policy : policy)
-    (ssa_cfg : Cfg.t) : t =
-  let values : (Instr.var, value) Hashtbl.t = Hashtbl.create 256 in
-  let is_scalar_entry base =
-    match Symtab.var psym base with
-    | Some vi when Symtab.is_array vi -> false
-    | Some { Symtab.kind = Symtab.Formal _ | Symtab.Global _; _ } -> true
-    | _ -> false
-  in
-  (* value of an entry (version-0) name *)
-  let entry_value base =
-    if is_scalar_entry base then
-      match entry_binding base with
-      | Some v -> v
-      | None -> Sexp (Symexpr.sym base)
-    else
-      match SM.find_opt base psym.Symtab.data with
-      | Some v -> const v (* DATA-initialised local of the main program *)
-      | None -> Bottom (* locals, temporaries, result: undefined at entry *)
-  in
-  let lookup v =
-    match Hashtbl.find_opt values v with
-    | Some x -> x
-    | None ->
-        if Ssa.is_entry_version v then entry_value (Ssa.base_name v)
-        else Top
-  in
-  let operand = function
-    | Instr.Oint n -> const n
-    | Instr.Ovar (v, _) -> lookup v
-  in
-
-  (* site views: actual values and pre-call global values, per site *)
+(* Site views: actual values and pre-call global values, per site.  The
+   [operand] closure is late-binding — during [run] it reads the mutable
+   value table as the fixpoint evolves; during rehydration it reads the
+   final values. *)
+let make_views ~operand (ssa_cfg : Cfg.t) : (int, site_view) Hashtbl.t =
   let global_ins : (int, Instr.operand SM.t) Hashtbl.t = Hashtbl.create 16 in
   Cfg.iter_instrs
     (fun _ i ->
@@ -178,6 +146,45 @@ let run ?(entry_binding = fun (_ : string) -> (None : value option))
     (fun (s : Instr.site) ->
       Hashtbl.replace views s.Instr.site_id (view_of s))
     ssa_cfg.Cfg.sites;
+  views
+
+(** [entry_binding] optionally binds entry symbols (used by the
+    substitution pass, where VAL(p) is known); [None] leaves the symbol
+    symbolic. *)
+let run ?(entry_binding = fun (_ : string) -> (None : value option))
+    ~symtab:(_ : Symtab.t) ~(psym : Symtab.proc_sym) ~(policy : policy)
+    (ssa_cfg : Cfg.t) : t =
+  let values : (Instr.var, value) Hashtbl.t = Hashtbl.create 256 in
+  let is_scalar_entry base =
+    match Symtab.var psym base with
+    | Some vi when Symtab.is_array vi -> false
+    | Some { Symtab.kind = Symtab.Formal _ | Symtab.Global _; _ } -> true
+    | _ -> false
+  in
+  (* value of an entry (version-0) name *)
+  let entry_value base =
+    if is_scalar_entry base then
+      match entry_binding base with
+      | Some v -> v
+      | None -> Sexp (Symexpr.sym base)
+    else
+      match SM.find_opt base psym.Symtab.data with
+      | Some v -> const v (* DATA-initialised local of the main program *)
+      | None -> Bottom (* locals, temporaries, result: undefined at entry *)
+  in
+  let lookup v =
+    match Hashtbl.find_opt values v with
+    | Some x -> x
+    | None ->
+        if Ssa.is_entry_version v then entry_value (Ssa.base_name v)
+        else Top
+  in
+  let operand = function
+    | Instr.Oint n -> const n
+    | Instr.Ovar (v, _) -> lookup v
+  in
+
+  let views = make_views ~operand ssa_cfg in
   let view_by_id sid = Hashtbl.find views sid in
 
   (* transfer of one right-hand side *)
@@ -262,6 +269,34 @@ let run ?(entry_binding = fun (_ : string) -> (None : value option))
   |> SS.iter (fun v ->
          if not (Hashtbl.mem values v) then Hashtbl.replace values v (lookup v));
   { values; cfg = ssa_cfg; views; passes = !passes }
+
+(* ------------------------------------------------------------------ *)
+(* Persistable form *)
+
+(** The closure-free residue of an evaluation: enough to rebuild [t]
+    against the same SSA CFG without re-running the fixpoint.  [run]
+    materialises every variable of the CFG into the value table before
+    returning, so the table alone determines the site views. *)
+type artifact = { a_values : (Instr.var * value) list; a_passes : int }
+
+let to_artifact t =
+  {
+    a_values = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.values [];
+    a_passes = t.passes;
+  }
+
+let of_artifact (ssa_cfg : Cfg.t) (a : artifact) : t =
+  let values : (Instr.var, value) Hashtbl.t =
+    Hashtbl.create (max 16 (List.length a.a_values))
+  in
+  List.iter (fun (k, v) -> Hashtbl.replace values k v) a.a_values;
+  let lookup v = Option.value ~default:Top (Hashtbl.find_opt values v) in
+  let operand = function
+    | Instr.Oint n -> const n
+    | Instr.Ovar (v, _) -> lookup v
+  in
+  let views = make_views ~operand ssa_cfg in
+  { values; cfg = ssa_cfg; views; passes = a.a_passes }
 
 (** The site view for a given call site of the evaluated procedure. *)
 let site_view t (s : Instr.site) = Hashtbl.find t.views s.Instr.site_id

@@ -70,6 +70,18 @@ val run :
     symbols (the substitution pass binds them to the propagation
     fixpoint); unbound entries stay symbolic. *)
 
+type artifact = { a_values : (Instr.var * value) list; a_passes : int }
+(** The closure-free residue of an evaluation — plain data, safe to
+    marshal.  Rebuilding a [t] from it requires the same SSA CFG the
+    evaluation ran over. *)
+
+val to_artifact : t -> artifact
+
+val of_artifact : Cfg.t -> artifact -> t
+(** Rebuild an evaluation (including its call-site views) from a stored
+    artifact, without re-running the fixpoint.  The CFG must be the one
+    the artifact was produced from. *)
+
 val site_view : t -> Instr.site -> site_view
 
 val operand_value : t -> Instr.operand -> value

@@ -1,0 +1,31 @@
+(** Pretty-printer for MiniFortran.
+
+    The output is valid MiniFortran: [Parser.parse (print p)] succeeds
+    and yields a program that prints identically (tested by a qcheck
+    property).  The substitution pass uses this printer to emit the
+    transformed source the paper describes, and the incremental engine
+    digests {!pp_proc} output as a procedure's canonical (whitespace- and
+    location-independent) content. *)
+
+val pp_expr : Ast.expr Fmt.t
+
+val pp_cond : Ast.cond Fmt.t
+
+val pp_lvalue : Ast.lvalue Fmt.t
+
+val pp_stmt : int -> Ast.stmt Fmt.t
+(** [pp_stmt indent] prints one statement at the given indentation. *)
+
+val pp_body : int -> Ast.stmt list Fmt.t
+
+val pp_decl : int -> Ast.decl Fmt.t
+
+val pp_proc : Ast.proc Fmt.t
+
+val pp_program : Ast.program Fmt.t
+
+val program_to_string : Ast.program -> string
+
+val expr_to_string : Ast.expr -> string
+
+val stmt_to_string : Ast.stmt -> string

@@ -125,56 +125,59 @@ let bind_site (psym : Symtab.proc_sym) (s : Instr.site) (q_set : IS.t) =
     q_set;
   !acc
 
-let compute (symtab : Symtab.t) (cfgs : Cfg.t SM.t) (cg : Callgraph.t) : t =
+(* bottom-up fixpoint over the condensation, iterating only [active]
+   procedures; entries for inactive procedures in the initial maps are
+   taken as final (their callees must be inactive too for this to be
+   sound — the incremental engine guarantees it by closing the dirty set
+   under callers) *)
+let fixpoint (symtab : Symtab.t) (cg : Callgraph.t) ~(imm : (IS.t * IS.t) SM.t)
+    ~(mods0 : IS.t SM.t) ~(refs0 : IS.t SM.t) ~(active : string -> bool) : t =
   let scc = Scc.compute cg in
-  let imm =
-    SM.mapi
-      (fun name cfg -> immediate (Symtab.proc symtab name) cfg)
-      cfgs
-  in
-  let mods = ref (SM.map fst imm) in
-  let refs = ref (SM.map snd imm) in
-  (* bottom-up over the condensation; iterate until stable to close
-     recursive cycles *)
+  let mods = ref mods0 in
+  let refs = ref refs0 in
+  (* iterate until stable to close recursive cycles *)
   let step () =
     let changed = ref false in
     List.iter
       (fun comp ->
-        let stable = ref false in
-        while not !stable do
-          stable := true;
-          List.iter
-            (fun p ->
-              let psym = Symtab.proc symtab p in
-              let fold_sets get =
-                List.fold_left
-                  (fun acc (e : Callgraph.edge) ->
-                    let q_set =
-                      Option.value ~default:IS.empty
-                        (SM.find_opt e.Callgraph.e_callee (get ()))
-                    in
-                    IS.union acc (bind_site psym e.Callgraph.e_site q_set))
-                  IS.empty
-                  (Callgraph.edges_out cg p)
-              in
-              let m' =
-                IS.union (fst (SM.find p imm)) (fold_sets (fun () -> !mods))
-              in
-              let r' =
-                IS.union (snd (SM.find p imm)) (fold_sets (fun () -> !refs))
-              in
-              if not (IS.equal m' (SM.find p !mods)) then begin
-                mods := SM.add p m' !mods;
-                stable := false;
-                changed := true
-              end;
-              if not (IS.equal r' (SM.find p !refs)) then begin
-                refs := SM.add p r' !refs;
-                stable := false;
-                changed := true
-              end)
-            comp
-        done)
+        match List.filter active comp with
+        | [] -> ()
+        | members ->
+            let stable = ref false in
+            while not !stable do
+              stable := true;
+              List.iter
+                (fun p ->
+                  let psym = Symtab.proc symtab p in
+                  let fold_sets get =
+                    List.fold_left
+                      (fun acc (e : Callgraph.edge) ->
+                        let q_set =
+                          Option.value ~default:IS.empty
+                            (SM.find_opt e.Callgraph.e_callee (get ()))
+                        in
+                        IS.union acc (bind_site psym e.Callgraph.e_site q_set))
+                      IS.empty
+                      (Callgraph.edges_out cg p)
+                  in
+                  let m' =
+                    IS.union (fst (SM.find p imm)) (fold_sets (fun () -> !mods))
+                  in
+                  let r' =
+                    IS.union (snd (SM.find p imm)) (fold_sets (fun () -> !refs))
+                  in
+                  if not (IS.equal m' (SM.find p !mods)) then begin
+                    mods := SM.add p m' !mods;
+                    stable := false;
+                    changed := true
+                  end;
+                  if not (IS.equal r' (SM.find p !refs)) then begin
+                    refs := SM.add p r' !refs;
+                    stable := false;
+                    changed := true
+                  end)
+                members
+            done)
       (Scc.bottom_up scc);
     !changed
   in
@@ -182,6 +185,40 @@ let compute (symtab : Symtab.t) (cfgs : Cfg.t SM.t) (cg : Callgraph.t) : t =
     ()
   done;
   { mod_ = !mods; ref_ = !refs }
+
+let compute (symtab : Symtab.t) (cfgs : Cfg.t SM.t) (cg : Callgraph.t) : t =
+  let imm =
+    SM.mapi
+      (fun name cfg -> immediate (Symtab.proc symtab name) cfg)
+      cfgs
+  in
+  fixpoint symtab cg ~imm ~mods0:(SM.map fst imm) ~refs0:(SM.map snd imm)
+    ~active:(fun _ -> true)
+
+let rows (t : t) : (IS.t * IS.t) SM.t =
+  SM.mapi
+    (fun p m -> (m, Option.value ~default:IS.empty (SM.find_opt p t.ref_)))
+    t.mod_
+
+let compute_partial (symtab : Symtab.t) (cfgs : Cfg.t SM.t) (cg : Callgraph.t)
+    ~(clean : (IS.t * IS.t) SM.t) ~(dirty : SS.t) : t =
+  let imm =
+    SM.fold
+      (fun name cfg acc ->
+        if SS.mem name dirty then
+          SM.add name (immediate (Symtab.proc symtab name) cfg) acc
+        else acc)
+      cfgs SM.empty
+  in
+  let init pick_imm pick_clean =
+    SM.mapi
+      (fun name _ ->
+        if SS.mem name dirty then pick_imm (SM.find name imm)
+        else pick_clean (SM.find name clean))
+      cfgs
+  in
+  fixpoint symtab cg ~imm ~mods0:(init fst fst) ~refs0:(init snd snd)
+    ~active:(fun p -> SS.mem p dirty)
 
 (* ------------------------------------------------------------------ *)
 (* Queries *)

@@ -20,6 +20,22 @@ type t
 
 val compute : Symtab.t -> Cfg.t SM.t -> Callgraph.t -> t
 
+val rows : t -> (IS.t * IS.t) SM.t
+(** Per-procedure [(MOD, REF)] rows — plain data for persistence. *)
+
+val compute_partial :
+  Symtab.t ->
+  Cfg.t SM.t ->
+  Callgraph.t ->
+  clean:(IS.t * IS.t) SM.t ->
+  dirty:SS.t ->
+  t
+(** Recompute only the [dirty] procedures' summaries, taking every other
+    procedure's row from [clean] as final.  Sound only when no procedure
+    outside [dirty] (transitively) calls into [dirty] — the incremental
+    engine guarantees this by closing the dirty set under callers.
+    [clean] ∪ [dirty] must cover the domain of the CFG map. *)
+
 val mod_of : t -> string -> IS.t
 
 val ref_of : t -> string -> IS.t

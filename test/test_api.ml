@@ -1,0 +1,143 @@
+(* Tests of the stable [Ipcp_api.Ipcp] facade: the documented result
+   surface, error reporting, statistics determinism, and agreement with
+   the internals it wraps. *)
+
+module Ipcp = Ipcp_api.Ipcp
+module Config = Ipcp.Config
+module Driver = Ipcp_core.Driver
+module Lint = Ipcp_analysis.Lint
+module Obs = Ipcp_obs.Obs
+
+let config = { Config.default with Config.jobs = 1 }
+
+let src =
+  {|
+PROGRAM main
+  INTEGER x
+  x = 2 + 3
+  CALL work(10, x)
+  CALL work(10, x)
+END
+
+SUBROUTINE work(a, b)
+  INTEGER a, b
+  PRINT *, a + b
+END
+|}
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected facade error: %s" e
+
+let analyze ?(config = config) ?cache s =
+  ok (Ipcp.analyze ~config ?cache (Ipcp.Source.of_string s))
+
+let surface_tests =
+  [
+    Alcotest.test_case "result surface of a known program" `Quick (fun () ->
+        let r = analyze src in
+        Alcotest.(check (list string))
+          "procedures in declaration order" [ "main"; "work" ]
+          (Ipcp.Result.procedures r);
+        Alcotest.(check (list (pair string int)))
+          "CONSTANTS(work)"
+          [ ("a", 10); ("b", 5) ]
+          (Ipcp.Result.constants r "work");
+        Alcotest.(check bool)
+          "total covers both procedures" true
+          (Ipcp.Result.total_constants r >= 2);
+        let sub = Ipcp.Result.substitution r in
+        Alcotest.(check bool) "substitutions found" true (sub.Ipcp.Result.total > 0);
+        let census = Ipcp.Result.census r in
+        Alcotest.(check bool)
+          "census counts some jump functions" true
+          (census.Ipcp.Result.n_const + census.Ipcp.Result.n_passthrough > 0);
+        let st = Ipcp.Result.solver_stats r in
+        Alcotest.(check bool) "solver did work" true (st.Ipcp.Result.pops > 0);
+        Alcotest.(check bool)
+          "cache disabled by default" false
+          (Ipcp.Result.cache r).Ipcp.Cache.r_enabled);
+    Alcotest.test_case "api version is stable" `Quick (fun () ->
+        Alcotest.(check int) "version 1" 1 Ipcp.api_version);
+    Alcotest.test_case "source accessors" `Quick (fun () ->
+        let s = Ipcp.Source.of_string ~file:"a.mf" "PROGRAM p\nEND\n" in
+        Alcotest.(check string) "file" "a.mf" (Ipcp.Source.file s);
+        Alcotest.(check bool)
+          "missing file is an Error" true
+          (Result.is_error (Ipcp.Source.of_file "/nonexistent/x.mf")));
+    Alcotest.test_case "diagnostics surface as Error, not exceptions" `Quick
+      (fun () ->
+        Alcotest.(check bool)
+          "syntax error" true
+          (Result.is_error
+             (Ipcp.analyze ~config (Ipcp.Source.of_string "PROGRAM\n")));
+        Alcotest.(check bool)
+          "semantic error" true
+          (Result.is_error
+             (Ipcp.analyze ~config
+                (Ipcp.Source.of_string
+                   "PROGRAM main\n  CALL nope(1)\nEND\n"))));
+    Alcotest.test_case "facade agrees with the wrapped internals" `Quick
+      (fun () ->
+        let r = analyze src in
+        let d = Ipcp.Result.driver r in
+        Alcotest.(check int)
+          "total_constants" (Driver.total_constants d)
+          (Ipcp.Result.total_constants r);
+        Alcotest.(check int)
+          "lints" (List.length (Lint.run d))
+          (List.length (Ipcp.Result.lints r)));
+    Alcotest.test_case "complete wrapper" `Quick (fun () ->
+        let c = ok (Ipcp.complete ~config (Ipcp.Source.of_string src)) in
+        Alcotest.(check bool) "rounds ran" true (c.Ipcp.rounds >= 1);
+        Alcotest.(check bool)
+          "final source parses" true
+          (Result.is_ok
+             (Ipcp.analyze ~config (Ipcp.Source.of_string c.Ipcp.final_source))));
+  ]
+
+let stats_tests =
+  [
+    Alcotest.test_case "stats are deterministic and filtered" `Quick (fun () ->
+        Obs.set_enabled true;
+        Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+        let s1 = Ipcp.Result.stats (analyze src) in
+        let s2 = Ipcp.Result.stats (analyze src) in
+        Alcotest.(check bool) "two runs agree" true (s1 = s2);
+        Alcotest.(check bool) "counters present" true (s1 <> []);
+        List.iter
+          (fun (k, _) ->
+            Alcotest.(check bool)
+              (Fmt.str "%s is deterministic" k)
+              false
+              (String.starts_with ~prefix:"time_ns/" k
+              || String.starts_with ~prefix:"gc." k
+              || String.starts_with ~prefix:"incr." k))
+          s1);
+    Alcotest.test_case "stats empty while telemetry is off" `Quick (fun () ->
+        Alcotest.(check (list (pair string int)))
+          "no counters" []
+          (Ipcp.Result.stats (analyze src)));
+    Alcotest.test_case "warm replay reports the producing run's stats" `Quick
+      (fun () ->
+        let dir =
+          let f = Filename.temp_file "ipcp-test-api" "" in
+          Sys.remove f;
+          Sys.mkdir f 0o755;
+          f
+        in
+        Obs.set_enabled true;
+        Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+        let cache = Ipcp.Cache.Dir dir in
+        let cold = analyze ~cache src in
+        let warm = analyze ~cache src in
+        Alcotest.(check bool)
+          "warm fixpoint replayed" true
+          (Ipcp.Result.cache warm).Ipcp.Cache.r_fixpoint_reused;
+        Alcotest.(check bool)
+          "byte-identical statistics" true
+          (Ipcp.Result.stats cold = Ipcp.Result.stats warm
+          && Ipcp.Result.convergence cold = Ipcp.Result.convergence warm));
+  ]
+
+let suites = [ ("api-surface", surface_tests); ("api-stats", stats_tests) ]

@@ -134,6 +134,19 @@ let tests =
       par_test 2;
       par_test 4;
       par_test 8;
+      (* interval pipeline: [ranges:suite] pays for the constant
+         analysis it builds on; [ranges:warm] re-runs only the interval
+         fixpoint on prebuilt stage 1-2 artifacts — the marginal cost of
+         the second domain *)
+      Test.make ~name:"ranges:suite"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun p -> ignore (Ipcp.Result.ranges (analyze_one incr_cfg p)))
+               Programs.all));
+      Test.make ~name:"ranges:warm"
+        (let rs = List.map (analyze_one incr_cfg) Programs.all in
+         Staged.stage (fun () ->
+             List.iter (fun r -> ignore (Ipcp.Result.ranges r)) rs));
       (* incremental reanalysis: cold populate vs warm replay *)
       Test.make ~name:"incr:cold" (Staged.stage incr_cold);
       Test.make ~name:"incr:warm"

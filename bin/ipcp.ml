@@ -7,6 +7,7 @@
     - [complete]   iterate propagation with dead-code elimination
     - [intra]      the purely intraprocedural baseline count
     - [lint]       interprocedural diagnostics over the propagation results
+    - [ranges]     interprocedural value ranges (the interval domain)
     - [stats]      telemetry metrics aggregated over the bundled suite
     - [watch]      reanalyze a file whenever it changes (incremental)
     - [cache]      inspect or clear an incremental cache directory
@@ -216,6 +217,36 @@ let dump_cmd =
     Term.(const run $ config_term $ what_arg $ file_arg)
 
 (* ------------------------------------------------------------------ *)
+(* ranges *)
+
+let ranges_cmd =
+  let module Ranges = Ipcp_core.Ranges in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let run config obs cache format path =
+    let src = load_source path in
+    with_obs obs @@ fun () ->
+    let r = or_die (Ipcp.analyze ~config ~cache src) in
+    let rng = Ipcp.Result.ranges r in
+    (match format with
+    | `Text -> Fmt.pr "%a" Ranges.render_text rng
+    | `Json -> Fmt.pr "%a" Ranges.render_json rng);
+    cache_note obs (Ipcp.Result.cache r)
+  in
+  Cmd.v
+    (Cmd.info "ranges"
+       ~doc:
+         "Run interprocedural value-range analysis (the interval instance \
+          of the jump-function framework) and print the entry ranges and \
+          per-use range facts.")
+    Term.(const run $ config_term $ obs_term $ cache_term () $ format_arg
+          $ file_arg)
+
+(* ------------------------------------------------------------------ *)
 (* lint *)
 
 let lint_cmd =
@@ -228,6 +259,15 @@ let lint_cmd =
   in
   let werror_arg =
     Arg.(value & flag & info [ "werror" ] ~doc:"Treat warnings as errors.")
+  in
+  let ranges_flag =
+    Arg.(
+      value & flag
+      & info [ "ranges" ]
+          ~doc:
+            "Also run interprocedural value-range analysis and let the \
+             fault checks consult the interval facts (adds proved \
+             verdicts and the range-backed IPCP-W008 check).")
   in
   let disable_arg =
     Arg.(
@@ -248,7 +288,7 @@ let lint_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
   in
-  let run config obs cache format werror disable list_checks path =
+  let run config obs cache format werror use_ranges disable list_checks path =
     if list_checks then (
       List.iter
         (fun c ->
@@ -280,19 +320,31 @@ let lint_cmd =
     let e, w =
       with_obs obs @@ fun () ->
       let r = or_die (Ipcp.analyze ~config ~cache src) in
-      let findings =
-        Ipcp.Result.lints ~enabled:(fun c -> not (List.mem c disabled)) r
+      let enabled c = not (List.mem c disabled) in
+      let findings, verdicts =
+        if use_ranges then
+          let rng = Ipcp.Result.ranges r in
+          let fs, vt = Ipcp.Result.lints_with_verdicts ~enabled ~ranges:rng r in
+          (fs, Some vt)
+        else (Ipcp.Result.lints ~enabled r, None)
       in
       (match format with
       | `Text ->
           Fmt.pr "%s" (Lint.render_text findings);
           let e, w, i = Lint.summary findings in
-          Fmt.epr "! lint: %d error(s), %d warning(s), %d info(s)@." e w i
-      | `Json -> Fmt.pr "%s@." (Lint.render_json findings));
+          Fmt.epr "! lint: %d error(s), %d warning(s), %d info(s)@." e w i;
+          Option.iter
+            (fun (v : Lint.verdict_totals) ->
+              Fmt.epr
+                "! verdicts: %d proved-safe, %d proved-fault, %d unknown@."
+                v.Lint.n_safe v.Lint.n_fault v.Lint.n_unknown)
+            verdicts
+      | `Json -> Fmt.pr "%s@." (Lint.render_json ?verdicts findings));
       cache_note obs (Ipcp.Result.cache r);
       let e, w, _ = Lint.summary findings in
       (e, w)
     in
+    (* --werror promotes every warning, the range-backed ones included *)
     if e > 0 || (werror && w > 0) then exit 1
   in
   Cmd.v
@@ -303,7 +355,8 @@ let lint_cmd =
           unreachable procedures).")
     Term.(
       const run $ config_term $ obs_term $ cache_term () $ format_arg
-      $ werror_arg $ disable_arg $ list_checks_arg $ opt_file_arg)
+      $ werror_arg $ ranges_flag $ disable_arg $ list_checks_arg
+      $ opt_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* clone *)
@@ -586,6 +639,7 @@ let () =
             substitute_cmd;
             complete_cmd;
             lint_cmd;
+            ranges_cmd;
             stats_cmd;
             cache_cmd;
             watch_cmd;

@@ -17,12 +17,22 @@
     - [IPCP-W006] a use of a local variable with no reaching definition
       (it reads the undefined entry value on {e every} path);
     - [IPCP-I007] a formal parameter with the same constant value at
-      every call site — a candidate for specialisation or an API smell.
+      every call site — a candidate for specialisation or an API smell;
+    - [IPCP-W008] a DO loop whose trip count is a propagated constant
+      (range facts only).
 
     Error-level findings are only reported in code not behind a
     condition that itself folds to false, so a definite [IPCP-E001]
     agrees with the interpreter's runtime faults (see the differential
-    property test). *)
+    property test).
+
+    When the interval facts of [Ranges] are supplied, the fault checks
+    also consult them: a divisor or subscript the constant lattice left
+    unknown can still be {e proved} faulting (range excludes every legal
+    value) or safe (range within the legal values), conditions decide
+    through range comparison, and every E001/E002 candidate site gets a
+    {!verdict}.  Without ranges the output is byte-identical to the
+    historical engine. *)
 
 open Ipcp_frontend
 open Ipcp_frontend.Names
@@ -32,8 +42,10 @@ module Cfg = Ipcp_ir.Cfg
 module Ssa = Ipcp_ir.Ssa
 module Callgraph = Ipcp_callgraph.Callgraph
 module Driver = Ipcp_core.Driver
+module Ranges = Ipcp_core.Ranges
 module Substitute = Ipcp_opt.Substitute
 module Severity = Diag.Severity
+module I = Ipcp_domains.Interval
 
 (* ------------------------------------------------------------------ *)
 (* Checks *)
@@ -46,6 +58,7 @@ type check =
   | Dead_formal
   | Undefined_use
   | Const_formal
+  | Const_trip
 
 let all_checks =
   [
@@ -56,6 +69,7 @@ let all_checks =
     Dead_formal;
     Undefined_use;
     Const_formal;
+    Const_trip;
   ]
 
 let id = function
@@ -66,13 +80,15 @@ let id = function
   | Dead_formal -> "IPCP-W005"
   | Undefined_use -> "IPCP-W006"
   | Const_formal -> "IPCP-I007"
+  | Const_trip -> "IPCP-W008"
 
 let check_of_id s =
   List.find_opt (fun c -> String.equal (id c) (String.uppercase_ascii s)) all_checks
 
 let severity = function
   | Div_by_zero | Subscript_bounds -> Severity.Error
-  | Const_condition | Unreachable_proc | Dead_formal | Undefined_use ->
+  | Const_condition | Unreachable_proc | Dead_formal | Undefined_use
+  | Const_trip ->
       Severity.Warning
   | Const_formal -> Severity.Info
 
@@ -84,19 +100,36 @@ let describe = function
   | Dead_formal -> "formal parameter never referenced by the procedure"
   | Undefined_use -> "use of a variable with no reaching definition"
   | Const_formal -> "formal parameter constant at every call site"
+  | Const_trip -> "DO loop whose trip count is a propagated constant"
+
+(** What the interval facts prove about a finding's site: the flagged
+    behaviour occurs on every execution reaching it ([Proved_fault]),
+    on none ([Proved_safe], no finding emitted), or the ranges cannot
+    decide.  [f_verdict = None] on findings produced without range
+    facts, keeping the historical rendering byte-identical. *)
+type verdict = Proved_safe | Proved_fault | Unknown
+
+let verdict_name = function
+  | Proved_safe -> "proved-safe"
+  | Proved_fault -> "proved-fault"
+  | Unknown -> "unknown"
 
 type finding = {
   f_check : check;
   f_loc : Loc.t;
   f_proc : string;  (** enclosing procedure *)
   f_msg : string;
+  f_verdict : verdict option;  (** range-fact judgement; [None] w/o ranges *)
 }
 
 let finding_severity f = severity f.f_check
 
 let pp_finding ppf f =
-  Fmt.pf ppf "%a: %a[%s]: %s" Loc.pp f.f_loc Severity.pp (finding_severity f)
+  Fmt.pf ppf "%a: %a[%s]: %s%s" Loc.pp f.f_loc Severity.pp (finding_severity f)
     (id f.f_check) f.f_msg
+    (match f.f_verdict with
+    | None -> ""
+    | Some v -> Fmt.str " [%s]" (verdict_name v))
 
 (* ------------------------------------------------------------------ *)
 (* Constant folding over the propagated facts.  [cu] maps the source
@@ -129,14 +162,59 @@ let const_of cu (psym : Symtab.proc_sym) (e : Ast.expr) : int option =
   in
   go e
 
-(** Short-circuit evaluation of a condition over the constant facts. *)
-let cond_const cu psym (c : Ast.cond) : bool option =
+(* Range folding over the interval facts, the mirror of [const_of]: the
+   located-use map gives variable ranges, everything else goes through
+   the interval transfer functions.  Unknown leaves are ⊥ = [-∞, +∞]. *)
+let range_of rf (psym : Symtab.proc_sym) (e : Ast.expr) : I.t =
+  let rec go e =
+    match e with
+    | Ast.Int (n, _) -> I.const n
+    | Ast.Var (x, l) -> (
+        match Loc.Map.find_opt l rf with
+        | Some r -> r
+        | None -> (
+            match Symtab.var psym x with
+            | Some { Symtab.kind = Symtab.Const c; _ } -> I.const c
+            | _ -> I.bot))
+    | Ast.Unop (op, e, _) -> I.unop op (go e)
+    | Ast.Binop (op, a, b, _) -> I.binop op (go a) (go b)
+    | Ast.Intrin (i, args, _) -> I.intrin i (List.map go args)
+    | Ast.Index _ | Ast.Callf _ -> I.bot
+  in
+  go e
+
+let negate_rel = function
+  | Ast.Req -> Ast.Rne
+  | Ast.Rne -> Ast.Req
+  | Ast.Rlt -> Ast.Rge
+  | Ast.Rle -> Ast.Rgt
+  | Ast.Rgt -> Ast.Rle
+  | Ast.Rge -> Ast.Rlt
+
+(* Decide a relation by ranges: the relation never holds iff filtering by
+   it leaves an empty (⊤) range, always holds iff its negation does.  ⊤
+   operands mean the site is unreached — no decision. *)
+let rel_by_ranges er op a b : bool option =
+  let ra = er a and rb = er b in
+  match (ra, rb) with
+  | I.Top, _ | _, I.Top -> None
+  | _ ->
+      let never o =
+        match I.filter o ra rb with I.Top, _ | _, I.Top -> true | _ -> false
+      in
+      if never op then Some false
+      else if never (negate_rel op) then Some true
+      else None
+
+(** Short-circuit evaluation of a condition over the constant facts,
+    falling back on range comparison when [er] is supplied. *)
+let cond_const ?er cu psym (c : Ast.cond) : bool option =
   let ec = const_of cu psym in
   let rec go = function
     | Ast.Rel (op, a, b) -> (
         match (ec a, ec b) with
         | Some x, Some y -> Some (Ast.eval_relop op x y)
-        | _ -> None)
+        | _ -> Option.bind er (fun er -> rel_by_ranges er op a b))
     | Ast.And (a, b) -> (
         match go a with
         | Some false -> Some false
@@ -163,28 +241,71 @@ let rec cond_loc = function
   | Ast.Btrue | Ast.Bfalse -> None
 
 (* ------------------------------------------------------------------ *)
-(* The per-procedure AST walk: E001 / E002 / W003.
+(* The per-procedure AST walk: E001 / E002 / W003 (and W008 when range
+   facts are present).
 
    [reachable] is threaded through the walk and cleared inside branches
    whose condition folds to false (and arms following an always-true
    arm): error-level findings are only emitted for reachable code, so
-   they are definite. *)
+   they are definite.
 
-let walk_proc ~add ~cu ~psym (proc : Ast.proc) =
+   [rf] is the optional location-keyed interval-fact map.  Every
+   reachable E001/E002 candidate site then gets a verdict (reported
+   through [tally]); sites the constant lattice left undecided can be
+   proved faulting by their range and produce new findings.  [rf = None]
+   reproduces the historical walk exactly. *)
+
+let walk_proc ~add ~cu ~rf ~tally ~psym (proc : Ast.proc) =
   let ec = const_of cu psym in
+  let er = Option.map (fun facts -> range_of facts psym) rf in
+  (* verdict attached to findings: None without ranges *)
+  let proved = Option.map (fun _ -> Proved_fault) er in
   let check_div ~reachable divisor ctx =
-    if reachable && ec divisor = Some 0 then
-      add Div_by_zero (Ast.expr_loc divisor)
-        (Fmt.str "%s by zero: the divisor is the constant 0" ctx)
+    if reachable then
+      match ec divisor with
+      | Some 0 ->
+          tally Proved_fault;
+          add ?verdict:proved Div_by_zero (Ast.expr_loc divisor)
+            (Fmt.str "%s by zero: the divisor is the constant 0" ctx)
+      | Some _ -> tally Proved_safe
+      | None -> (
+          match er with
+          | None -> ()
+          | Some er -> (
+              match er divisor with
+              | I.Top -> tally Proved_safe (* unreached: never executes *)
+              | r when I.is_const r = Some 0 ->
+                  tally Proved_fault;
+                  add ?verdict:(Some Proved_fault) Div_by_zero
+                    (Ast.expr_loc divisor)
+                    (Fmt.str "%s by zero: the divisor's range is exactly 0"
+                       ctx)
+              | r when I.disjoint r ~lo:0 ~hi:0 -> tally Proved_safe
+              | _ -> tally Unknown))
   in
   let check_subscript ~reachable arr idx =
     match Symtab.var psym arr with
     | Some { Symtab.dim = Some n; _ } when reachable -> (
         match ec idx with
         | Some i when i < 1 || i > n ->
-            add Subscript_bounds (Ast.expr_loc idx)
+            tally Proved_fault;
+            add ?verdict:proved Subscript_bounds (Ast.expr_loc idx)
               (Fmt.str "subscript %d out of bounds for %s(%d)" i arr n)
-        | _ -> ())
+        | Some _ -> tally Proved_safe
+        | None -> (
+            match er with
+            | None -> ()
+            | Some er -> (
+                match er idx with
+                | I.Top -> tally Proved_safe (* unreached: never executes *)
+                | r when I.disjoint r ~lo:1 ~hi:n ->
+                    tally Proved_fault;
+                    add ?verdict:(Some Proved_fault) Subscript_bounds
+                      (Ast.expr_loc idx)
+                      (Fmt.str "subscript range %s out of bounds for %s(%d)"
+                         (I.to_string r) arr n)
+                | r when I.within r ~lo:1 ~hi:n -> tally Proved_safe
+                | _ -> tally Unknown)))
     | _ -> ()
   in
   let rec expr ~reachable e =
@@ -223,7 +344,7 @@ let walk_proc ~add ~cu ~psym (proc : Ast.proc) =
   in
   let flag_const_cond ~reachable c value default_loc what =
     if reachable then
-      add Const_condition
+      add ?verdict:proved Const_condition
         (Option.value ~default:default_loc (cond_loc c))
         (Fmt.str "%s is always %s" what
            (if value then ".TRUE." else ".FALSE."))
@@ -240,7 +361,7 @@ let walk_proc ~add ~cu ~psym (proc : Ast.proc) =
           | [] -> stmts ~reachable els
           | (c, body) :: rest -> (
               cond ~reachable c;
-              match cond_const cu psym c with
+              match cond_const ?er cu psym c with
               | Some true ->
                   flag_const_cond ~reachable c true loc "branch condition";
                   stmts ~reachable body;
@@ -254,10 +375,41 @@ let walk_proc ~add ~cu ~psym (proc : Ast.proc) =
                   arms ~reachable rest)
         in
         arms ~reachable branches
-    | Ast.Do (_, lo, hi, step, body, _) ->
+    | Ast.Do (_, lo, hi, step, body, loc) ->
         expr ~reachable lo;
         expr ~reachable hi;
         Option.iter (expr ~reachable) step;
+        (* W008: all three loop parameters have singleton ranges, and at
+           least one is not a literal (literal-bound loops are trivially
+           constant-trip and not worth flagging) *)
+        let syntactic_const = function
+          | Ast.Int _ | Ast.Unop (Ast.Neg, Ast.Int _, _) -> true
+          | _ -> false
+        in
+        let all_literal =
+          syntactic_const lo && syntactic_const hi
+          && match step with None -> true | Some s -> syntactic_const s
+        in
+        (match er with
+        | Some er when reachable && not all_literal -> (
+            let rs =
+              match step with Some s -> er s | None -> I.const 1
+            in
+            match (I.is_const (er lo), I.is_const (er hi), I.is_const rs)
+            with
+            | Some l, Some h, Some st when st <> 0 ->
+                let trips =
+                  if st > 0 then if l > h then 0 else ((h - l) / st) + 1
+                  else if l < h then 0
+                  else ((l - h) / -st) + 1
+                in
+                add ?verdict:None Const_trip loc
+                  (Fmt.str
+                     "DO loop trip count is the constant %d (%d to %d \
+                      step %d)"
+                     trips l h st)
+            | _ -> ())
+        | _ -> ());
         (* a constant zero-trip loop never runs its body *)
         let body_reachable =
           match (ec lo, ec hi, Option.map ec step) with
@@ -273,7 +425,7 @@ let walk_proc ~add ~cu ~psym (proc : Ast.proc) =
         stmts ~reachable:body_reachable body
     | Ast.While (c, body, loc) ->
         cond ~reachable c;
-        (match cond_const cu psym c with
+        (match cond_const ?er cu psym c with
         | Some v ->
             flag_const_cond ~reachable c v loc "loop condition";
             stmts ~reachable:(reachable && v) body
@@ -313,14 +465,42 @@ let referenced_names (cfg : Cfg.t) : SS.t =
 (* ------------------------------------------------------------------ *)
 (* The engine *)
 
-let run ?(enabled = fun _ -> true) (t : Driver.t) : finding list =
+(** Verdict counts over the reachable E001/E002 candidate sites, only
+    meaningful when range facts were supplied (all zero otherwise). *)
+type verdict_totals = { n_safe : int; n_fault : int; n_unknown : int }
+
+let no_verdicts = { n_safe = 0; n_fault = 0; n_unknown = 0 }
+
+let run_with_verdicts ?(enabled = fun _ -> true) ?ranges (t : Driver.t) :
+    finding list * verdict_totals =
   let symtab = t.Driver.symtab in
   let cu = Substitute.constant_uses t in
+  let rf = Option.map (fun (r : Ranges.t) -> r.Ranges.facts) ranges in
   let reachable_procs = Callgraph.reachable_from_main t.Driver.cg in
   let findings = ref [] in
-  let add_in proc check loc msg =
+  let totals = ref no_verdicts in
+  let tally =
+    match rf with
+    | None -> fun _ -> ()
+    | Some _ -> (
+        fun v ->
+          let c = !totals in
+          totals :=
+            (match v with
+            | Proved_safe -> { c with n_safe = c.n_safe + 1 }
+            | Proved_fault -> { c with n_fault = c.n_fault + 1 }
+            | Unknown -> { c with n_unknown = c.n_unknown + 1 }))
+  in
+  let add_in proc ?verdict check loc msg =
     if enabled check then
-      findings := { f_check = check; f_loc = loc; f_proc = proc; f_msg = msg }
+      findings :=
+        {
+          f_check = check;
+          f_loc = loc;
+          f_proc = proc;
+          f_msg = msg;
+          f_verdict = verdict;
+        }
         :: !findings
   in
   List.iter
@@ -371,15 +551,19 @@ let run ?(enabled = fun _ -> true) (t : Driver.t) : finding list =
               | _ -> ())
           | _ -> ())
         conv.Ssa.ssa;
-      (* E001 / E002 / W003: the AST walk over propagated constants *)
-      walk_proc ~add ~cu ~psym proc)
+      (* E001 / E002 / W003 (/ W008): the AST walk over the facts *)
+      walk_proc ~add ~cu ~rf ~tally ~psym proc)
     symtab.Symtab.order;
-  List.sort
-    (fun a b ->
-      match Loc.compare a.f_loc b.f_loc with
-      | 0 -> compare (id a.f_check) (id b.f_check)
-      | n -> n)
-    (List.rev !findings)
+  ( List.sort
+      (fun a b ->
+        match Loc.compare a.f_loc b.f_loc with
+        | 0 -> compare (id a.f_check) (id b.f_check)
+        | n -> n)
+      (List.rev !findings),
+    !totals )
+
+let run ?enabled ?ranges (t : Driver.t) : finding list =
+  fst (run_with_verdicts ?enabled ?ranges t)
 
 (* ------------------------------------------------------------------ *)
 (* Summaries and rendering *)
@@ -418,16 +602,27 @@ let json_escape s =
 
 let finding_json f =
   Fmt.str
-    "{\"check\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"procedure\":\"%s\",\"message\":\"%s\"}"
+    "{\"check\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"procedure\":\"%s\",\"message\":\"%s\"%s}"
     (id f.f_check)
     (Severity.name (finding_severity f))
     (json_escape f.f_loc.Loc.file)
     f.f_loc.Loc.line f.f_loc.Loc.col (json_escape f.f_proc)
     (json_escape f.f_msg)
+    (match f.f_verdict with
+    | None -> ""
+    | Some v -> Fmt.str ",\"verdict\":\"%s\"" (verdict_name v))
 
-let render_json (fs : finding list) : string =
+let render_json ?verdicts (fs : finding list) : string =
   let e, w, i = summary fs in
+  let vjson =
+    match verdicts with
+    | None -> ""
+    | Some v ->
+        Fmt.str
+          ",\"verdicts\":{\"proved_safe\":%d,\"proved_fault\":%d,\"unknown\":%d}"
+          v.n_safe v.n_fault v.n_unknown
+  in
   Fmt.str
-    "{\"findings\":[%s],\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d}}"
+    "{\"findings\":[%s],\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d}%s}"
     (String.concat "," (List.map finding_json fs))
-    e w i
+    e w i vjson

@@ -149,7 +149,12 @@ module Result = struct
 
   let substitution t = t.substitution
 
-  let lints ?enabled t = Lint.run ?enabled t.driver
+  let ranges t = Driver.analyze_ranges t.driver
+
+  let lints ?enabled ?ranges t = Lint.run ?enabled ?ranges t.driver
+
+  let lints_with_verdicts ?enabled ?ranges t =
+    Lint.run_with_verdicts ?enabled ?ranges t.driver
 
   let driver t = t.driver
 end

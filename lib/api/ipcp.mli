@@ -146,12 +146,29 @@ module Result : sig
 
   val substitution : t -> substitution
 
+  val ranges : t -> Ipcp_core.Ranges.t
+  (** Interprocedural value-range analysis over this result: the interval
+      instance of the same jump-function framework (computed on demand;
+      see {!Ipcp_core.Ranges}).  Feed it back into {!lints} to upgrade
+      the fault checks with proved verdicts. *)
+
   val lints :
     ?enabled:(Ipcp_analysis.Lint.check -> bool) ->
+    ?ranges:Ipcp_core.Ranges.t ->
     t ->
     Ipcp_analysis.Lint.finding list
   (** Interprocedural diagnostics over this result (computed on demand;
-      see {!Ipcp_analysis.Lint}). *)
+      see {!Ipcp_analysis.Lint}).  [ranges] supplies interval facts for
+      the range-backed checks; without it the findings match the
+      historical engine exactly. *)
+
+  val lints_with_verdicts :
+    ?enabled:(Ipcp_analysis.Lint.check -> bool) ->
+    ?ranges:Ipcp_core.Ranges.t ->
+    t ->
+    Ipcp_analysis.Lint.finding list * Ipcp_analysis.Lint.verdict_totals
+  (** {!lints} plus the verdict census of the fault-candidate sites
+      (meaningful when [ranges] is supplied). *)
 
   val driver : t -> Ipcp_core.Driver.t
   (** Escape hatch to the underlying pipeline state.  {b Unstable}: not

@@ -1,0 +1,404 @@
+(** Intraprocedural abstract interpretation of one procedure over its SSA
+    form, for any {!Ipcp_domains.Domain.S}.
+
+    This is the domain-generic counterpart of {!Symeval}.  Symeval is the
+    jump-function {e builder}: it assigns every SSA name a symbolic
+    expression over the procedure's entry symbols, and those expressions
+    are domain-independent by construction.  This engine consumes the
+    other direction — given abstract entry values (for the range pipeline,
+    the interval VAL set of the interprocedural solve), it folds the
+    procedure's instructions through the domain's transfer functions and
+    produces an abstract value per SSA name.  The shapes deliberately
+    mirror Symeval: the same {!site_view}/{!policy} treatment of call
+    sites (MOD information and return jump functions plug in through
+    {!returnjf_policy}), the same reverse-postorder fixpoint sweeps.
+
+    Two things Symeval does not need appear here:
+
+    - {b Branch refinement.}  On a conditional edge whose target has a
+      single predecessor, [D.filter] refines the compared SSA names under
+      the branch condition.  An SSA name never changes, so a constraint
+      established on entry to that target holds in every block it
+      dominates; refinement environments therefore accumulate down the
+      dominator tree and are applied at each read ([D.join] with the raw
+      value).  This is what turns a DO-loop header's exit test into
+      [v ∈ [lo, limit]] inside the body.
+    - {b Termination for infinite-height domains.}  Every SSA data
+      recurrence passes through a phi, so widening at phi nodes (from the
+      third sweep on) bounds the descending chains; after convergence one
+      narrowing sweep re-evaluates each definition and lets [D.narrow]
+      recover the borders widening pushed to infinity.  Both are skipped
+      when [D.finite_height]. *)
+
+open Ipcp_frontend.Names
+module Instr = Ipcp_ir.Instr
+module Cfg = Ipcp_ir.Cfg
+module Ssa = Ipcp_ir.Ssa
+module Dom = Ipcp_ir.Dom
+module Ast = Ipcp_frontend.Ast
+module Symtab = Ipcp_frontend.Symtab
+module Modref = Ipcp_summary.Modref
+
+(* sweeps of plain descending iteration before phis switch to widening *)
+let widen_start = 3
+
+module Make (D : Ipcp_domains.Domain.S) = struct
+  module E = Ipcp_domains.Expreval.Make (D)
+
+  type site_view = {
+    sv_site : Instr.site;
+    actual : int -> D.t;
+        (** abstract value of scalar actual [j] just before the call
+            (⊥ for whole-array actuals) *)
+    global_at : string -> D.t;
+        (** abstract value of a scalar global just before the call *)
+  }
+
+  type policy = {
+    on_calldef : site_view -> Instr.call_target -> D.t -> D.t;
+        (** value of the target after the call; third argument is the
+            incoming value *)
+    on_result : site_view -> D.t;  (** value of a function call's result *)
+  }
+
+  (** Every call kills everything it could address. *)
+  let worst_case_policy =
+    { on_calldef = (fun _ _ _ -> D.bot); on_result = (fun _ -> D.bot) }
+
+  (** The {!Returnjf.policy} analogue: a call target keeps its incoming
+      value when MOD says the callee cannot touch it; otherwise the
+      callee's return jump function — a symbolic expression over the
+      callee's entry symbols — is folded through the domain's transfer
+      functions at the site's actuals. *)
+  let returnjf_policy ~(symtab : Symtab.t) ~(modref : Modref.t option)
+      ~(rjfs : Returnjf.t) : policy =
+    let may_modify (view : site_view) target =
+      match modref with
+      | None -> true (* no MOD information: worst case *)
+      | Some m ->
+          Modref.may_modify m ~callee:view.sv_site.Instr.callee target
+    in
+    let eval_rjf ~(callee_psym : Symtab.proc_sym) ~target ~(view : site_view)
+        : D.t =
+      let callee = callee_psym.Symtab.proc.Ast.name in
+      match Returnjf.find rjfs ~proc:callee ~target with
+      | None -> D.bot
+      | Some Symeval.Bottom -> D.bot
+      | Some Symeval.Top -> D.top (* callee never returns *)
+      | Some (Symeval.Sexp e) ->
+          let formals = Array.of_list (Symtab.formals callee_psym) in
+          let position name =
+            let rec go i =
+              if i >= Array.length formals then None
+              else if formals.(i) = name then Some i
+              else go (i + 1)
+            in
+            go 0
+          in
+          let support_value name =
+            match position name with
+            | Some j -> view.actual j
+            | None -> view.global_at name
+          in
+          E.eval support_value e
+    in
+    let rtarget_of = function
+      | Instr.Tformal i -> Returnjf.RFormal i
+      | Instr.Tglobal g -> Returnjf.RGlobal g
+      | Instr.Tcaller -> assert false
+    in
+    {
+      on_calldef =
+        (fun view target incoming ->
+          match target with
+          | Instr.Tcaller ->
+              (* a callee can never modify an unpassed caller scalar, but
+                 only MOD information licenses assuming so *)
+              if modref <> None then incoming else D.bot
+          | _ -> (
+              if not (may_modify view target) then incoming
+              else
+                match
+                  Symtab.find_proc symtab view.sv_site.Instr.callee
+                with
+                | None -> D.bot
+                | Some callee_psym ->
+                    eval_rjf ~callee_psym ~target:(rtarget_of target) ~view));
+      on_result =
+        (fun view ->
+          match Symtab.find_proc symtab view.sv_site.Instr.callee with
+          | None -> D.bot
+          | Some callee_psym ->
+              eval_rjf ~callee_psym ~target:Returnjf.RResult ~view);
+    }
+
+  (* ---------------------------------------------------------------- *)
+  (* Engine *)
+
+  type t = {
+    values : (Instr.var, D.t) Hashtbl.t;
+    cfg : Cfg.t;  (** the SSA-form CFG that was evaluated *)
+    views : (int, site_view) Hashtbl.t;  (** keyed by site id *)
+    refines : (Instr.var * D.t) list array;
+        (** per block: the branch constraints dominating it *)
+    passes : int;  (** fixpoint sweeps until stabilisation *)
+  }
+
+  let value t v = Option.value ~default:D.top (Hashtbl.find_opt t.values v)
+
+  let make_views ~operand (ssa_cfg : Cfg.t) : (int, site_view) Hashtbl.t =
+    let global_ins : (int, Instr.operand SM.t) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    Cfg.iter_instrs
+      (fun _ i ->
+        match i with
+        | Instr.Idef (_, Instr.Rcalldef (sid, Instr.Tglobal g, inc)) ->
+            let m =
+              Option.value ~default:SM.empty
+                (Hashtbl.find_opt global_ins sid)
+            in
+            Hashtbl.replace global_ins sid (SM.add g inc m)
+        | _ -> ())
+      ssa_cfg;
+    let view_of (s : Instr.site) =
+      let args = Array.of_list s.Instr.args in
+      {
+        sv_site = s;
+        actual =
+          (fun j ->
+            if j < 0 || j >= Array.length args then D.bot
+            else
+              match args.(j) with
+              | Instr.Ascalar (o, _) -> operand o
+              | Instr.Aarray _ -> D.bot);
+        global_at =
+          (fun g ->
+            match
+              Option.bind
+                (Hashtbl.find_opt global_ins s.Instr.site_id)
+                (SM.find_opt g)
+            with
+            | Some o -> operand o
+            | None -> D.bot);
+      }
+    in
+    let views : (int, site_view) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (s : Instr.site) ->
+        Hashtbl.replace views s.Instr.site_id (view_of s))
+      ssa_cfg.Cfg.sites;
+    views
+
+  let negate_rel = function
+    | Ast.Req -> Ast.Rne
+    | Ast.Rne -> Ast.Req
+    | Ast.Rlt -> Ast.Rge
+    | Ast.Rge -> Ast.Rlt
+    | Ast.Rle -> Ast.Rgt
+    | Ast.Rgt -> Ast.Rle
+
+  (** [entry_binding] binds the procedure's entry symbols (scalar formals
+      and globals) to abstract values — for the range pipeline, the
+      interval VAL set; [None] for a symbol means no information (⊥,
+      since unlike Symeval there is no symbolic fallback). *)
+  let run ?(entry_binding = fun (_ : string) -> (None : D.t option))
+      ~symtab:(_ : Symtab.t) ~(psym : Symtab.proc_sym) ~(policy : policy)
+      (ssa_cfg : Cfg.t) : t =
+    let values : (Instr.var, D.t) Hashtbl.t = Hashtbl.create 256 in
+    let is_scalar_entry base =
+      match Symtab.var psym base with
+      | Some vi when Symtab.is_array vi -> false
+      | Some { Symtab.kind = Symtab.Formal _ | Symtab.Global _; _ } -> true
+      | _ -> false
+    in
+    let entry_value base =
+      if is_scalar_entry base then
+        match entry_binding base with Some v -> v | None -> D.bot
+      else
+        match SM.find_opt base psym.Symtab.data with
+        | Some v -> D.const v (* DATA-initialised local *)
+        | None -> D.bot (* locals, temporaries, result: undefined *)
+    in
+    let lookup v =
+      match Hashtbl.find_opt values v with
+      | Some x -> x
+      | None ->
+          if Ssa.is_entry_version v then entry_value (Ssa.base_name v)
+          else D.top
+    in
+    let operand = function
+      | Instr.Oint n -> D.const n
+      | Instr.Ovar (v, _) -> lookup v
+    in
+    let views = make_views ~operand ssa_cfg in
+    let view_by_id sid = Hashtbl.find views sid in
+
+    (* refinement environments: per block, the SSA names constrained by
+       the branch conditions dominating it *)
+    let nblocks = Array.length ssa_cfg.Cfg.blocks in
+    let dom = Dom.compute ssa_cfg in
+    let preds = Cfg.preds ssa_cfg in
+    let ref_envs : (Instr.var * D.t) list array = Array.make nblocks [] in
+    let add_constraint env (v, d) =
+      match List.assoc_opt v env with
+      | Some d0 ->
+          (v, D.join d0 d) :: List.filter (fun (v', _) -> v' <> v) env
+      | None -> (v, d) :: env
+    in
+    let edge_constraints bid =
+      match preds.(bid) with
+      | [ p ] -> (
+          match ssa_cfg.Cfg.blocks.(p).Cfg.term with
+          | Cfg.Tbranch (Cfg.Crel (op, oa, ob), tb, eb) when tb <> eb ->
+              let op =
+                if bid = tb then Some op
+                else if bid = eb then Some (negate_rel op)
+                else None
+              in
+              (match op with
+              | None -> []
+              | Some op ->
+                  let va = operand oa and vb = operand ob in
+                  let va', vb' = D.filter op va vb in
+                  let keep o v v' =
+                    match o with
+                    | Instr.Ovar (x, _) when not (D.equal v' v) -> [ (x, v') ]
+                    | _ -> []
+                  in
+                  keep oa va va' @ keep ob vb vb')
+          | _ -> [])
+      | _ -> []
+    in
+    let env_of bid =
+      let parent = if bid = 0 then [] else ref_envs.(Dom.idom dom bid) in
+      List.fold_left add_constraint parent (edge_constraints bid)
+    in
+    let lookup_in env v =
+      let raw = lookup v in
+      match List.assoc_opt v env with
+      | Some r -> D.join raw r
+      | None -> raw
+    in
+    let operand_in env = function
+      | Instr.Oint n -> D.const n
+      | Instr.Ovar (v, _) -> lookup_in env v
+    in
+    let steps = ref 0 in
+    let eval_rhs env (r : Instr.rhs) =
+      incr steps;
+      match r with
+      | Instr.Rcopy o -> operand_in env o
+      | Instr.Runop (op, o) -> D.unop op (operand_in env o)
+      | Instr.Rbinop (op, a, b) ->
+          D.binop op (operand_in env a) (operand_in env b)
+      | Instr.Rintrin (i, ops) -> D.intrin i (List.map (operand_in env) ops)
+      | Instr.Rload _ -> D.bot (* values are not tracked through arrays *)
+      | Instr.Rread -> D.bot
+      | Instr.Rresult sid -> policy.on_result (view_by_id sid)
+      | Instr.Rcalldef (sid, target, inc) ->
+          policy.on_calldef (view_by_id sid) target (operand_in env inc)
+    in
+    let phi_value (p : Cfg.phi) =
+      List.fold_left
+        (fun acc (_, src) -> D.meet acc (lookup src))
+        D.top p.Cfg.srcs
+    in
+
+    (* descending sweeps in reverse postorder, widening phis once the
+       pass count shows a chain *)
+    let order = Cfg.rev_postorder ssa_cfg in
+    let passes = ref 0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      incr passes;
+      List.iter
+        (fun bid ->
+          let b = ssa_cfg.Cfg.blocks.(bid) in
+          let env = env_of bid in
+          ref_envs.(bid) <- env;
+          List.iter
+            (fun (p : Cfg.phi) ->
+              let cur = lookup p.Cfg.dest in
+              let v = D.meet cur (phi_value p) in
+              if not (D.equal v cur) then begin
+                let v =
+                  if D.finite_height || !passes < widen_start then v
+                  else D.widen cur v
+                in
+                Hashtbl.replace values p.Cfg.dest v;
+                changed := true
+              end)
+            b.Cfg.phis;
+          List.iter
+            (fun i ->
+              match i with
+              | Instr.Idef (x, r) ->
+                  let cur = lookup x in
+                  let v = D.meet cur (eval_rhs env r) in
+                  if not (D.equal v cur) then begin
+                    Hashtbl.replace values x v;
+                    changed := true
+                  end
+              | Instr.Istore _ | Instr.Icall _ | Instr.Iprint _ -> ())
+            b.Cfg.instrs)
+        order
+    done;
+    (* one narrowing sweep: re-evaluate each definition at the widened
+       fixpoint and let the domain recover overshot borders; downstream
+       blocks in the same sweep already read the narrowed values *)
+    if not D.finite_height then
+      List.iter
+        (fun bid ->
+          let b = ssa_cfg.Cfg.blocks.(bid) in
+          let env = env_of bid in
+          ref_envs.(bid) <- env;
+          List.iter
+            (fun (p : Cfg.phi) ->
+              let cur = lookup p.Cfg.dest in
+              let n = D.narrow cur (phi_value p) in
+              if not (D.equal n cur) then Hashtbl.replace values p.Cfg.dest n)
+            b.Cfg.phis;
+          List.iter
+            (fun i ->
+              match i with
+              | Instr.Idef (x, r) ->
+                  let cur = lookup x in
+                  let n = D.narrow cur (eval_rhs env r) in
+                  if not (D.equal n cur) then Hashtbl.replace values x n
+              | Instr.Istore _ | Instr.Icall _ | Instr.Iprint _ -> ())
+            b.Cfg.instrs)
+        order;
+    if Ipcp_obs.Obs.on () then begin
+      let module Metrics = Ipcp_obs.Metrics in
+      Metrics.incr ("abseval." ^ D.name ^ ".runs");
+      Metrics.add ("abseval." ^ D.name ^ ".passes") !passes;
+      Metrics.add ("abseval." ^ D.name ^ ".steps") !steps
+    end;
+    (* materialise entry names only ever read through [lookup], so the
+       exported [value] accessor sees them *)
+    Cfg.all_vars ssa_cfg
+    |> SS.iter (fun v ->
+           if not (Hashtbl.mem values v) then
+             Hashtbl.replace values v (lookup v));
+    { values; cfg = ssa_cfg; views; refines = ref_envs; passes = !passes }
+
+  (** The site view for a given call site of the evaluated procedure. *)
+  let site_view t (s : Instr.site) = Hashtbl.find t.views s.Instr.site_id
+
+  (** Value of an operand under this evaluation. *)
+  let operand_value t = function
+    | Instr.Oint n -> D.const n
+    | Instr.Ovar (v, _) -> value t v
+
+  (** Value of an operand as read inside block [bid]: the raw value
+      refined by the branch constraints dominating that block. *)
+  let operand_value_in t bid = function
+    | Instr.Oint n -> D.const n
+    | Instr.Ovar (v, _) -> (
+        let raw = value t v in
+        match List.assoc_opt v t.refines.(bid) with
+        | Some r -> D.join raw r
+        | None -> raw)
+end

@@ -1,38 +1,8 @@
 (** The constant-propagation lattice of the paper's Figure 1.
 
-    Elements are ⊤ (no information yet — a procedure or value not yet
-    reached by the propagation), a single integer constant, or ⊥ (not known
-    to be constant).  The lattice is infinite but of depth 2: any value can
-    be lowered at most twice, which bounds the interprocedural iteration
-    (the complexity argument of the paper's §3.1.5 rests on exactly this). *)
+    The definition now lives in {!Ipcp_domains.Clattice}, where it is
+    the [Const] instance of the {!Ipcp_domains.Domain.S} signature; this
+    alias keeps the historical [Ipcp_core.Clattice] path and its
+    constructors working unchanged. *)
 
-type t = Top | Const of int | Bottom
-
-let equal a b =
-  match (a, b) with
-  | Top, Top | Bottom, Bottom -> true
-  | Const x, Const y -> x = y
-  | _ -> false
-
-(** The meet (⊓) of Figure 1: [⊤ ⊓ x = x]; [c ⊓ c = c]; [ci ⊓ cj = ⊥] for
-    [ci ≠ cj]; [⊥ ⊓ x = ⊥]. *)
-let meet a b =
-  match (a, b) with
-  | Top, x | x, Top -> x
-  | Bottom, _ | _, Bottom -> Bottom
-  | Const x, Const y -> if x = y then a else Bottom
-
-let is_const = function Const c -> Some c | _ -> None
-
-(** Partial order induced by [meet]: [leq a b] iff [a ⊓ b = a]. *)
-let leq a b = equal (meet a b) a
-
-(** Height of an element: number of times it can still be lowered. *)
-let height = function Top -> 2 | Const _ -> 1 | Bottom -> 0
-
-let pp ppf = function
-  | Top -> Fmt.string ppf "⊤"
-  | Const c -> Fmt.int ppf c
-  | Bottom -> Fmt.string ppf "⊥"
-
-let to_string t = Fmt.str "%a" pp t
+include Ipcp_domains.Clattice

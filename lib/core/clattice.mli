@@ -3,15 +3,24 @@
     Elements are ⊤ (no information yet), a single integer constant, or ⊥
     (not known to be constant).  The lattice is infinite but of depth 2:
     a value can be lowered at most twice, which is what bounds the
-    interprocedural propagation (§3.1.5). *)
+    interprocedural propagation (§3.1.5).
 
-type t = Top | Const of int | Bottom
+    Since the abstract-domain refactor the definition lives in
+    {!Ipcp_domains.Clattice} (the [Const] instance of
+    {!Ipcp_domains.Domain.S}); this module re-exports it under the
+    historical path, with the type equation exposed so the constructors
+    remain interchangeable. *)
+
+type t = Ipcp_domains.Clattice.t = Top | Const of int | Bottom
 
 val equal : t -> t -> bool
 
 val meet : t -> t -> t
 (** The meet (⊓) of Figure 1: [⊤ ⊓ x = x]; [c ⊓ c = c]; [ci ⊓ cj = ⊥] when
     [ci ≠ cj]; [⊥ ⊓ x = ⊥]. *)
+
+val join : t -> t -> t
+(** Least upper bound (dual of {!meet}); incompatible constants give ⊤. *)
 
 val is_const : t -> int option
 

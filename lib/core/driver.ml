@@ -192,6 +192,14 @@ let final_evals (t : t) : Symeval.t SM.t =
     Trace.span "stage4:record" (fun () ->
         Pool.map_sm ~jobs (fun p _ -> final_eval t p) t.convs)
 
+(** The interval instance of the pipeline: interprocedural range
+    propagation over the already-built jump functions, then a
+    per-procedure abstract evaluation (parallel like stage 4) producing
+    the location-keyed range facts the lint checks consume. *)
+let analyze_ranges (t : t) : Ranges.t =
+  Ranges.compute ~config:t.config ~symtab:t.symtab ~cg:t.cg ~modref:t.modref
+    ~rjfs:t.rjfs ~jfs:t.jfs ~convs:t.convs ()
+
 (* ------------------------------------------------------------------ *)
 (* Convenience front ends *)
 

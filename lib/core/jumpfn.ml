@@ -165,24 +165,36 @@ let of_site ~(symtab : Symtab.t) ~(kind : Config.jf_kind) (ev : Symeval.t)
 (* ------------------------------------------------------------------ *)
 (* Evaluation during interprocedural propagation *)
 
-(** [eval jf env] evaluates the jump function against the caller's current
-    VAL set.  ⊤ supports yield ⊤ (no information has reached the caller
-    yet); ⊥ supports yield ⊥; otherwise the expression folds. *)
-let eval (jf : t) (env : string -> Clattice.t) : Clattice.t =
-  match jf with
-  | Jbottom -> Clattice.Bottom
-  | Jconst c -> Clattice.Const c
-  | Jvar x -> env x
-  | Jexpr e ->
-      let sup = SS.elements (Symexpr.support e) in
-      if List.exists (fun s -> env s = Clattice.Bottom) sup then
-        Clattice.Bottom
-      else if List.exists (fun s -> env s = Clattice.Top) sup then
-        Clattice.Top
-      else
-        let lookup s =
-          match env s with Clattice.Const c -> Some c | _ -> None
-        in
-        (match Symexpr.eval lookup e with
-        | Some c -> Clattice.Const c
-        | None -> Clattice.Bottom)
+(** Evaluation against any abstract domain.  A jump function is built
+    once, from the symbolic evaluation, and merely evaluated during the
+    interprocedural propagation; nothing in it is specific to the
+    constant lattice, so evaluation is a functor.
+
+    [eval jf env] evaluates the jump function against the caller's
+    current VAL set.  ⊥ supports yield ⊥; ⊤ supports yield ⊤ (no
+    information has reached the caller yet); all-constant supports fold
+    the polynomial exactly through {!Symexpr.eval} (a fault yields ⊥);
+    anything else — only reachable for domains richer than constants —
+    folds the polynomial through the domain's transfer functions. *)
+module Eval (D : Ipcp_domains.Domain.S) = struct
+  module E = Ipcp_domains.Expreval.Make (D)
+
+  let eval (jf : t) (env : string -> D.t) : D.t =
+    match jf with
+    | Jbottom -> D.bot
+    | Jconst c -> D.const c
+    | Jvar x -> env x
+    | Jexpr e -> (
+        let sup = SS.elements (Symexpr.support e) in
+        if List.exists (fun s -> D.equal (env s) D.bot) sup then D.bot
+        else if List.exists (fun s -> D.equal (env s) D.top) sup then D.top
+        else
+          let bindings = List.map (fun s -> (s, D.is_const (env s))) sup in
+          if List.for_all (fun (_, c) -> c <> None) bindings then
+            match Symexpr.eval (fun s -> Option.join (List.assoc_opt s bindings)) e with
+            | Some c -> D.const c
+            | None -> D.bot
+          else E.eval env e)
+end
+
+include Eval (Ipcp_domains.Clattice)

@@ -48,6 +48,16 @@ val of_site :
     evaluation: one per scalar formal of the callee and one per scalar
     global. *)
 
+(** Evaluation against any {!Ipcp_domains.Domain.S}: jump functions are
+    built once and merely evaluated during propagation, so nothing in
+    them is constant-specific. *)
+module Eval (D : Ipcp_domains.Domain.S) : sig
+  val eval : t -> (string -> D.t) -> D.t
+  (** Evaluate against the caller's current VAL set.  ⊤ supports yield
+      ⊤, ⊥ supports ⊥; all-constant supports fold the polynomial exactly
+      (a fault yields ⊥); mixed supports fold it through the domain's
+      transfer functions. *)
+end
+
 val eval : t -> (string -> Clattice.t) -> Clattice.t
-(** Evaluate against the caller's current VAL set.  ⊤ supports yield ⊤, ⊥
-    supports ⊥; otherwise the expression folds (a fault yields ⊥). *)
+(** [Eval(Clattice).eval]: the historical constant-lattice evaluation. *)

@@ -1,0 +1,249 @@
+(** The interprocedural value-range pipeline: the jump-function framework
+    instantiated with the {!Ipcp_domains.Interval} domain.
+
+    The stages mirror the constant pipeline and reuse its artifacts
+    verbatim — the same forward jump functions (built once by stage 2;
+    they are symbolic and domain-independent), the same return jump
+    functions, the same call graph:
+
+    1. {e interprocedural propagation}: [Solver.Make (Interval)] runs the
+       SCC-ordered worklist over the existing jump functions, producing
+       the interval VAL set of every procedure (with widening after
+       repeated lowerings and one narrowing pass, see {!Solver});
+    2. {e intraprocedural evaluation}: [Abseval.Make (Interval)] folds
+       each procedure's SSA form through the interval transfer functions,
+       entry symbols bound to the VAL set, branch conditions refining
+       ranges down the dominator tree (parallel across procedures);
+    3. {e recording}: every scalar-variable use that carries a source
+       location gets a range fact, keyed by location exactly like the
+       substitution pass's constant uses — this is the map the
+       range-aware lint checks consult.
+
+    Soundness inherits from the parts: jump functions and return jump
+    functions are exact symbolic values, the interval transfer functions
+    over-approximate native integer arithmetic (wrap-around collapses to
+    ⊥), and refinement only intersects with branch-implied ranges.  A ⊤
+    fact marks a use the propagation never reached. *)
+
+open Ipcp_frontend.Names
+module Loc = Ipcp_frontend.Loc
+module Symtab = Ipcp_frontend.Symtab
+module Instr = Ipcp_ir.Instr
+module Cfg = Ipcp_ir.Cfg
+module Ssa = Ipcp_ir.Ssa
+module Callgraph = Ipcp_callgraph.Callgraph
+module Modref = Ipcp_summary.Modref
+module Obs = Ipcp_obs.Obs
+module Metrics = Ipcp_obs.Metrics
+module Trace = Ipcp_obs.Trace
+module Json = Ipcp_obs.Json
+module Pool = Ipcp_par.Pool
+module I = Ipcp_domains.Interval
+module ISolver = Solver.Make (Ipcp_domains.Interval)
+module IAbs = Abseval.Make (Ipcp_domains.Interval)
+
+type t = {
+  solver : ISolver.t;  (** interval VAL sets *)
+  evals : IAbs.t SM.t;  (** per-procedure abstract evaluations *)
+  facts : I.t Loc.Map.t;  (** range per located scalar-variable use *)
+}
+
+(* every located scalar-variable use in the procedure, valued under the
+   block's refinement environment; the operand set mirrors
+   [Cfg.iter_value_operands], plus branch-condition operands (consulted
+   by the constant-condition lint check) *)
+let proc_facts (ev : IAbs.t) acc =
+  let acc = ref acc in
+  let add bid o =
+    match o with
+    | Instr.Ovar (_, Some loc) ->
+        let v = IAbs.operand_value_in ev bid o in
+        acc :=
+          Loc.Map.update loc
+            (function None -> Some v | Some v0 -> Some (I.meet v0 v))
+            !acc
+    | _ -> ()
+  in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      let bid = b.Cfg.bid in
+      List.iter
+        (fun i ->
+          match i with
+          | Instr.Idef (_, rhs) -> (
+              match rhs with
+              | Instr.Rcopy o | Instr.Runop (_, o) | Instr.Rload (_, o) ->
+                  add bid o
+              | Instr.Rbinop (_, x, y) ->
+                  add bid x;
+                  add bid y
+              | Instr.Rintrin (_, ops) -> List.iter (add bid) ops
+              | Instr.Rread | Instr.Rresult _ | Instr.Rcalldef _ -> ())
+          | Instr.Istore (_, ix, v) ->
+              add bid ix;
+              add bid v
+          | Instr.Icall s ->
+              List.iter
+                (function
+                  | Instr.Ascalar (_, Some (Instr.Avar _)) -> ()
+                  | Instr.Ascalar (o, addr) -> (
+                      add bid o;
+                      match addr with
+                      | Some (Instr.Aelem (_, ix)) -> add bid ix
+                      | _ -> ())
+                  | Instr.Aarray _ -> ())
+                s.Instr.args
+          | Instr.Iprint ops -> List.iter (add bid) ops)
+        b.Cfg.instrs;
+      match b.Cfg.term with
+      | Cfg.Tbranch (Cfg.Crel (_, x, y), _, _) ->
+          add bid x;
+          add bid y
+      | _ -> ())
+    ev.IAbs.cfg.Cfg.blocks;
+  !acc
+
+let compute ~(config : Config.t) ~(symtab : Symtab.t) ~(cg : Callgraph.t)
+    ~(modref : Modref.t option) ~(rjfs : Returnjf.t)
+    ~(jfs : Jumpfn.site_jfs list SM.t) ~(convs : Ssa.conv SM.t) () : t =
+  Trace.span "ranges" @@ fun () ->
+  let jobs = max 1 config.Config.jobs in
+  let solver =
+    Trace.span "ranges:propagate" (fun () ->
+        ISolver.solve ~metrics_ns:"ranges.solver" ~symtab ~cg ~jfs ())
+  in
+  let evals =
+    Trace.span "ranges:abseval" (fun () ->
+        let run p (conv : Ssa.conv) =
+          let psym = Symtab.proc symtab p in
+          let policy = IAbs.returnjf_policy ~symtab ~modref ~rjfs in
+          let entry_binding name = Some (ISolver.val_of solver p name) in
+          IAbs.run ~entry_binding ~symtab ~psym ~policy conv.Ssa.ssa
+        in
+        if jobs <= 1 then SM.mapi run convs else Pool.map_sm ~jobs run convs)
+  in
+  let facts =
+    Trace.span "ranges:record" (fun () ->
+        SM.fold (fun _ ev acc -> proc_facts ev acc) evals Loc.Map.empty)
+  in
+  if Obs.on () then begin
+    Metrics.add "ranges.facts" (Loc.Map.cardinal facts);
+    Loc.Map.iter
+      (fun _ v ->
+        if I.is_const v <> None then Metrics.incr "ranges.facts.singleton"
+        else
+          match v with
+          | I.Range (I.Fin _, I.Fin _) -> Metrics.incr "ranges.facts.bounded"
+          | I.Range _ -> Metrics.incr "ranges.facts.unbounded"
+          | I.Top -> Metrics.incr "ranges.facts.unreached")
+      facts
+  end;
+  { solver; evals; facts }
+
+(** The range of the located use at [loc], if any. *)
+let fact (t : t) loc = Loc.Map.find_opt loc t.facts
+
+(** RANGES(p): the interval VAL set on entry to [p]. *)
+let entry_ranges (t : t) p : I.t SM.t =
+  Option.value ~default:SM.empty (SM.find_opt p t.solver.ISolver.vals)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering, shared by [ipcp ranges] text/JSON output *)
+
+type summary = {
+  s_procs : int;
+  s_facts : int;
+  s_singleton : int;
+  s_bounded : int;
+  s_unbounded : int;
+  s_unreached : int;
+}
+
+let summarize (t : t) : summary =
+  let s_singleton = ref 0
+  and s_bounded = ref 0
+  and s_unbounded = ref 0
+  and s_unreached = ref 0 in
+  Loc.Map.iter
+    (fun _ v ->
+      if I.is_const v <> None then incr s_singleton
+      else
+        match v with
+        | I.Range (I.Fin _, I.Fin _) -> incr s_bounded
+        | I.Range _ -> incr s_unbounded
+        | I.Top -> incr s_unreached)
+    t.facts;
+  {
+    s_procs = SM.cardinal t.solver.ISolver.vals;
+    s_facts = Loc.Map.cardinal t.facts;
+    s_singleton = !s_singleton;
+    s_bounded = !s_bounded;
+    s_unbounded = !s_unbounded;
+    s_unreached = !s_unreached;
+  }
+
+let render_text ppf (t : t) =
+  SM.iter
+    (fun p entry ->
+      Fmt.pf ppf "RANGES(%s) = {%a}@." p
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (n, v) ->
+              Fmt.pf ppf "%s ∈ %a" n I.pp v))
+        (SM.bindings entry))
+    t.solver.ISolver.vals;
+  Loc.Map.iter
+    (fun loc v -> Fmt.pf ppf "%a: %a@." Loc.pp loc I.pp v)
+    t.facts;
+  let s = summarize t in
+  Fmt.pf ppf
+    "facts: %d uses across %d procedures (%d singleton, %d bounded, %d \
+     unbounded, %d unreached)@."
+    s.s_facts s.s_procs s.s_singleton s.s_bounded s.s_unbounded s.s_unreached
+
+let json (t : t) : Json.t =
+  let procs =
+    SM.fold
+      (fun p entry acc ->
+        Json.Obj
+          [
+            ("procedure", Json.Str p);
+            ( "entry",
+              Json.Obj
+                (List.map
+                   (fun (n, v) -> (n, Json.Str (I.to_string v)))
+                   (SM.bindings entry)) );
+          ]
+        :: acc)
+      t.solver.ISolver.vals []
+    |> List.rev
+  in
+  let facts =
+    Loc.Map.fold
+      (fun loc v acc ->
+        Json.Obj
+          [
+            ("loc", Json.Str (Loc.to_string loc));
+            ("range", Json.Str (I.to_string v));
+          ]
+        :: acc)
+      t.facts []
+    |> List.rev
+  in
+  let s = summarize t in
+  Json.Obj
+    [
+      ("procedures", Json.Arr procs);
+      ("facts", Json.Arr facts);
+      ( "summary",
+        Json.Obj
+          [
+            ("procedures", Json.Int s.s_procs);
+            ("facts", Json.Int s.s_facts);
+            ("singleton", Json.Int s.s_singleton);
+            ("bounded", Json.Int s.s_bounded);
+            ("unbounded", Json.Int s.s_unbounded);
+            ("unreached", Json.Int s.s_unreached);
+          ] );
+    ]
+
+let render_json ppf t = Fmt.pf ppf "%s@." (Json.to_string (json t))

@@ -1,8 +1,14 @@
 (** Interprocedural propagation of VAL sets over the call graph: the
     worklist scheme of §2/§4.1.  Each call edge folds the evaluation of
-    its jump functions into the callee's VAL via the lattice meet;
+    its jump functions into the callee's VAL via the domain meet;
     lowering a value re-enqueues the callee.  CONSTANTS(p) is read off the
     fixpoint.
+
+    The solver is a functor over {!Ipcp_domains.Domain.S}; the top-level
+    entry points are the constant-lattice instance [Make (Clattice)],
+    unchanged in behaviour.  Domains without finite height get per-entry
+    widening after a few lowerings and one narrowing pass after
+    convergence.
 
     The worklist is by default a priority queue in reverse postorder over
     the call-graph SCC condensation (callers before callees); the paper's
@@ -20,12 +26,6 @@ type stats = {
   mutable lowerings : int;  (** VAL entries lowered (≤ 2 × entries) *)
 }
 
-type t = {
-  vals : Clattice.t Ipcp_frontend.Names.SM.t Ipcp_frontend.Names.SM.t;
-      (** procedure -> parameter -> value *)
-  stats : stats;
-}
-
 type strategy = Scc_order | Fifo
 (** Worklist discipline: SCC-condensation priority order (default) or
     the paper's FIFO. *)
@@ -35,11 +35,55 @@ val params_of : Symtab.t -> Symtab.proc_sym -> string list
     scalar global of the program (the paper's extended definition of
     "parameter"). *)
 
+(** The domain-generic solver. *)
+module Make (D : Ipcp_domains.Domain.S) : sig
+  type t = {
+    vals : D.t Ipcp_frontend.Names.SM.t Ipcp_frontend.Names.SM.t;
+        (** procedure -> parameter -> value *)
+    stats : stats;
+  }
+
+  val main_seed : Symtab.t -> D.t Ipcp_frontend.Names.SM.t
+  (** The main program's entry values: DATA-initialised globals are
+      constants, everything else ⊥. *)
+
+  val solve :
+    ?metrics_ns:string ->
+    ?strategy:strategy ->
+    ?scc:Scc.t ->
+    symtab:Symtab.t ->
+    cg:Callgraph.t ->
+    jfs:Jumpfn.site_jfs list Ipcp_frontend.Names.SM.t ->
+    unit ->
+    t
+  (** [?scc] lets the caller reuse an already-computed condensation for
+      the {!Scc_order} ranks; it is computed on demand otherwise.
+      [?metrics_ns] (default ["solver"]) prefixes the telemetry counter
+      names so concurrent instances stay distinguishable; only the
+      default namespace feeds the convergence log. *)
+
+  val constants : t -> string -> int Ipcp_frontend.Names.SM.t
+  (** CONSTANTS(p): the (name, value) pairs known constant on entry. *)
+
+  val val_of : t -> string -> string -> D.t
+
+  val pp : t Fmt.t
+end
+
+(** {2 The constant-lattice instance (historical interface)} *)
+
+type t = {
+  vals : Clattice.t Ipcp_frontend.Names.SM.t Ipcp_frontend.Names.SM.t;
+      (** procedure -> parameter -> value *)
+  stats : stats;
+}
+
 val main_seed : Symtab.t -> Clattice.t Ipcp_frontend.Names.SM.t
 (** The main program's entry values: DATA-initialised globals are
     constants, everything else ⊥. *)
 
 val solve :
+  ?metrics_ns:string ->
   ?strategy:strategy ->
   ?scc:Scc.t ->
   symtab:Symtab.t ->
@@ -47,8 +91,7 @@ val solve :
   jfs:Jumpfn.site_jfs list Ipcp_frontend.Names.SM.t ->
   unit ->
   t
-(** [?scc] lets the caller reuse an already-computed condensation for
-    the {!Scc_order} ranks; it is computed on demand otherwise. *)
+(** [Make (Clattice)]'s [solve]. *)
 
 val constants : t -> string -> int Ipcp_frontend.Names.SM.t
 (** CONSTANTS(p): the (name, value) pairs known constant on entry. *)

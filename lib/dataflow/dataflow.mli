@@ -1,0 +1,52 @@
+(** A generic iterative dataflow framework over bounded semilattices.
+
+    The paper solves its interprocedural problem with "a simple worklist
+    iterative scheme" on top of ParaScope's dataflow solver; this module
+    is the corresponding reusable engine.  It is instantiated
+    intraprocedurally (liveness-style bit-vector problems, reaching
+    definitions) and the same worklist discipline is reused by the
+    interprocedural VAL-set solver in [Ipcp_core.Solver].
+
+    The signature follows Kildall: a meet semilattice with top, and a
+    monotone block transfer function.  Termination is the client's
+    responsibility: the lattice must have bounded descending chains. *)
+
+module Cfg = Ipcp_ir.Cfg
+
+module type LATTICE = sig
+  type t
+
+  val top : t
+  (** initial optimistic assumption *)
+
+  val meet : t -> t -> t
+
+  val equal : t -> t -> bool
+
+  val pp : t Fmt.t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result = { inv : L.t array; outv : L.t array }
+  (** Per-block fixpoint values, in the problem's direction: [inv] holds
+      each block's input (its predecessors' merge for forward problems,
+      its successors' for backward ones) and [outv] the transferred
+      output.  Unreachable blocks keep [L.top]. *)
+
+  val solve :
+    ?direction:direction ->
+    Cfg.t ->
+    init:L.t ->
+    transfer:(int -> L.t -> L.t) ->
+    result
+  (** [solve ?direction cfg ~init ~transfer] iterates [transfer] in
+      reverse postorder (postorder for backward problems) until the
+      per-block values stabilise.
+
+      - [init] is the boundary value: at the entry block for forward
+        problems, at every [Treturn]/[Tstop] block for backward ones;
+      - [transfer bid v] maps block [bid]'s in-value to its out-value
+        (in the chosen direction) and must be monotone. *)
+end

@@ -1,0 +1,35 @@
+(** Reaching definitions, as an instance of the generic {!Dataflow}
+    solver.
+
+    A definition point is identified by [(block id, instruction index)];
+    the pseudo-definition [(-1, -1)] stands for the variable's value on
+    entry to the procedure.  The lattice is the powerset of definition
+    points ordered by inclusion (meet = union: a definition reaches a
+    point if it reaches it along {e some} path). *)
+
+module Cfg = Ipcp_ir.Cfg
+
+type def_point = {
+  d_var : string;
+  d_block : int;  (** [-1] for the entry pseudo-definition *)
+  d_index : int;  (** instruction index within the block; [-1] at entry *)
+}
+
+val entry_def : string -> def_point
+(** The pseudo-definition carrying a variable's value on entry. *)
+
+module DP : Set.S with type elt = def_point
+
+type t = {
+  blocks_in : DP.t array;  (** definitions reaching each block's entry *)
+  blocks_out : DP.t array;  (** definitions live at each block's exit *)
+}
+
+val compute : Cfg.t -> t
+(** Solve the forward problem over [cfg].  Every variable starts with its
+    entry pseudo-definition; each real definition kills the previous
+    definitions of its variable and generates its own point. *)
+
+val reaching_defs : t -> bid:int -> string -> def_point list
+(** Definitions of a variable reaching the entry of block [bid], in
+    [DP]'s element order. *)

@@ -1,0 +1,17 @@
+(** The constant-propagation lattice of the paper's Figure 1.
+
+    Elements are ⊤ (no information yet), a single integer constant, or ⊥
+    (not known to be constant).  The lattice is infinite but of depth 2:
+    a value can be lowered at most twice, which is what bounds the
+    interprocedural propagation (§3.1.5).
+
+    This module is the [Const] instance of {!Domain.S}; the extra
+    {!height} entry point is specific to the constant lattice (the
+    paper's complexity argument counts remaining lowerings). *)
+
+type t = Top | Const of int | Bottom
+
+include Domain.S with type t := t
+
+val height : t -> int
+(** Number of times the element can still be lowered (2, 1 or 0). *)

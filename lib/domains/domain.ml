@@ -1,0 +1,96 @@
+(** The abstract-value domain signature the interprocedural machinery is
+    parameterised over.
+
+    Nothing in the jump-function framework — forward jump functions with
+    support sets, return jump functions, the SCC-ordered worklist solver —
+    is specific to the paper's ⊤ / constant / ⊥ lattice; the functional
+    approach carries any bounded value lattice (Padhye–Khedker's
+    value-contexts observation).  A {!S} packages what the generic engines
+    need:
+
+    - the lattice structure in the {e descending} orientation used
+      throughout this codebase: ⊤ is "no information has arrived yet"
+      (unreached), values are {e lowered} as facts accumulate, and the
+      merge of facts arriving along different paths or call edges is
+      {!S.meet} (⊤ is its identity);
+    - an embedding of integer literals ({!S.const}) with a partial inverse
+      ({!S.is_const}) — a domain element that concretises to exactly one
+      integer reads back as that constant;
+    - a sound abstract transfer for every operator the IR can apply to
+      scalar values ({!S.unop}, {!S.binop}, {!S.intrin});
+    - branch refinement ({!S.filter}) used by the intraprocedural abstract
+      interpreter on conditional edges — a domain may simply return its
+      arguments unchanged;
+    - the termination controls: {!S.finite_height} declares that plain
+      meet-iteration terminates (the constant lattice has depth 2); a
+      domain with infinite descending chains (intervals) must supply a
+      proper {!S.widen}, which the fixpoint engines invoke once a value
+      keeps lowering, and may sharpen the result back with {!S.narrow}. *)
+
+module Ast = Ipcp_frontend.Ast
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Short identifier used in telemetry counters and output headers. *)
+
+  val top : t
+  (** No information yet: the value of an unreached parameter.  Identity
+      of {!meet}. *)
+
+  val bot : t
+  (** No knowledge: every integer is possible. *)
+
+  val const : int -> t
+  (** The abstraction of a single integer. *)
+
+  val is_const : t -> int option
+  (** [Some c] iff the element concretises to exactly [{c}]. *)
+
+  val equal : t -> t -> bool
+
+  val meet : t -> t -> t
+  (** Merge facts arriving along different paths or call edges (the ⊓ of
+      the paper's Figure 1 for the constant instance; the convex hull for
+      intervals).  Commutative, associative, with {!top} as identity and
+      {!bot} absorbing. *)
+
+  val join : t -> t -> t
+  (** Dual refinement: combine two facts known to hold {e simultaneously}
+      (interval intersection).  An infeasible combination yields {!top}. *)
+
+  val leq : t -> t -> bool
+  (** The partial order induced by [meet]: [leq a b] iff [meet a b = a]
+      ([a] carries at least the information of [b]). *)
+
+  val unop : Ast.unop -> t -> t
+
+  val binop : Ast.binop -> t -> t -> t
+
+  val intrin : Ast.intrinsic -> t list -> t
+
+  val filter : Ast.relop -> t -> t -> t * t
+  (** [filter op a b] refines [(a, b)] under the assumption that
+      [a op b] holds.  Must only ever {e raise} its arguments (toward ⊤);
+      returning them unchanged is always sound. *)
+
+  val widen : t -> t -> t
+  (** [widen old next] accelerates a descending chain at [old] whose next
+      element is [next]; the result must be ⊑ [next] and stabilise every
+      chain.  Domains with [finite_height] may return [next]. *)
+
+  val narrow : t -> t -> t
+  (** [narrow wide refit] recovers precision after widening: keep the
+      sound value [refit] computed by one more plain transfer round where
+      [wide] overshot.  Must satisfy [wide ⊑ narrow wide refit ⊑ refit]
+      read in the ⊆-of-concretisations order; returning [wide] is sound. *)
+
+  val finite_height : bool
+  (** [true] when every descending chain is finite, so the fixpoint
+      engines may skip widening entirely (the constant lattice). *)
+
+  val pp : t Fmt.t
+
+  val to_string : t -> string
+end

@@ -1,0 +1,48 @@
+(** Abstract evaluation of symbolic expressions over any domain.
+
+    {!Ipcp_vn.Symexpr} is the language of polynomial jump functions:
+    canonical multivariate polynomials whose atoms are entry symbols or
+    irreducible applications.  The constant instance evaluates them with
+    {!Ipcp_vn.Symexpr.eval} over an integer environment; this functor is
+    the generalisation that folds the same polynomial structure through
+    a domain's transfer functions, so a jump function built once can be
+    evaluated under any {!Domain.S} instance.
+
+    Precision note: a polynomial is evaluated term by term, so a
+    non-relational domain sees each occurrence of a symbol
+    independently — [x - x] evaluates to [[lo-hi, hi-lo]] for
+    intervals, not [0].  Symexpr's canonicalisation removes the common
+    cases (it would have folded [x - x] to [0] already); what remains
+    is a sound over-approximation. *)
+
+module Ast = Ipcp_frontend.Ast
+module Symexpr = Ipcp_vn.Symexpr
+
+module Make (D : Domain.S) = struct
+  let rec eval (env : string -> D.t) (e : Symexpr.t) : D.t =
+    List.fold_left
+      (fun acc (m, coeff) ->
+        D.binop Ast.Add acc
+          (D.binop Ast.Mul (D.const coeff) (eval_monomial env m)))
+      (D.const 0) e.Symexpr.terms
+
+  and eval_monomial env m =
+    List.fold_left
+      (fun acc (a, exp) ->
+        D.binop Ast.Mul acc
+          (D.binop Ast.Pow (eval_atom env a) (D.const exp)))
+      (D.const 1) m
+
+  and eval_atom env = function
+    | Symexpr.Sym s -> env s
+    | Symexpr.App (f, args) -> (
+        let args = List.map (eval env) args in
+        match (f, args) with
+        | Symexpr.Fdiv, [ a; b ] -> D.binop Ast.Div a b
+        | Symexpr.Fpow, [ a; b ] -> D.binop Ast.Pow a b
+        | Symexpr.Fmod, args -> D.intrin Ast.Imod args
+        | Symexpr.Fmax, args -> D.intrin Ast.Imax args
+        | Symexpr.Fmin, args -> D.intrin Ast.Imin args
+        | Symexpr.Fabs, args -> D.intrin Ast.Iabs args
+        | (Symexpr.Fdiv | Symexpr.Fpow), _ -> D.bot)
+end

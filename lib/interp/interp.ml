@@ -61,6 +61,9 @@ type state = {
   rng : Random.State.t;
   mutable fuel : int;
   fuel0 : int;
+  observe : Loc.t -> int -> unit;
+      (** called at every located scalar-variable read with the value it
+          yields — the probe behind the range-soundness property test *)
 }
 
 let fault fmt = Format.kasprintf (fun m -> raise (Fault_exc m)) fmt
@@ -115,10 +118,14 @@ let elem_cell frame st name idx =
 let rec eval_expr st frame (e : Ast.expr) : int =
   match e with
   | Ast.Int (n, _) -> n
-  | Ast.Var (x, _) -> (
-      match Symtab.var frame.psym x with
-      | Some { Symtab.kind = Symtab.Const v; _ } -> v
-      | _ -> read_cell st (scalar_cell frame st x))
+  | Ast.Var (x, l) ->
+      let v =
+        match Symtab.var frame.psym x with
+        | Some { Symtab.kind = Symtab.Const v; _ } -> v
+        | _ -> read_cell st (scalar_cell frame st x)
+      in
+      st.observe l v;
+      v
   | Ast.Index (a, i, _) ->
       let idx = eval_expr st frame i in
       read_cell st (elem_cell frame st a idx)
@@ -139,7 +146,10 @@ let rec eval_expr st frame (e : Ast.expr) : int =
 and eval_cond st frame (c : Ast.cond) : bool =
   match c with
   | Ast.Rel (op, a, b) ->
-      Ast.eval_relop op (eval_expr st frame a) (eval_expr st frame b)
+      (* left operand first, as the lowering evaluates it *)
+      let va = eval_expr st frame a in
+      let vb = eval_expr st frame b in
+      Ast.eval_relop op va vb
   | Ast.And (a, b) -> eval_cond st frame a && eval_cond st frame b
   | Ast.Or (a, b) -> eval_cond st frame a || eval_cond st frame b
   | Ast.Not c -> not (eval_cond st frame c)
@@ -307,11 +317,13 @@ and lvalue_cell st frame = function
 (* ------------------------------------------------------------------ *)
 (* Entry point *)
 
-(** [run ?seed ?fuel ?input symtab] executes the program.  [fuel] bounds the
-    number of statement steps (default 200_000); [seed] determines the
-    values of undefined variables; [input] feeds READ statements. *)
-let run ?(seed = 42) ?(fuel = 200_000) ?(input = []) (symtab : Symtab.t) :
-    result =
+(** [run ?seed ?fuel ?input ?observe symtab] executes the program.  [fuel]
+    bounds the number of statement steps (default 200_000); [seed]
+    determines the values of undefined variables; [input] feeds READ
+    statements; [observe] is called at every located scalar-variable read
+    with the value it yields. *)
+let run ?(seed = 42) ?(fuel = 200_000) ?(input = [])
+    ?(observe = fun _ _ -> ()) (symtab : Symtab.t) : result =
   let globals =
     List.fold_left
       (fun acc g ->
@@ -335,6 +347,7 @@ let run ?(seed = 42) ?(fuel = 200_000) ?(input = []) (symtab : Symtab.t) :
       rng = Random.State.make [| seed |];
       fuel;
       fuel0 = fuel;
+      observe;
     }
   in
   let main = Symtab.main_proc symtab in

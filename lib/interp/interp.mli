@@ -27,9 +27,16 @@ type result = {
 }
 
 val run :
-  ?seed:int -> ?fuel:int -> ?input:int list -> Ipcp_frontend.Symtab.t -> result
+  ?seed:int ->
+  ?fuel:int ->
+  ?input:int list ->
+  ?observe:(Ipcp_frontend.Loc.t -> int -> unit) ->
+  Ipcp_frontend.Symtab.t ->
+  result
 (** Execute the program.  [fuel] bounds statement steps (default
     200_000); [seed] fixes undefined-variable values; [input] feeds READ.
+    [observe] is called at every located scalar-variable read with the
+    value it yields (the probe behind the range-soundness property test).
     A faulting or out-of-fuel run still carries its valid trace prefix. *)
 
 val pp_status : status Fmt.t

@@ -16,4 +16,5 @@ let () =
   Tables.print_ablation ();
   Tables.print_extensions ();
   Tables.print_cloning ();
+  Tables.print_zoo ();
   if timing then Timing.run ~quick ()

@@ -266,3 +266,44 @@ let print_figure1 () =
       List.iter (fun b -> Fmt.pr "%8s" (L.to_string (L.meet a b))) elems;
       Fmt.pr "@.")
     elems
+
+(* ------------------------------------------------------------------ *)
+(* The analysis zoo: per-program copyprop-vs-const comparison *)
+
+(** Copy propagation against the constant lattice over the suite, plus
+    the dead stores the backward liveness instance finds.  The constant
+    column counts located uses the copy lattice proves constant — by the
+    subsumption property (checked by the differential test) this equals
+    what the constant lattice proves; entry-copy counts the extra facts
+    only the copy lattice names. *)
+let print_zoo () =
+  let module F = Ipcp_core.Framework in
+  Fmt.pr "@.Analysis zoo: copy lattice vs constant lattice; dead stores@.";
+  Fmt.pr "%-11s | %6s %9s %10s | %11s@." "Program" "uses" "constant"
+    "entry-copy" "dead stores";
+  List.iter
+    (fun ((p : Programs.program), (uses, nconst, ncopy, dead)) ->
+      Fmt.pr "%-11s | %6d %9d %10d | %11d@." p.Programs.name uses nconst
+        ncopy dead)
+    (suite_rows (fun p ->
+         let symtab =
+           Sema.parse_and_analyze ~file:p.Programs.name p.Programs.source
+         in
+         let t =
+           Driver.analyze
+             ~config:{ Config.default with Config.verify_ir = false }
+             symtab
+         in
+         let cv = F.copyprop_compute t in
+         let nconst = ref 0 and ncopy = ref 0 in
+         Loc.Map.iter
+           (fun _ v ->
+             match F.copyprop_classify v with
+             | `Const -> incr nconst
+             | `Copy -> incr ncopy
+             | `Unknown | `Unreached -> ())
+           cv.F.CVF.facts;
+         ( Loc.Map.cardinal cv.F.CVF.facts,
+           !nconst,
+           !ncopy,
+           List.length (F.dead_stores t) )))

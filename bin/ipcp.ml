@@ -38,35 +38,96 @@ let parse_and_check (src : Ipcp.Source.t) =
 (* analyze *)
 
 let analyze_cmd =
-  let run config obs cache path =
+  let domain_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "domain" ] ~docv:"NAME"
+          ~doc:
+            "Run the named analysis from the registry (e.g. copyprop, \
+             live, avail; see --list-domains) over the same pipeline \
+             artifacts, instead of the constant-propagation report.")
+  in
+  let list_domains_arg =
+    Arg.(
+      value & flag
+      & info [ "list-domains" ]
+          ~doc:"List the registered analyses and exit.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format for --domain reports: text or json.")
+  in
+  let opt_file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
+  in
+  let run config obs cache domain list_domains format path =
+    if list_domains then (
+      List.iter
+        (fun n ->
+          Fmt.pr "%-10s %s@." n
+            (Option.value ~default:"" (Ipcp.Domains.describe n)))
+        (Ipcp.Domains.names ());
+      exit 0);
+    (match domain with
+    | Some name when Ipcp.Domains.describe name = None ->
+        Fmt.epr "ipcp: unknown domain %s (try --list-domains)@." name;
+        exit 2
+    | _ -> ());
+    let path =
+      match path with
+      | Some p -> p
+      | None ->
+          Fmt.epr "ipcp: analyze requires a FILE (or --list-domains)@.";
+          exit 2
+    in
     let src = load_source path in
     with_obs obs @@ fun () ->
     let r = or_die (Ipcp.analyze ~config ~cache src) in
-    Fmt.pr "configuration: %a@." Config.pp config;
-    List.iter
-      (fun p ->
-        match Ipcp.Result.constants r p with
-        | [] -> ()
-        | cs ->
-            Fmt.pr "CONSTANTS(%s) = {%a}@." p
-              Fmt.(
-                list ~sep:(any ", ") (fun ppf (n, c) ->
-                    Fmt.pf ppf "(%s, %d)" n c))
-              cs)
-      (Ipcp.Result.procedures r);
-    Fmt.pr "constants substituted: %d@." (Ipcp.Result.substitution r).Ipcp.Result.total;
-    let census = Ipcp.Result.census r in
-    Fmt.pr
-      "jump functions built: %d constant, %d pass-through, %d polynomial, %d bottom@."
-      census.Ipcp.Result.n_const census.Ipcp.Result.n_passthrough
-      census.Ipcp.Result.n_poly census.Ipcp.Result.n_bottom;
-    let st = Ipcp.Result.solver_stats r in
-    Fmt.pr "solver: %d pops, %d jump-function evaluations, %d lowerings@."
-      st.Ipcp.Result.pops st.Ipcp.Result.jf_evals st.Ipcp.Result.lowerings;
+    (match domain with
+    | Some name -> (
+        match Ipcp.Domains.run name r with
+        | Some rep -> (
+            match format with
+            | `Text -> Fmt.pr "%s" rep.Ipcp.Domains.text
+            | `Json -> Fmt.pr "%s@." rep.Ipcp.Domains.json)
+        | None -> assert false (* name checked above *))
+    | None ->
+        Fmt.pr "configuration: %a@." Config.pp config;
+        List.iter
+          (fun p ->
+            match Ipcp.Result.constants r p with
+            | [] -> ()
+            | cs ->
+                Fmt.pr "CONSTANTS(%s) = {%a}@." p
+                  Fmt.(
+                    list ~sep:(any ", ") (fun ppf (n, c) ->
+                        Fmt.pf ppf "(%s, %d)" n c))
+                  cs)
+          (Ipcp.Result.procedures r);
+        Fmt.pr "constants substituted: %d@."
+          (Ipcp.Result.substitution r).Ipcp.Result.total;
+        let census = Ipcp.Result.census r in
+        Fmt.pr
+          "jump functions built: %d constant, %d pass-through, %d polynomial, %d bottom@."
+          census.Ipcp.Result.n_const census.Ipcp.Result.n_passthrough
+          census.Ipcp.Result.n_poly census.Ipcp.Result.n_bottom;
+        let st = Ipcp.Result.solver_stats r in
+        Fmt.pr "solver: %d pops, %d jump-function evaluations, %d lowerings@."
+          st.Ipcp.Result.pops st.Ipcp.Result.jf_evals
+          st.Ipcp.Result.lowerings);
     cache_note obs (Ipcp.Result.cache r)
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Run interprocedural constant propagation.")
-    Term.(const run $ config_term $ obs_term $ cache_term () $ file_arg)
+    Term.(
+      const run $ config_term $ obs_term $ cache_term () $ domain_arg
+      $ list_domains_arg $ format_arg $ opt_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* substitute *)

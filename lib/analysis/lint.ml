@@ -19,7 +19,9 @@
     - [IPCP-I007] a formal parameter with the same constant value at
       every call site — a candidate for specialisation or an API smell;
     - [IPCP-W008] a DO loop whose trip count is a propagated constant
-      (range facts only).
+      (range facts only);
+    - [IPCP-W009] a source assignment whose stored value is never used
+      (dead store, from the framework's backward liveness instance).
 
     Error-level findings are only reported in code not behind a
     condition that itself folds to false, so a definite [IPCP-E001]
@@ -43,6 +45,7 @@ module Ssa = Ipcp_ir.Ssa
 module Callgraph = Ipcp_callgraph.Callgraph
 module Driver = Ipcp_core.Driver
 module Ranges = Ipcp_core.Ranges
+module Framework = Ipcp_core.Framework
 module Substitute = Ipcp_opt.Substitute
 module Severity = Diag.Severity
 module I = Ipcp_domains.Interval
@@ -59,6 +62,7 @@ type check =
   | Undefined_use
   | Const_formal
   | Const_trip
+  | Dead_store
 
 let all_checks =
   [
@@ -70,6 +74,7 @@ let all_checks =
     Undefined_use;
     Const_formal;
     Const_trip;
+    Dead_store;
   ]
 
 let id = function
@@ -81,6 +86,7 @@ let id = function
   | Undefined_use -> "IPCP-W006"
   | Const_formal -> "IPCP-I007"
   | Const_trip -> "IPCP-W008"
+  | Dead_store -> "IPCP-W009"
 
 let check_of_id s =
   List.find_opt (fun c -> String.equal (id c) (String.uppercase_ascii s)) all_checks
@@ -88,7 +94,7 @@ let check_of_id s =
 let severity = function
   | Div_by_zero | Subscript_bounds -> Severity.Error
   | Const_condition | Unreachable_proc | Dead_formal | Undefined_use
-  | Const_trip ->
+  | Const_trip | Dead_store ->
       Severity.Warning
   | Const_formal -> Severity.Info
 
@@ -101,6 +107,7 @@ let describe = function
   | Undefined_use -> "use of a variable with no reaching definition"
   | Const_formal -> "formal parameter constant at every call site"
   | Const_trip -> "DO loop whose trip count is a propagated constant"
+  | Dead_store -> "assignment whose stored value is never used"
 
 (** What the interval facts prove about a finding's site: the flagged
     behaviour occurs on every execution reaching it ([Proved_fault]),
@@ -448,7 +455,7 @@ let referenced_names (cfg : Cfg.t) : SS.t =
   Cfg.iter_instrs
     (fun _ i ->
       match i with
-      | Instr.Idef (_, Instr.Rload (a, _)) -> add a
+      | Instr.Idef (_, Instr.Rload (a, _), _) -> add a
       | Instr.Istore (a, _, _) -> add a
       | Instr.Icall s ->
           List.iter
@@ -554,6 +561,13 @@ let run_with_verdicts ?(enabled = fun _ -> true) ?ranges (t : Driver.t) :
       (* E001 / E002 / W003 (/ W008): the AST walk over the facts *)
       walk_proc ~add ~cu ~rf ~tally ~psym proc)
     symtab.Symtab.order;
+  (* W009: source assignments whose stored value is dead (liveness over
+     the lowered CFG, computed by the framework's backward instance) *)
+  List.iter
+    (fun (p, v, loc) ->
+      add_in p Dead_store loc
+        (Fmt.str "value assigned to %s is never used" v))
+    (Framework.dead_stores t);
   ( List.sort
       (fun a b ->
         match Loc.compare a.f_loc b.f_loc with

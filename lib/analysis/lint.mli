@@ -11,6 +11,7 @@
     - [IPCP-I007] formal parameter constant at every call site
     - [IPCP-W008] DO loop whose trip count is a propagated constant
       (emitted only when range facts are supplied)
+    - [IPCP-W009] assignment whose stored value is never used
 
     Supplying the interval facts of {!Ipcp_core.Ranges} upgrades the
     fault checks: sites the constant lattice left undecided can be
@@ -32,6 +33,7 @@ type check =
   | Undefined_use
   | Const_formal
   | Const_trip
+  | Dead_store
 
 val all_checks : check list
 

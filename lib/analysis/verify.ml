@@ -138,10 +138,10 @@ let check_calls ?symtab (cfg : Cfg.t) : violation list =
               if not (known s.Instr.site_id) then
                 add ~block:b.Cfg.bid "call instruction for unregistered site %d"
                   s.Instr.site_id
-          | Instr.Idef (_, Instr.Rresult sid) ->
+          | Instr.Idef (_, Instr.Rresult sid, _) ->
               if not (known sid) then
                 add ~block:b.Cfg.bid "Rresult references unknown site %d" sid
-          | Instr.Idef (_, Instr.Rcalldef (sid, _, _)) ->
+          | Instr.Idef (_, Instr.Rcalldef (sid, _, _), _) ->
               if not (known sid) then
                 add ~block:b.Cfg.bid "Rcalldef references unknown site %d" sid
           | _ -> ())

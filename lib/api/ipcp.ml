@@ -161,6 +161,29 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+module Domains = struct
+  module Framework = Ipcp_core.Framework
+
+  type report = { text : string; json : string }
+
+  let names () = Framework.names
+
+  let describe name =
+    Option.map (fun e -> e.Framework.e_doc) (Framework.find name)
+
+  let run name (r : Result.t) : report option =
+    Option.map
+      (fun e ->
+        let rep = e.Framework.e_run r.Result.driver in
+        {
+          text = rep.Framework.r_text;
+          json = Ipcp_obs.Json.to_string rep.Framework.r_json;
+        })
+      (Framework.find name)
+end
+
+(* ------------------------------------------------------------------ *)
+
 let analyze_symtab ?(config = Config.default) ?(cache = Cache.Disabled) ~key
     (symtab : Symtab.t) : Result.t =
   (* each call owns the telemetry window, so per-run statistics are

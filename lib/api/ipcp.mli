@@ -175,6 +175,26 @@ module Result : sig
       covered by {!api_version}. *)
 end
 
+(** The analysis registry: every monotone-framework instance behind
+    [ipcp analyze --domain=NAME], addressable by name.  Additive over
+    api_version 1 — existing entry points are untouched. *)
+module Domains : sig
+  type report = { text : string; json : string }
+  (** Deterministic renderings of one analysis run: human-readable text
+      and a JSON document (procedures and facts in sorted order). *)
+
+  val names : unit -> string list
+  (** Registered analysis names, in registry order. *)
+
+  val describe : string -> string option
+  (** One-line description of a registered analysis. *)
+
+  val run : string -> Result.t -> report option
+  (** Run the named analysis over an existing result's artifacts
+      (jump functions, call graph, CFGs are reused, not rebuilt);
+      [None] if the name is not registered. *)
+end
+
 val analyze :
   ?config:Config.t ->
   ?cache:Cache.policy ->

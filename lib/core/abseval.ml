@@ -153,7 +153,7 @@ module Make (D : Ipcp_domains.Domain.S) = struct
     Cfg.iter_instrs
       (fun _ i ->
         match i with
-        | Instr.Idef (_, Instr.Rcalldef (sid, Instr.Tglobal g, inc)) ->
+        | Instr.Idef (_, Instr.Rcalldef (sid, Instr.Tglobal g, inc), _) ->
             let m =
               Option.value ~default:SM.empty
                 (Hashtbl.find_opt global_ins sid)
@@ -334,7 +334,7 @@ module Make (D : Ipcp_domains.Domain.S) = struct
           List.iter
             (fun i ->
               match i with
-              | Instr.Idef (x, r) ->
+              | Instr.Idef (x, r, _) ->
                   let cur = lookup x in
                   let v = D.meet cur (eval_rhs env r) in
                   if not (D.equal v cur) then begin
@@ -363,7 +363,7 @@ module Make (D : Ipcp_domains.Domain.S) = struct
           List.iter
             (fun i ->
               match i with
-              | Instr.Idef (x, r) ->
+              | Instr.Idef (x, r, _) ->
                   let cur = lookup x in
                   let n = D.narrow cur (eval_rhs env r) in
                   if not (D.equal n cur) then Hashtbl.replace values x n

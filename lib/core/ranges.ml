@@ -1,23 +1,12 @@
-(** The interprocedural value-range pipeline: the jump-function framework
-    instantiated with the {!Ipcp_domains.Interval} domain.
+(** The interprocedural value-range pipeline: the domain-generic
+    {!Valueflow} stages instantiated with the {!Ipcp_domains.Interval}
+    domain, plus the interval-specific fact metrics and the renderers
+    behind [ipcp ranges].
 
-    The stages mirror the constant pipeline and reuse its artifacts
-    verbatim — the same forward jump functions (built once by stage 2;
-    they are symbolic and domain-independent), the same return jump
-    functions, the same call graph:
-
-    1. {e interprocedural propagation}: [Solver.Make (Interval)] runs the
-       SCC-ordered worklist over the existing jump functions, producing
-       the interval VAL set of every procedure (with widening after
-       repeated lowerings and one narrowing pass, see {!Solver});
-    2. {e intraprocedural evaluation}: [Abseval.Make (Interval)] folds
-       each procedure's SSA form through the interval transfer functions,
-       entry symbols bound to the VAL set, branch conditions refining
-       ranges down the dominator tree (parallel across procedures);
-    3. {e recording}: every scalar-variable use that carries a source
-       location gets a range fact, keyed by location exactly like the
-       substitution pass's constant uses — this is the map the
-       range-aware lint checks consult.
+    See {!Valueflow} for the three stages (interprocedural propagation,
+    intraprocedural evaluation, fact recording); this instance runs them
+    under the ["ranges"] telemetry namespace, so spans and solver
+    counters are identical to the pre-framework pipeline.
 
     Soundness inherits from the parts: jump functions and return jump
     functions are exact symbolic values, the interval transfer functions
@@ -28,106 +17,31 @@
 open Ipcp_frontend.Names
 module Loc = Ipcp_frontend.Loc
 module Symtab = Ipcp_frontend.Symtab
-module Instr = Ipcp_ir.Instr
-module Cfg = Ipcp_ir.Cfg
 module Ssa = Ipcp_ir.Ssa
 module Callgraph = Ipcp_callgraph.Callgraph
 module Modref = Ipcp_summary.Modref
 module Obs = Ipcp_obs.Obs
 module Metrics = Ipcp_obs.Metrics
-module Trace = Ipcp_obs.Trace
 module Json = Ipcp_obs.Json
-module Pool = Ipcp_par.Pool
 module I = Ipcp_domains.Interval
-module ISolver = Solver.Make (Ipcp_domains.Interval)
-module IAbs = Abseval.Make (Ipcp_domains.Interval)
+module VF = Valueflow.Make (Ipcp_domains.Interval)
+module ISolver = VF.S
+module IAbs = VF.A
 
-type t = {
+type t = VF.t = {
   solver : ISolver.t;  (** interval VAL sets *)
   evals : IAbs.t SM.t;  (** per-procedure abstract evaluations *)
   facts : I.t Loc.Map.t;  (** range per located scalar-variable use *)
 }
 
-(* every located scalar-variable use in the procedure, valued under the
-   block's refinement environment; the operand set mirrors
-   [Cfg.iter_value_operands], plus branch-condition operands (consulted
-   by the constant-condition lint check) *)
-let proc_facts (ev : IAbs.t) acc =
-  let acc = ref acc in
-  let add bid o =
-    match o with
-    | Instr.Ovar (_, Some loc) ->
-        let v = IAbs.operand_value_in ev bid o in
-        acc :=
-          Loc.Map.update loc
-            (function None -> Some v | Some v0 -> Some (I.meet v0 v))
-            !acc
-    | _ -> ()
-  in
-  Array.iter
-    (fun (b : Cfg.block) ->
-      let bid = b.Cfg.bid in
-      List.iter
-        (fun i ->
-          match i with
-          | Instr.Idef (_, rhs) -> (
-              match rhs with
-              | Instr.Rcopy o | Instr.Runop (_, o) | Instr.Rload (_, o) ->
-                  add bid o
-              | Instr.Rbinop (_, x, y) ->
-                  add bid x;
-                  add bid y
-              | Instr.Rintrin (_, ops) -> List.iter (add bid) ops
-              | Instr.Rread | Instr.Rresult _ | Instr.Rcalldef _ -> ())
-          | Instr.Istore (_, ix, v) ->
-              add bid ix;
-              add bid v
-          | Instr.Icall s ->
-              List.iter
-                (function
-                  | Instr.Ascalar (_, Some (Instr.Avar _)) -> ()
-                  | Instr.Ascalar (o, addr) -> (
-                      add bid o;
-                      match addr with
-                      | Some (Instr.Aelem (_, ix)) -> add bid ix
-                      | _ -> ())
-                  | Instr.Aarray _ -> ())
-                s.Instr.args
-          | Instr.Iprint ops -> List.iter (add bid) ops)
-        b.Cfg.instrs;
-      match b.Cfg.term with
-      | Cfg.Tbranch (Cfg.Crel (_, x, y), _, _) ->
-          add bid x;
-          add bid y
-      | _ -> ())
-    ev.IAbs.cfg.Cfg.blocks;
-  !acc
-
 let compute ~(config : Config.t) ~(symtab : Symtab.t) ~(cg : Callgraph.t)
     ~(modref : Modref.t option) ~(rjfs : Returnjf.t)
     ~(jfs : Jumpfn.site_jfs list SM.t) ~(convs : Ssa.conv SM.t) () : t =
-  Trace.span "ranges" @@ fun () ->
-  let jobs = max 1 config.Config.jobs in
-  let solver =
-    Trace.span "ranges:propagate" (fun () ->
-        ISolver.solve ~metrics_ns:"ranges.solver" ~symtab ~cg ~jfs ())
-  in
-  let evals =
-    Trace.span "ranges:abseval" (fun () ->
-        let run p (conv : Ssa.conv) =
-          let psym = Symtab.proc symtab p in
-          let policy = IAbs.returnjf_policy ~symtab ~modref ~rjfs in
-          let entry_binding name = Some (ISolver.val_of solver p name) in
-          IAbs.run ~entry_binding ~symtab ~psym ~policy conv.Ssa.ssa
-        in
-        if jobs <= 1 then SM.mapi run convs else Pool.map_sm ~jobs run convs)
-  in
-  let facts =
-    Trace.span "ranges:record" (fun () ->
-        SM.fold (fun _ ev acc -> proc_facts ev acc) evals Loc.Map.empty)
+  let t =
+    VF.compute ~ns:"ranges" ~config ~symtab ~cg ~modref ~rjfs ~jfs ~convs ()
   in
   if Obs.on () then begin
-    Metrics.add "ranges.facts" (Loc.Map.cardinal facts);
+    Metrics.add "ranges.facts" (Loc.Map.cardinal t.facts);
     Loc.Map.iter
       (fun _ v ->
         if I.is_const v <> None then Metrics.incr "ranges.facts.singleton"
@@ -136,16 +50,15 @@ let compute ~(config : Config.t) ~(symtab : Symtab.t) ~(cg : Callgraph.t)
           | I.Range (I.Fin _, I.Fin _) -> Metrics.incr "ranges.facts.bounded"
           | I.Range _ -> Metrics.incr "ranges.facts.unbounded"
           | I.Top -> Metrics.incr "ranges.facts.unreached")
-      facts
+      t.facts
   end;
-  { solver; evals; facts }
+  t
 
 (** The range of the located use at [loc], if any. *)
-let fact (t : t) loc = Loc.Map.find_opt loc t.facts
+let fact = VF.fact
 
 (** RANGES(p): the interval VAL set on entry to [p]. *)
-let entry_ranges (t : t) p : I.t SM.t =
-  Option.value ~default:SM.empty (SM.find_opt p t.solver.ISolver.vals)
+let entry_ranges = VF.entry_values
 
 (* ------------------------------------------------------------------ *)
 (* Rendering, shared by [ipcp ranges] text/JSON output *)

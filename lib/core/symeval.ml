@@ -112,7 +112,7 @@ let make_views ~operand (ssa_cfg : Cfg.t) : (int, site_view) Hashtbl.t =
   Cfg.iter_instrs
     (fun _ i ->
       match i with
-      | Instr.Idef (_, Instr.Rcalldef (sid, Instr.Tglobal g, inc)) ->
+      | Instr.Idef (_, Instr.Rcalldef (sid, Instr.Tglobal g, inc), _) ->
           let m =
             Option.value ~default:SM.empty (Hashtbl.find_opt global_ins sid)
           in
@@ -244,7 +244,7 @@ let run ?(entry_binding = fun (_ : string) -> (None : value option))
         List.iter
           (fun i ->
             match i with
-            | Instr.Idef (x, r) ->
+            | Instr.Idef (x, r, _) ->
                 let v = eval_rhs r in
                 if not (value_equal v (lookup x)) then begin
                   Hashtbl.replace values x v;

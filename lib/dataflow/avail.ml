@@ -1,0 +1,132 @@
+(** Available expressions as a {!Monotone.FRAMEWORK} instance.
+
+    The canonical forward must-problem: an expression is available at a
+    point if it was computed on {e every} path reaching it and none of
+    its operands were redefined since.  Expressions are the pure
+    right-hand sides of the IR ([Runop]/[Rbinop]/[Rintrin] over scalars
+    and literals), keyed by their printed form; loads, READs and
+    call-induced definitions are never available (a call's kills arrive
+    as the explicit [Rcalldef] definitions that follow it, so no special
+    casing of [Icall] is needed).
+
+    The lattice is the powerset of the procedure's expression universe
+    under ⊆ with meet = ∩.  The top element — everything available — is
+    represented symbolically as [Univ] so the engine needs no per-CFG
+    universe: [Univ] is the meet identity and is expanded lazily by the
+    transfer function.  The context pre-computes the universe and a
+    variable → killed-expressions index. *)
+
+open Ipcp_frontend.Names
+module Cfg = Ipcp_ir.Cfg
+module Instr = Ipcp_ir.Instr
+
+type elt = Univ | Set of SS.t
+
+type ctx = {
+  universe : SS.t;  (** every pure-expression key in the procedure *)
+  killed_by : SS.t SM.t;  (** variable → keys mentioning it *)
+}
+
+(** The availability key of a pure right-hand side; [None] for copies and
+    the opaque kinds (loads, READ, call results, call definitions). *)
+let key_of_rhs = function
+  | (Instr.Runop _ | Instr.Rbinop _ | Instr.Rintrin _) as r ->
+      Some (Fmt.str "%a" Instr.pp_rhs r)
+  | Instr.Rcopy _ | Instr.Rload _ | Instr.Rread | Instr.Rresult _
+  | Instr.Rcalldef _ ->
+      None
+
+let rhs_vars = function
+  | Instr.Runop (_, o) -> Instr.operand_vars [ o ]
+  | Instr.Rbinop (_, a, b) -> Instr.operand_vars [ a; b ]
+  | Instr.Rintrin (_, ops) -> Instr.operand_vars ops
+  | Instr.Rcopy _ | Instr.Rload _ | Instr.Rread | Instr.Rresult _
+  | Instr.Rcalldef _ ->
+      []
+
+let ctx (cfg : Cfg.t) : ctx =
+  let universe = ref SS.empty in
+  let killed_by = ref SM.empty in
+  Cfg.iter_instrs
+    (fun _bid i ->
+      match i with
+      | Instr.Idef (_, r, _) -> (
+          match key_of_rhs r with
+          | None -> ()
+          | Some k ->
+              universe := SS.add k !universe;
+              List.iter
+                (fun v ->
+                  killed_by :=
+                    SM.update v
+                      (function
+                        | None -> Some (SS.singleton k)
+                        | Some s -> Some (SS.add k s))
+                      !killed_by)
+                (rhs_vars r))
+      | _ -> ())
+    cfg;
+  { universe = !universe; killed_by = !killed_by }
+
+let kill ctx v s =
+  match SM.find_opt v ctx.killed_by with
+  | None -> s
+  | Some ks -> SS.diff s ks
+
+(* gen before kill: [v := v + 1] generates "v + 1" and immediately kills
+   it again, as it must *)
+let transfer_instr ctx s i =
+  match i with
+  | Instr.Idef (v, r, _) ->
+      let s = match key_of_rhs r with Some k -> SS.add k s | None -> s in
+      kill ctx v s
+  | Instr.Istore _ | Instr.Icall _ | Instr.Iprint _ -> s
+
+module F = struct
+  type t = elt
+
+  type nonrec ctx = ctx
+
+  let name = "avail"
+
+  let direction = Dataflow.Forward
+
+  let top = Univ
+
+  let meet a b =
+    match (a, b) with
+    | Univ, x | x, Univ -> x
+    | Set a, Set b -> Set (SS.inter a b)
+
+  let equal a b =
+    match (a, b) with
+    | Univ, Univ -> true
+    | Set a, Set b -> SS.equal a b
+    | _ -> false
+
+  let pp ppf = function
+    | Univ -> Fmt.string ppf "⊤"
+    | Set s ->
+        Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma string) (SS.elements s)
+
+  (* nothing is available on procedure entry *)
+  let boundary _ctx _cfg _bid = Set SS.empty
+
+  let transfer ctx (cfg : Cfg.t) bid v =
+    let s = match v with Univ -> ctx.universe | Set s -> s in
+    Set
+      (List.fold_left (transfer_instr ctx) s cfg.Cfg.blocks.(bid).Cfg.instrs)
+end
+
+module Solve = Monotone.Make (F)
+
+type t = { avail_in : SS.t array; avail_out : SS.t array }
+
+let compute (cfg : Cfg.t) : t =
+  let c = ctx cfg in
+  let r = Solve.run ~ctx:c cfg in
+  let concrete = function Univ -> c.universe | Set s -> s in
+  {
+    avail_in = Array.map concrete r.Solve.inv;
+    avail_out = Array.map concrete r.Solve.outv;
+  }

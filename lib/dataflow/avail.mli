@@ -1,0 +1,32 @@
+(** Available expressions as a {!Monotone.FRAMEWORK} instance — the
+    canonical forward must-problem (meet = ∩), over the powerset of the
+    procedure's pure right-hand sides keyed by their printed form.  The
+    top element is represented symbolically as [Univ] and expanded
+    lazily, so the engine needs no per-CFG universe. *)
+
+open Ipcp_frontend.Names
+module Cfg = Ipcp_ir.Cfg
+module Instr = Ipcp_ir.Instr
+
+type elt = Univ | Set of SS.t
+
+type ctx = {
+  universe : SS.t;  (** every pure-expression key in the procedure *)
+  killed_by : SS.t SM.t;  (** variable → keys mentioning it *)
+}
+
+val key_of_rhs : Instr.rhs -> string option
+(** The availability key of a pure right-hand side; [None] for copies
+    and the opaque kinds (loads, READ, call results, call defs). *)
+
+val ctx : Cfg.t -> ctx
+
+module F : Monotone.FRAMEWORK with type t = elt and type ctx = ctx
+
+module Solve : module type of Monotone.Make (F)
+
+type t = { avail_in : SS.t array; avail_out : SS.t array }
+
+val compute : Cfg.t -> t
+(** Per-block available-expression sets, with [Univ] (unreachable
+    blocks) expanded to the full universe. *)

@@ -39,9 +39,14 @@ module Make (L : LATTICE) = struct
       - [transfer bid v] maps the block's in-value to its out-value (in the
         chosen direction).
 
+      [boundary], when supplied, refines the boundary value per block
+      (e.g. a backward problem whose [Tstop] exits carry a different
+      value than its [Treturn] exits); blocks where it returns [None]
+      fall back on [init].
+
       Unreachable blocks keep [L.top]. *)
-  let solve ?(direction = Forward) (cfg : Cfg.t) ~(init : L.t)
-      ~(transfer : int -> L.t -> L.t) : result =
+  let solve ?(direction = Forward) ?(boundary = fun (_ : int) -> None)
+      (cfg : Cfg.t) ~(init : L.t) ~(transfer : int -> L.t -> L.t) : result =
     let n = Array.length cfg.Cfg.blocks in
     let preds = Cfg.preds cfg in
     let succs b = Cfg.succs cfg b in
@@ -75,7 +80,11 @@ module Make (L : LATTICE) = struct
         (fun b ->
           if reach.(b) then begin
             let input =
-              let base = if is_boundary b then init else L.top in
+              let base =
+                if is_boundary b then
+                  match boundary b with Some v -> v | None -> init
+                else L.top
+              in
               List.fold_left
                 (fun acc p -> if reach.(p) then L.meet acc outv.(p) else acc)
                 base (inputs b)

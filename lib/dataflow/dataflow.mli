@@ -37,16 +37,20 @@ module Make (L : LATTICE) : sig
 
   val solve :
     ?direction:direction ->
+    ?boundary:(int -> L.t option) ->
     Cfg.t ->
     init:L.t ->
     transfer:(int -> L.t -> L.t) ->
     result
-  (** [solve ?direction cfg ~init ~transfer] iterates [transfer] in
-      reverse postorder (postorder for backward problems) until the
-      per-block values stabilise.
+  (** [solve ?direction ?boundary cfg ~init ~transfer] iterates
+      [transfer] in reverse postorder (postorder for backward problems)
+      until the per-block values stabilise.
 
       - [init] is the boundary value: at the entry block for forward
         problems, at every [Treturn]/[Tstop] block for backward ones;
+      - [boundary], when supplied, refines the boundary value per block
+        ([None] falls back on [init]) — e.g. liveness, whose [Tstop]
+        exits carry ∅ while [Treturn] exits carry the escaping set;
       - [transfer bid v] maps block [bid]'s in-value to its out-value
         (in the chosen direction) and must be monotone. *)
 end

@@ -1,0 +1,57 @@
+(** Live variables as a {!Monotone.FRAMEWORK} instance.
+
+    The transfer functions are shared with the hand-rolled solver in
+    [Ipcp_ir.Liveness] (gen = uses, kill = definition, blocks walked
+    backwards), so the two must compute identical sets — a property the
+    test suite checks.  This instance exists to exercise the generic
+    engine on a backward may-problem whose boundary value varies per exit
+    block: a [Tstop] exit ends the program (nothing live out), while a
+    [Treturn] exit passes by-reference formals, globals and the
+    function-result variable back to the caller. *)
+
+open Ipcp_frontend.Names
+module Cfg = Ipcp_ir.Cfg
+module Liveness = Ipcp_ir.Liveness
+
+type ctx = { exit : SS.t  (** live at a [Treturn] exit *) }
+
+let ctx ~(formals : string list) ~(globals : string list) (cfg : Cfg.t) : ctx
+    =
+  { exit = Liveness.exit_live ~cfg ~formals ~globals }
+
+module F = struct
+  type t = SS.t
+
+  type nonrec ctx = ctx
+
+  let name = "live"
+
+  let direction = Dataflow.Backward
+
+  let top = SS.empty
+
+  let meet = SS.union
+
+  let equal = SS.equal
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma string) (SS.elements s)
+
+  let boundary ctx (cfg : Cfg.t) bid =
+    match cfg.Cfg.blocks.(bid).Cfg.term with
+    | Cfg.Tstop -> SS.empty
+    | _ -> ctx.exit
+
+  let transfer _ctx (cfg : Cfg.t) bid live_out =
+    Liveness.transfer_block cfg.Cfg.blocks.(bid) live_out
+end
+
+module Solve = Monotone.Make (F)
+
+type t = { live_in : SS.t array; live_out : SS.t array }
+
+let compute ~(formals : string list) ~(globals : string list) (cfg : Cfg.t) :
+    t =
+  let r = Solve.run ~ctx:(ctx ~formals ~globals cfg) cfg in
+  (* backward problem: the engine's input is the successor merge *)
+  { live_in = r.Solve.outv; live_out = r.Solve.inv }

@@ -1,0 +1,23 @@
+(** Live variables as a {!Monotone.FRAMEWORK} instance.
+
+    Shares its transfer functions with [Ipcp_ir.Liveness], so both
+    solvers compute identical sets (checked by the test suite); this
+    instance exercises the generic engine on a backward may-problem with
+    per-exit boundary values. *)
+
+open Ipcp_frontend.Names
+module Cfg = Ipcp_ir.Cfg
+
+type ctx = { exit : SS.t  (** live at a [Treturn] exit *) }
+
+val ctx : formals:string list -> globals:string list -> Cfg.t -> ctx
+
+module F :
+  Monotone.FRAMEWORK with type t = SS.t and type ctx = ctx
+
+module Solve : module type of Monotone.Make (F)
+
+type t = { live_in : SS.t array; live_out : SS.t array }
+
+val compute : formals:string list -> globals:string list -> Cfg.t -> t
+(** Per-block live-in/live-out sets, as [Ipcp_ir.Liveness.compute]. *)

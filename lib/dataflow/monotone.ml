@@ -1,0 +1,61 @@
+(** The monotone-framework signature over CFG flow problems, and the one
+    engine that solves every instance.
+
+    {!Dataflow.Make} is the raw Kildall iteration; this module packages a
+    complete analysis as a first-class description — direction, lattice,
+    boundary values and per-block transfer — so an instance is one module
+    and the registry in [Ipcp_core.Framework] can enumerate them.  The
+    per-statement transfer is expressed as the block transfer composed
+    from the instruction walk each instance supplies; a [ctx] value
+    carries whatever per-procedure inputs the instance needs (the escape
+    set for liveness, the expression universe for available
+    expressions). *)
+
+module Cfg = Ipcp_ir.Cfg
+
+(** A complete intraprocedural flow analysis.  [t] must be a bounded
+    semilattice under [meet] in the chosen direction; [transfer] must be
+    monotone in its lattice argument. *)
+module type FRAMEWORK = sig
+  type t
+  (** lattice element *)
+
+  type ctx
+  (** per-procedure context the transfer functions close over *)
+
+  val name : string
+
+  val direction : Dataflow.direction
+
+  val top : t
+  (** initial optimistic assumption; kept by unreachable blocks *)
+
+  val meet : t -> t -> t
+  (** path merge (∪ for may-problems, ∩ for must-problems) *)
+
+  val equal : t -> t -> bool
+
+  val pp : t Fmt.t
+
+  val boundary : ctx -> Cfg.t -> int -> t
+  (** value at boundary block [bid]: the entry block for forward
+      problems, each [Treturn]/[Tstop] block for backward ones *)
+
+  val transfer : ctx -> Cfg.t -> int -> t -> t
+  (** block transfer in the chosen direction *)
+end
+
+module Make (F : FRAMEWORK) = struct
+  module Solve = Dataflow.Make (F)
+
+  type result = Solve.result = { inv : F.t array; outv : F.t array }
+
+  (** Solve [F] over one procedure.  [inv] is each block's input in the
+      problem's direction (live-out for a backward problem), [outv] the
+      transferred output. *)
+  let run ~(ctx : F.ctx) (cfg : Cfg.t) : result =
+    let boundary b = Some (F.boundary ctx cfg b) in
+    Solve.solve ~direction:F.direction ~boundary cfg
+      ~init:F.top
+      ~transfer:(F.transfer ctx cfg)
+end

@@ -1,0 +1,22 @@
+(** The interprocedural copy-propagation lattice: {!Clattice} extended
+    with [Copy x] — "equals the value symbol [x] had on entry to the
+    current procedure".
+
+    Proves every constant the constant lattice proves (the transfer
+    functions coincide on the shared ⊤/c/⊥ elements, and a [Copy] never
+    enters an interprocedural VAL set), plus entry-copy facts at uses the
+    constant lattice leaves ⊥ — the subsumption claim of
+    arXiv:2207.03894, checked by a differential test over the bundled
+    suite.  [Copy] facts are frame-local: they are only sound for the
+    procedure whose entry they name, so they are introduced by the
+    intraprocedural evaluation (entry binding) and never by the solver. *)
+
+type t = Top | Const of int | Copy of string | Bottom
+
+include Domain.S with type t := t
+
+val copy : string -> t
+(** The entry-copy fact for a symbol. *)
+
+val copy_of : t -> string option
+(** [Some x] iff the element is exactly "the entry value of [x]". *)

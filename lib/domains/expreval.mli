@@ -1,0 +1,23 @@
+(** Abstract evaluation of symbolic expressions over any domain.
+
+    {!Ipcp_vn.Symexpr} is the language of polynomial jump functions;
+    this functor folds the polynomial structure through a domain's
+    transfer functions, so a jump function built once can be evaluated
+    under any {!Domain.S} instance.  Evaluation is term by term, so a
+    non-relational domain sees each occurrence of a symbol independently
+    — what Symexpr's canonicalisation leaves is a sound
+    over-approximation. *)
+
+module Ast = Ipcp_frontend.Ast
+module Symexpr = Ipcp_vn.Symexpr
+
+module Make (D : Domain.S) : sig
+  val eval : (string -> D.t) -> Symexpr.t -> D.t
+  (** [eval env e] folds the polynomial [e] through [D]'s transfer
+      functions, reading the abstract value of each support symbol from
+      [env]. *)
+
+  val eval_monomial : (string -> D.t) -> Symexpr.monomial -> D.t
+
+  val eval_atom : (string -> D.t) -> Symexpr.atom -> D.t
+end

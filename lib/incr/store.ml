@@ -20,7 +20,7 @@
     reads as [Stale], again forcing a cold run rather than a crash. *)
 
 (** Bump whenever the marshalled snapshot layout changes. *)
-let format_version = 1
+let format_version = 2
 
 let magic = "IPCP-CACHE"
 

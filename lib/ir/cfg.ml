@@ -90,7 +90,7 @@ let iter_value_operands (f : Instr.operand -> unit) (t : t) =
       List.iter
         (fun i ->
           match i with
-          | Instr.Idef (_, rhs) -> (
+          | Instr.Idef (_, rhs, _) -> (
               match rhs with
               | Instr.Rcopy o | Instr.Runop (_, o) | Instr.Rload (_, o) -> f o
               | Instr.Rbinop (_, a, b) ->

@@ -73,7 +73,10 @@ type site = {
 }
 
 type instr =
-  | Idef of var * rhs
+  | Idef of var * rhs * Loc.t option
+      (** the location is the source assignment the definition was
+          lowered from; compiler-introduced definitions (temporaries,
+          call effects, DO bookkeeping) carry [None] *)
   | Istore of string * operand * operand  (** array, index, value *)
   | Icall of site
   | Iprint of operand list
@@ -87,7 +90,7 @@ let operand_vars ops = List.filter_map operand_var ops
 (** Variables used (read) by an instruction.  [Rcalldef] reads the incoming
     value; the call's own argument reads belong to [Icall]. *)
 let uses = function
-  | Idef (_, r) -> (
+  | Idef (_, r, _) -> (
       match r with
       | Rcopy o | Runop (_, o) | Rload (_, o) -> operand_vars [ o ]
       | Rbinop (_, a, b) -> operand_vars [ a; b ]
@@ -106,7 +109,10 @@ let uses = function
   | Iprint ops -> operand_vars ops
 
 (** The variable defined, if any. *)
-let def = function Idef (v, _) -> Some v | _ -> None
+let def = function Idef (v, _, _) -> Some v | _ -> None
+
+(** The source assignment a definition was lowered from, if any. *)
+let def_loc = function Idef (_, _, l) -> l | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Printing *)
@@ -146,7 +152,7 @@ let pp_arg ppf = function
   | Aarray a -> Fmt.pf ppf "%s[*]" a
 
 let pp_instr ppf = function
-  | Idef (v, r) -> Fmt.pf ppf "%s := %a" v pp_rhs r
+  | Idef (v, r, _) -> Fmt.pf ppf "%s := %a" v pp_rhs r
   | Istore (a, i, v) -> Fmt.pf ppf "%s[%a] := %a" a pp_operand i pp_operand v
   | Icall s ->
       Fmt.pf ppf "%scall %s(%a)  # site %d"

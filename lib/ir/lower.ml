@@ -56,7 +56,7 @@ let rec lower_expr env (e : Ast.expr) : operand =
       | Rcopy o -> o
       | rhs ->
           let t = B.temp env.b in
-          B.emit env.b (Idef (t, rhs));
+          B.emit env.b (Idef (t, rhs, None));
           Ovar (t, None))
 
 (* Lower an expression to a right-hand side, emitting instructions for its
@@ -89,7 +89,7 @@ and lower_call env ~callee ~args ~loc ~want_result : var option =
         | Ast.Index (arr, i, _) ->
             let oi = lower_expr env i in
             let t = B.temp env.b in
-            B.emit env.b (Idef (t, Rload (arr, oi)));
+            B.emit env.b (Idef (t, Rload (arr, oi), None));
             Ascalar (Ovar (t, None), Some (Aelem (arr, oi)))
         | e -> Ascalar (lower_expr env e, None))
       args
@@ -110,7 +110,7 @@ and lower_call env ~callee ~args ~loc ~want_result : var option =
   B.note_site env.b site;
   B.emit env.b (Icall site);
   Option.iter
-    (fun r -> B.emit env.b (Idef (r, Rresult site.site_id)))
+    (fun r -> B.emit env.b (Idef (r, Rresult site.site_id, None)))
     result;
   (* may-definitions: by-reference scalar actuals ... *)
   List.iteri
@@ -118,10 +118,11 @@ and lower_call env ~callee ~args ~loc ~want_result : var option =
       match a with
       | Ascalar (_, Some (Avar x)) ->
           B.emit env.b
-            (Idef (x, Rcalldef (site.site_id, Tformal i, Ovar (x, None))))
+            (Idef (x, Rcalldef (site.site_id, Tformal i, Ovar (x, None)), None))
       | Ascalar (_, Some (Aelem (arr, oi))) ->
           let t = B.temp env.b in
-          B.emit env.b (Idef (t, Rcalldef (site.site_id, Tformal i, Oint 0)));
+          B.emit env.b
+            (Idef (t, Rcalldef (site.site_id, Tformal i, Oint 0), None));
           B.emit env.b (Istore (arr, oi, Ovar (t, None)))
       | Ascalar (_, None) | Aarray _ -> ())
     lowered;
@@ -129,7 +130,7 @@ and lower_call env ~callee ~args ~loc ~want_result : var option =
   List.iter
     (fun g ->
       B.emit env.b
-        (Idef (g, Rcalldef (site.site_id, Tglobal g, Ovar (g, None)))))
+        (Idef (g, Rcalldef (site.site_id, Tglobal g, Ovar (g, None)), None)))
     env.globals;
   (* ... and every other scalar of the caller.  These [Tcaller] defs are
      transparent whenever MOD information is available (a callee can never
@@ -148,7 +149,7 @@ and lower_call env ~callee ~args ~loc ~want_result : var option =
       | (Symtab.Local | Symtab.Formal _ | Symtab.Result)
         when vi.Symtab.dim = None && not (Names.SS.mem x addressable) ->
           B.emit env.b
-            (Idef (x, Rcalldef (site.site_id, Tcaller, Ovar (x, None))))
+            (Idef (x, Rcalldef (site.site_id, Tcaller, Ovar (x, None)), None))
       | _ -> ())
     env.psym.Symtab.vars;
   result
@@ -181,9 +182,9 @@ and lower_cond env (c : Ast.cond) ~(tblk : Cfg.block) ~(fblk : Cfg.block) =
 
 let rec lower_stmt env (s : Ast.stmt) =
   match s with
-  | Ast.Assign (Ast.Lvar (x, _), e, _) ->
+  | Ast.Assign (Ast.Lvar (x, l), e, _) ->
       let rhs = lower_rhs env e in
-      B.emit env.b (Idef (x, rhs))
+      B.emit env.b (Idef (x, rhs, Some l))
   | Ast.Assign (Ast.Lindex (a, i, _), e, _) ->
       let oi = lower_expr env i in
       let ov = lower_expr env e in
@@ -214,10 +215,10 @@ let rec lower_stmt env (s : Ast.stmt) =
         | Some _ -> err loc "DO step must have been folded by Sema"
       in
       let rlo = lower_rhs env lo in
-      B.emit env.b (Idef (v, rlo));
+      B.emit env.b (Idef (v, rlo, None));
       let limit = B.temp env.b in
       let rhi = lower_rhs env hi in
-      B.emit env.b (Idef (limit, rhi));
+      B.emit env.b (Idef (limit, rhi, None));
       let header = B.fresh_block env.b in
       let bodyb = B.fresh_block env.b in
       let exitb = B.fresh_block env.b in
@@ -231,7 +232,8 @@ let rec lower_stmt env (s : Ast.stmt) =
              exitb.bid ));
       B.switch env.b bodyb;
       lower_body env body;
-      B.emit env.b (Idef (v, Rbinop (Ast.Add, Ovar (v, None), Oint s)));
+      B.emit env.b
+        (Idef (v, Rbinop (Ast.Add, Ovar (v, None), Oint s), None));
       B.seal env.b (Cfg.Tjump header.bid);
       B.switch env.b exitb
   | Ast.While (c, body, _) ->
@@ -264,11 +266,11 @@ let rec lower_stmt env (s : Ast.stmt) =
       List.iter
         (fun lv ->
           match lv with
-          | Ast.Lvar (x, _) -> B.emit env.b (Idef (x, Rread))
+          | Ast.Lvar (x, _) -> B.emit env.b (Idef (x, Rread, None))
           | Ast.Lindex (a, i, _) ->
               let oi = lower_expr env i in
               let t = B.temp env.b in
-              B.emit env.b (Idef (t, Rread));
+              B.emit env.b (Idef (t, Rread, None));
               B.emit env.b (Istore (a, oi, Ovar (t, None))))
         lvs
   | Ast.Continue _ -> ()

@@ -191,11 +191,11 @@ let convert_full (cfg : Cfg.t) : conv =
       List.map
         (fun i ->
           match i with
-          | Idef (x, r) ->
+          | Idef (x, r, l) ->
               let r = rn_rhs r in
               let n = push x in
               defined := x :: !defined;
-              Idef (versioned x n, r)
+              Idef (versioned x n, r, l)
           | Istore (a, idx, v) -> Istore (a, rn_operand idx, rn_operand v)
           | Icall s ->
               let args = List.map rn_arg s.args in
@@ -247,7 +247,7 @@ let convert_full (cfg : Cfg.t) : conv =
       List.iter
         (fun i ->
           match i with
-          | Idef (v, Rresult sid) -> Hashtbl.replace result_rename sid v
+          | Idef (v, Rresult sid, _) -> Hashtbl.replace result_rename sid v
           | _ -> ())
         nb.Cfg.instrs)
     new_blocks;

@@ -170,7 +170,7 @@ let run ?(oracle = worst_case_oracle)
     List.iter
       (fun i ->
         match i with
-        | Instr.Idef (x, r) -> set x (eval_rhs r site_of)
+        | Instr.Idef (x, r, _) -> set x (eval_rhs r site_of)
         | Instr.Istore _ | Instr.Icall _ | Instr.Iprint _ -> ())
       ssa.Cfg.blocks.(b).Cfg.instrs;
     (* terminator: only mark provably-possible out-edges *)

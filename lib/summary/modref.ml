@@ -59,8 +59,8 @@ let immediate (psym : Symtab.proc_sym) (cfg : Cfg.t) =
   Cfg.iter_instrs
     (fun _ i ->
       match i with
-      | Instr.Idef (_, Instr.Rcalldef _) -> () (* call effect, bound later *)
-      | Instr.Idef (x, rhs) ->
+      | Instr.Idef (_, Instr.Rcalldef _, _) -> () (* call effect, bound later *)
+      | Instr.Idef (x, rhs, _) ->
           add_mod x;
           (match rhs with
           | Instr.Rcopy o | Instr.Runop (_, o) -> ref_operand o

@@ -81,7 +81,7 @@ let compute (cfg : Cfg.t) : t =
   Cfg.iter_instrs
     (fun _ i ->
       match i with
-      | Instr.Idef (x, Instr.Rcopy (Instr.Ovar (y, _))) ->
+      | Instr.Idef (x, Instr.Rcopy (Instr.Ovar (y, _)), _) ->
           Hashtbl.replace copy_of x y
       | _ -> ())
     cfg;
@@ -101,16 +101,16 @@ let compute (cfg : Cfg.t) : t =
       List.iter
         (fun i ->
           match i with
-          | Instr.Idef (_, Instr.Rcopy _) -> () (* collapsed *)
-          | Instr.Idef (x, Instr.Runop (op, o)) ->
+          | Instr.Idef (_, Instr.Rcopy _, _) -> () (* collapsed *)
+          | Instr.Idef (x, Instr.Runop (op, o), _) ->
               add x (Lunop op) [ operand o ] false
-          | Instr.Idef (x, Instr.Rbinop (op, a, b')) ->
+          | Instr.Idef (x, Instr.Rbinop (op, a, b'), _) ->
               add x (Lbinop op)
                 [ operand a; operand b' ]
                 (match op with Ast.Add | Ast.Mul -> true | _ -> false)
-          | Instr.Idef (x, Instr.Rintrin (intr, ops)) ->
+          | Instr.Idef (x, Instr.Rintrin (intr, ops), _) ->
               add x (Lintrin intr) (List.map operand ops) false
-          | Instr.Idef (x, (Instr.Rload _ | Instr.Rread | Instr.Rresult _ | Instr.Rcalldef _)) ->
+          | Instr.Idef (x, (Instr.Rload _ | Instr.Rread | Instr.Rresult _ | Instr.Rcalldef _), _) ->
               incr opaque;
               add x (Lopaque !opaque) [] false
           | _ -> ())
@@ -120,7 +120,7 @@ let compute (cfg : Cfg.t) : t =
   Cfg.iter_instrs
     (fun _ i ->
       match i with
-      | Instr.Idef (x, Instr.Rcopy (Instr.Oint n)) ->
+      | Instr.Idef (x, Instr.Rcopy (Instr.Oint n), _) ->
           Hashtbl.replace copy_of x (mk_const n)
       | _ -> ())
     cfg;

@@ -111,9 +111,9 @@ let compute (cfg : Cfg.t) : t =
       List.iter
         (fun i ->
           match i with
-          | Instr.Idef (x, Instr.Rcopy o) ->
+          | Instr.Idef (x, Instr.Rcopy o, _) ->
               Hashtbl.replace t.numbers x (operand_vn o)
-          | Instr.Idef (x, r) ->
+          | Instr.Idef (x, r, _) ->
               Hashtbl.replace t.numbers x (of_key t (rhs_key r))
           | _ -> ())
         b.Cfg.instrs)

@@ -82,8 +82,8 @@ let verifier_tests =
     Alcotest.test_case "double SSA definition is rejected" `Quick (fun () ->
         let instrs =
           [
-            Instr.Idef ("x#1", Instr.Rcopy (Instr.Oint 1));
-            Instr.Idef ("x#1", Instr.Rcopy (Instr.Oint 2));
+            Instr.Idef ("x#1", Instr.Rcopy (Instr.Oint 1), None);
+            Instr.Idef ("x#1", Instr.Rcopy (Instr.Oint 2), None);
           ]
         in
         let vs = Verify.check_ssa (cfg [ block ~instrs 0 Cfg.Treturn ]) in
@@ -92,7 +92,7 @@ let verifier_tests =
           (Astring.String.is_infix ~affix:"x#1" (messages vs)));
     Alcotest.test_case "use without a definition is rejected" `Quick (fun () ->
         let instrs =
-          [ Instr.Idef ("y#1", Instr.Rcopy (Instr.Ovar ("x#1", None))) ]
+          [ Instr.Idef ("y#1", Instr.Rcopy (Instr.Ovar ("x#1", None)), None) ]
         in
         let vs = Verify.check_ssa (cfg [ block ~instrs 0 Cfg.Treturn ]) in
         Alcotest.(check bool) "rejected" true (List.mem Verify.Vdom (kinds vs)));
@@ -101,12 +101,12 @@ let verifier_tests =
         (* B0 branches to B1 and B2; B1 defines x#1, B2 uses it *)
         let b0 = block 0 (Cfg.Tbranch (true_cond, 1, 2)) in
         let b1 =
-          block ~instrs:[ Instr.Idef ("x#1", Instr.Rcopy (Instr.Oint 1)) ] 1
+          block ~instrs:[ Instr.Idef ("x#1", Instr.Rcopy (Instr.Oint 1), None) ] 1
             Cfg.Treturn
         in
         let b2 =
           block
-            ~instrs:[ Instr.Idef ("y#1", Instr.Rcopy (Instr.Ovar ("x#1", None))) ]
+            ~instrs:[ Instr.Idef ("y#1", Instr.Rcopy (Instr.Ovar ("x#1", None)), None) ]
             2 Cfg.Treturn
         in
         let vs = Verify.check_ssa (cfg [ b0; b1; b2 ]) in
@@ -164,7 +164,7 @@ END
         Alcotest.(check bool) "rejected" true (List.mem Verify.Vcall (kinds vs)));
     Alcotest.test_case "Rresult referencing an unknown site is rejected" `Quick
       (fun () ->
-        let instrs = [ Instr.Idef ("t#1", Instr.Rresult 42) ] in
+        let instrs = [ Instr.Idef ("t#1", Instr.Rresult 42, None) ] in
         let vs = Verify.check_ssa (cfg [ block ~instrs 0 Cfg.Treturn ]) in
         Alcotest.(check bool) "rejected" true (List.mem Verify.Vcall (kinds vs)));
     Alcotest.test_case "expect_ok raises a Diag analysis error" `Quick

@@ -190,8 +190,9 @@ let write_json rows =
 
 (** [quick] trims the per-benchmark sampling budget for CI: the OLS
     estimates get noisier, but every benchmark still runs and the JSON
-    artifact keeps its shape. *)
-let run ?(quick = false) () =
+    artifact keeps its shape.  Returns the rows for regression gating
+    ({!Compare}). *)
+let run ?(quick = false) () : (string * float) list =
   let instance = Instance.monotonic_clock in
   let cfg =
     if quick then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ~kde:None ()
@@ -228,4 +229,5 @@ let run ?(quick = false) () =
       in
       Fmt.pr "%-32s %14s@." name pretty)
     rows;
-  write_json rows
+  write_json rows;
+  rows

@@ -3,12 +3,16 @@
     Subcommands:
     - [analyze]    run interprocedural constant propagation, print the
                    CONSTANTS sets and the substitution count
+    - [explain]    derivation tree of an entry value: which call edges and
+                   jump functions lowered it, back to the main seed
     - [substitute] print the transformed source with constants substituted
     - [complete]   iterate propagation with dead-code elimination
     - [intra]      the purely intraprocedural baseline count
     - [lint]       interprocedural diagnostics over the propagation results
     - [ranges]     interprocedural value ranges (the interval domain)
     - [stats]      telemetry metrics aggregated over the bundled suite
+    - [profile]    wall-time attribution of one analysis: phase table,
+                   hot procedures, pool and cache behaviour
     - [watch]      reanalyze a file whenever it changes (incremental)
     - [cache]      inspect or clear an incremental cache directory
     - [run]        interpret a program (exits nonzero on a fault)
@@ -128,6 +132,80 @@ let analyze_cmd =
     Term.(
       const run $ config_term $ obs_term $ cache_term () $ domain_arg
       $ list_domains_arg $ format_arg $ opt_file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain *)
+
+let explain_cmd =
+  let module Framework = Ipcp_core.Framework in
+  let module Provenance = Ipcp_core.Provenance in
+  let domain_arg =
+    Arg.(
+      value & opt string "const"
+      & info [ "domain" ] ~docv:"NAME"
+          ~doc:
+            "Value domain to explain: const (default), interval or \
+             copyprop.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let target_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"PROC[.FORMAL]"
+          ~doc:
+            "Entry to explain: a procedure (every tracked parameter), or \
+             PROC.FORMAL for a single one.")
+  in
+  let run config obs domain format path target =
+    let src = load_source path in
+    let proc, param =
+      match String.index_opt target '.' with
+      | None -> (target, None)
+      | Some i ->
+          ( String.sub target 0 i,
+            Some (String.sub target (i + 1) (String.length target - i - 1)) )
+    in
+    with_obs obs @@ fun () ->
+    (* provenance is recorded fresh per run and never cached, so the
+       analysis here deliberately bypasses the incremental store *)
+    Provenance.with_enabled @@ fun () ->
+    let r = or_die (Ipcp.analyze ~config src) in
+    match Framework.explain ~domain (Ipcp.Result.driver r) ~proc ?param () with
+    | Error e ->
+        Fmt.epr "ipcp: %s@." e;
+        exit 2
+    | Ok x -> (
+        (match format with
+        | `Text -> Fmt.pr "%s" x.Framework.x_text
+        | `Json -> Fmt.pr "%s@." (Ipcp_obs.Json.to_string x.Framework.x_json));
+        (* every printed edge was re-evaluated against the fixpoint; a
+           violation means the tree lies, which is a hard failure *)
+        match x.Framework.x_violations with
+        | [] -> ()
+        | vs ->
+            List.iter
+              (fun v ->
+                Fmt.epr "! explain: unverified edge %a@."
+                  Ipcp_core.Explain.pp_violation v)
+              vs;
+            exit 3)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain where an interprocedural fact comes from: rerun the \
+          analysis with derivation recording enabled and print, per \
+          entry value, the chain of call edges and jump functions that \
+          lowered it, back to the main program's seed.")
+    Term.(
+      const run $ config_term $ obs_term $ domain_arg $ format_arg $ file_arg
+      $ target_arg)
 
 (* ------------------------------------------------------------------ *)
 (* substitute *)
@@ -461,9 +539,11 @@ let stats_cmd =
        themselves run in parallel (one worker per program, the
        per-program pipeline sequential inside it) — metrics registries
        are domain-local, and each task clears its own before finishing
-       so nothing leaks into the joined totals.  Tracing wants the event
-       buffer, and workers do not record events, so [--trace] forces the
-       sequential path.  With [--cache] a second run of this command
+       so nothing leaks into the joined totals.  With [--trace] the
+       suite runs sequentially so each program's spans appear on the
+       main lane in program order (parallel workers would interleave
+       all twelve programs across their lanes).  With [--cache] a
+       second run of this command
        replays every program's stored counters, so its output is
        byte-identical to the run that populated the cache. *)
     let suite_jobs = if trace <> None then 1 else config.Config.jobs in
@@ -541,6 +621,206 @@ let stats_cmd =
           telemetry enabled and report per-program and aggregate \
           metrics (deterministic counters only, so runs are comparable).")
     Term.(const run $ config_term $ cache_term () $ format_arg $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile *)
+
+let profile_cmd =
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Rows in the hot-procedure table (default 10).")
+  in
+  let ms ns = float_of_int ns /. 1e6 in
+  let pct wall ns =
+    if wall <= 0 then 0.0 else 100.0 *. float_of_int ns /. float_of_int wall
+  in
+  (* The phase table comes from the main trace lane: reduce its B/E
+     events to one aggregated duration per top-level span name, plus the
+     depth-1 children of each.  Top-level main-lane spans tile the run
+     (frontend:parse / incr:* / analyze / pass:substitute), so their sum
+     over the measured wall is the attribution coverage. *)
+  let phase_tree () =
+    let tops = ref [] (* (name, ns), first-seen order, aggregated *) in
+    let childs = ref [] (* ((top, name), ns) *) in
+    let bump store key ns =
+      match List.assoc_opt key !store with
+      | Some r -> r := !r + ns
+      | None -> store := !store @ [ (key, ref ns) ]
+    in
+    let stack = ref [] in
+    List.iter
+      (fun (e : Trace.event) ->
+        if e.Trace.ev_tid = 1 then
+          match e.Trace.ev_ph with
+          | Trace.B -> stack := (e.Trace.ev_name, e.Trace.ev_ts) :: !stack
+          | Trace.E -> (
+              match !stack with
+              | [] -> ()
+              | (name, t0) :: rest ->
+                  stack := rest;
+                  let ns = Int64.to_int (Int64.sub e.Trace.ev_ts t0) in
+                  (match rest with
+                  | [] -> bump tops name ns
+                  | [ (top, _) ] -> bump childs (top, name) ns
+                  | _ -> ())))
+      (Trace.events ());
+    ( List.map (fun (k, r) -> (k, !r)) !tops,
+      List.map (fun (k, r) -> (k, !r)) !childs )
+  in
+  let run config cache top path =
+    let src = load_source path in
+    Obs.set_enabled true;
+    Trace.reset ();
+    Metrics.reset ();
+    let t0 = Obs.now_ns () in
+    let r = or_die (Ipcp.analyze ~config ~cache src) in
+    let t1 = Obs.now_ns () in
+    let wall = Int64.to_int (Int64.sub t1 t0) in
+    let snap = Metrics.snapshot () in
+    let get k = Option.value ~default:0 (List.assoc_opt k snap) in
+    Fmt.pr "profile: %s  (wall %.2f ms, %d procedure(s), jobs %d)@.@."
+      (Ipcp.Source.file src) (ms wall)
+      (List.length (Ipcp.Result.procedures r))
+      config.Config.jobs;
+    (* phases *)
+    let tops, childs = phase_tree () in
+    Fmt.pr "%-32s %9s %7s@." "phase" "ms" "% wall";
+    let covered = List.fold_left (fun a (_, ns) -> a + ns) 0 tops in
+    List.iter
+      (fun (name, ns) ->
+        Fmt.pr "%-32s %9.3f %6.1f%%@." name (ms ns) (pct wall ns);
+        List.iter
+          (fun ((tp, child), cns) ->
+            if tp = name then
+              Fmt.pr "  %-30s %9.3f %6.1f%%@." child (ms cns) (pct wall cns))
+          childs)
+      tops;
+    Fmt.pr "%-32s %9.3f %6.1f%%@." "(unattributed)"
+      (ms (wall - covered))
+      (pct wall (wall - covered));
+    Fmt.pr "attributed: %.1f%% of wall@.@." (pct wall covered);
+    (* hot procedures, by the per-procedure stage timers *)
+    let stages = [ "lower"; "ssa"; "stage2"; "rehydrate"; "stage4" ] in
+    let per_proc = Hashtbl.create 64 in
+    List.iter
+      (fun (k, v) ->
+        match String.index_opt k '/' with
+        | Some i when String.starts_with ~prefix:"proc_ns." k ->
+            let stage = String.sub k 8 (i - 8) in
+            let proc = String.sub k (i + 1) (String.length k - i - 1) in
+            let row =
+              match Hashtbl.find_opt per_proc proc with
+              | Some row -> row
+              | None ->
+                  let row = Hashtbl.create 8 in
+                  Hashtbl.add per_proc proc row;
+                  row
+            in
+            Hashtbl.replace row stage
+              (v + Option.value ~default:0 (Hashtbl.find_opt row stage))
+        | _ -> ())
+      snap;
+    let rows =
+      Hashtbl.fold
+        (fun proc row acc ->
+          let total = Hashtbl.fold (fun _ v a -> v + a) row 0 in
+          (proc, total, row) :: acc)
+        per_proc []
+      |> List.sort (fun (p1, t1, _) (p2, t2, _) ->
+             match compare t2 t1 with 0 -> compare p1 p2 | c -> c)
+    in
+    if rows <> [] then begin
+      Fmt.pr "hot procedures (top %d of %d, by per-procedure stage time):@."
+        (min top (List.length rows))
+        (List.length rows);
+      Fmt.pr "%-16s %9s" "procedure" "total_ms";
+      List.iter (fun s -> Fmt.pr " %9s" s) stages;
+      Fmt.pr "@.";
+      List.iteri
+        (fun i (proc, total, row) ->
+          if i < top then begin
+            Fmt.pr "%-16s %9.3f" proc (ms total);
+            List.iter
+              (fun s ->
+                Fmt.pr " %9.3f"
+                  (ms (Option.value ~default:0 (Hashtbl.find_opt row s))))
+              stages;
+            Fmt.pr "@."
+          end)
+        rows;
+      Fmt.pr "@."
+    end;
+    (* pool behaviour *)
+    let buckets =
+      [ "le_1us"; "le_10us"; "le_100us"; "le_1ms"; "le_10ms"; "le_100ms";
+        "gt_100ms" ]
+    in
+    let histogram label root =
+      let count = get (root ^ ".count") in
+      if count > 0 then begin
+        Fmt.pr "  %-5s mean %.3f ms over %d task(s);" label
+          (ms (get (root ^ ".sum_ns") / count))
+          count;
+        List.iter
+          (fun b ->
+            let n = get (root ^ "." ^ b) in
+            if n > 0 then Fmt.pr " %s:%d" b n)
+          buckets;
+        Fmt.pr "@."
+      end
+    in
+    if get "pool.tasks" > 0 then begin
+      Fmt.pr "pool: %d batch(es), %d task(s)@." (get "pool.batches")
+        (get "pool.tasks");
+      histogram "task" "pool.task";
+      histogram "wait" "pool.wait";
+      Fmt.pr "@."
+    end;
+    (* cache attribution *)
+    let c = Ipcp.Result.cache r in
+    if c.Ipcp.Cache.r_enabled then begin
+      Fmt.pr "cache: %s; ir %d/%d reused, summaries %d/%d, fixpoint %s@."
+        (match c.Ipcp.Cache.r_cold with
+        | Some reason -> "cold (" ^ reason ^ ")"
+        | None -> "warm")
+        c.Ipcp.Cache.r_ir_reused c.Ipcp.Cache.r_procs
+        c.Ipcp.Cache.r_summary_reused c.Ipcp.Cache.r_procs
+        (if c.Ipcp.Cache.r_fixpoint_reused then "replayed" else "recomputed");
+      (if get "incr.load.bytes" > 0 then
+         Fmt.pr "  snapshot loaded: %d bytes@." (get "incr.load.bytes"));
+      let bytes =
+        List.filter_map
+          (fun (k, v) ->
+            if String.starts_with ~prefix:"incr.proc.bytes/" k then
+              Some (String.sub k 16 (String.length k - 16), v)
+            else None)
+          snap
+        |> List.sort (fun (p1, b1) (p2, b2) ->
+               match compare b2 b1 with 0 -> compare p1 p2 | c -> c)
+      in
+      if bytes <> [] then begin
+        let total = List.fold_left (fun a (_, b) -> a + b) 0 bytes in
+        Fmt.pr "  snapshot written: %d bytes across %d procedure(s); largest:@."
+          total (List.length bytes);
+        List.iteri
+          (fun i (p, b) ->
+            if i < top then Fmt.pr "    %-16s %8d bytes@." p b)
+          bytes
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one analysis with telemetry on and print where the wall \
+          time went: a phase table from the trace spans (with an \
+          attribution-coverage line), the hottest procedures by \
+          per-procedure stage timers, pool task/queue-wait histograms, \
+          and per-procedure cache attribution when the incremental \
+          store is in play.")
+    Term.(const run $ config_term $ cache_term () $ top_arg $ file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cache *)
@@ -697,11 +977,13 @@ let () =
        (Cmd.group info
           [
             analyze_cmd;
+            explain_cmd;
             substitute_cmd;
             complete_cmd;
             lint_cmd;
             ranges_cmd;
             stats_cmd;
+            profile_cmd;
             cache_cmd;
             watch_cmd;
             intra_cmd;

@@ -78,17 +78,20 @@ end
 (* ------------------------------------------------------------------ *)
 
 (* Counters that depend on the environment rather than the input: wall
-   times, allocation volumes, and the incremental engine's own
-   bookkeeping.  Everything else is a pure function of (source, config),
-   which is what makes a replayed warm run print the same statistics as
-   the cold run that produced it. *)
+   times, allocation volumes, the incremental engine's own bookkeeping,
+   and the pool/per-procedure profiling families (histogram buckets and
+   timers follow the scheduler and the clock).  Everything else is a
+   pure function of (source, config), which is what makes a replayed
+   warm run print the same statistics as the cold run that produced it. *)
 let deterministic counters =
   List.filter
     (fun (k, _) ->
       not
         (String.starts_with ~prefix:"time_ns/" k
         || String.starts_with ~prefix:"gc." k
-        || String.starts_with ~prefix:"incr." k))
+        || String.starts_with ~prefix:"incr." k
+        || String.starts_with ~prefix:"pool." k
+        || String.starts_with ~prefix:"proc_ns." k))
     counters
 
 module Result = struct
@@ -184,11 +187,13 @@ end
 
 (* ------------------------------------------------------------------ *)
 
-let analyze_symtab ?(config = Config.default) ?(cache = Cache.Disabled) ~key
-    (symtab : Symtab.t) : Result.t =
+let analyze_symtab_window ~reset_window ?(config = Config.default)
+    ?(cache = Cache.Disabled) ~key (symtab : Symtab.t) : Result.t =
   (* each call owns the telemetry window, so per-run statistics are
-     comparable regardless of what the process did before *)
-  if Obs.on () then Metrics.reset ();
+     comparable regardless of what the process did before; [analyze]
+     opens the window itself, before parsing, so frontend time is
+     attributed too *)
+  if reset_window && Obs.on () then Metrics.reset ();
   let o = Incr.analyze ~config ~policy:cache ~key symtab in
   let driver = o.Incr.o_driver in
   let substitution =
@@ -222,12 +227,18 @@ let analyze_symtab ?(config = Config.default) ?(cache = Cache.Disabled) ~key
     cache = o.Incr.o_report;
   }
 
+let analyze_symtab ?config ?cache ~key symtab =
+  analyze_symtab_window ~reset_window:true ?config ?cache ~key symtab
+
 let analyze ?config ?cache (src : Source.t) : (Result.t, string) result =
   Diag.guard_s (fun () ->
+      if Obs.on () then Metrics.reset ();
       let symtab =
-        Sema.parse_and_analyze ~file:src.Source.file src.Source.text
+        Ipcp_obs.Trace.span "frontend:parse" (fun () ->
+            Sema.parse_and_analyze ~file:src.Source.file src.Source.text)
       in
-      analyze_symtab ?config ?cache ~key:src.Source.file symtab)
+      analyze_symtab_window ~reset_window:false ?config ?cache
+        ~key:src.Source.file symtab)
 
 type complete = Complete.t = {
   count : int;

@@ -125,4 +125,4 @@ let solve ~(symtab : Symtab.t) ~(cg : Callgraph.t)
         (Option.value ~default:[] (NM.find_opt ob.o_target !readers))
     end
   done;
-  { Solver.vals = !vals; stats }
+  { Solver.vals = !vals; stats; prov = None }

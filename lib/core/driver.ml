@@ -25,6 +25,7 @@ module Callgraph = Ipcp_callgraph.Callgraph
 module Scc = Ipcp_callgraph.Scc
 module Modref = Ipcp_summary.Modref
 module Verify = Ipcp_verify.Verify
+module Metrics = Ipcp_obs.Metrics
 module Trace = Ipcp_obs.Trace
 module Pool = Ipcp_par.Pool
 
@@ -64,34 +65,40 @@ let lower_parallel ~jobs (symtab : Symtab.t) : Cfg.t SM.t =
     SM.empty
     (Pool.map_list ~jobs
        (fun ((psym : Symtab.proc_sym), off) ->
-         ( psym.Symtab.proc.Ipcp_frontend.Ast.name,
-           Lower.lower_proc symtab ~site_counter:(ref off) psym ))
+         let p = psym.Symtab.proc.Ipcp_frontend.Ast.name in
+         ( p,
+           Metrics.time ("proc_ns.lower/" ^ p) (fun () ->
+               Lower.lower_proc symtab ~site_counter:(ref off) psym) ))
        tasks)
 
 let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
   Trace.span "analyze" @@ fun () ->
   let jobs = max 1 config.Config.jobs in
-  (* Workers record no trace events, so when a verification fan-out runs
-     parallel we bracket it with one coordinator-side span to keep the
-     phase visible in the trace. *)
+  (* A parallel verification fan-out gets one coordinator-side span so
+     the phase shows up as a single block on the main trace lane (the
+     workers' own events land on their tids). *)
   let verify_fanout check m =
     if jobs <= 1 then SM.iter check m
     else Trace.span "verify" (fun () -> Pool.iter_sm ~jobs check m)
   in
   (* preparation *)
+  (* [lower_parallel] reduces to the sequential map at [jobs = 1] (the
+     pool combinators fall back), and either way carries the
+     per-procedure timers *)
   let cfgs =
-    Trace.span "prepare:lower" (fun () ->
-        if jobs <= 1 then Lower.lower_program symtab
-        else lower_parallel ~jobs symtab)
+    Trace.span "prepare:lower" (fun () -> lower_parallel ~jobs symtab)
   in
   if config.Config.verify_ir then
     verify_fanout
       (fun _ cfg -> Verify.expect_ok ~what:"lowering" (Verify.check_lowered ~symtab cfg))
       cfgs;
   let convs =
+    let ssa_one p cfg =
+      Metrics.time ("proc_ns.ssa/" ^ p) (fun () -> Ssa.convert_full cfg)
+    in
     Trace.span "prepare:ssa" (fun () ->
-        if jobs <= 1 then SM.map Ssa.convert_full cfgs
-        else Pool.map_sm ~jobs (fun _ cfg -> Ssa.convert_full cfg) cfgs)
+        if jobs <= 1 then SM.mapi ssa_one cfgs
+        else Pool.map_sm ~jobs ssa_one cfgs)
   in
   if config.Config.verify_ir then
     verify_fanout
@@ -132,6 +139,7 @@ let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
     let pairs =
       Pool.map_sm ~jobs
         (fun p (conv : Ssa.conv) ->
+          Metrics.time ("proc_ns.stage2/" ^ p) @@ fun () ->
           let ev =
             Symeval.run ~symtab ~psym:(Symtab.proc symtab p) ~policy
               conv.Ssa.ssa
@@ -168,6 +176,7 @@ let total_constants t =
     their use-sites back to source locations. *)
 let final_eval t p : Symeval.t =
   Trace.span ~args:[ ("proc", p) ] "stage4:record" @@ fun () ->
+  Metrics.time ("proc_ns.stage4/" ^ p) @@ fun () ->
   let psym = Symtab.proc t.symtab p in
   let conv = SM.find p t.convs in
   let policy =
@@ -182,9 +191,9 @@ let final_eval t p : Symeval.t =
   Symeval.run ~entry_binding ~symtab:t.symtab ~psym ~policy conv.Ssa.ssa
 
 (** Stage 4 over every procedure — the fan-out the substitution pass
-    consumes, parallel across procedures when [config.jobs > 1] (workers
-    record no trace events, so the parallel case gets one coordinator-side
-    span). *)
+    consumes, parallel across procedures when [config.jobs > 1] (the
+    parallel case gets one coordinator-side span; per-procedure spans
+    land on the worker tids). *)
 let final_evals (t : t) : Symeval.t SM.t =
   let jobs = max 1 t.config.Config.jobs in
   if jobs <= 1 then SM.mapi (fun p _ -> final_eval t p) t.convs

@@ -1,0 +1,271 @@
+(** Derivation trees over the provenance recorded by {!Solver}: the
+    machinery behind [ipcp explain PROC[.FORMAL]].
+
+    A tree is rooted at one (procedure, parameter) VAL entry and follows
+    the {!Provenance} edges backwards: a call edge's children are the
+    caller entry values its jump function read (the support), a seed
+    edge is a leaf at the main program's entry.  Cycles in the call
+    graph are cut with a visited set and marked on the node.
+
+    The functor is domain-generic and takes the solver artifacts as
+    plain values (VAL snapshot, provenance table, jump functions), so
+    any {!Valueflow} instance — const, copyprop, interval — can be
+    explained without threading the functor identity of its solver.
+
+    {!Make.check} is the differential guarantee the CLI output rests on:
+    every call edge in the tree is re-evaluated against the final
+    fixpoint and must still support the claimed value
+    ([meet final (eval jf env) = final]); entries the narrowing pass
+    touched are exempt (one narrowing step is not edge-stable in
+    general) but reported as such. *)
+
+open Ipcp_frontend.Names
+module Instr = Ipcp_ir.Instr
+module Json = Ipcp_obs.Json
+
+(** A derivation edge the differential re-evaluation could not justify
+    (domain-independent, so instances can share reporting). *)
+type violation = { v_proc : string; v_param : string; v_reason : string }
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s.%s: %s" v.v_proc v.v_param v.v_reason
+
+module Make (D : Ipcp_domains.Domain.S) = struct
+  module JE = Jumpfn.Eval (D)
+
+  type node = {
+    n_proc : string;
+    n_param : string;
+    n_value : D.t;  (** final fixpoint value of the entry *)
+    n_edge : Provenance.edge option;  (** [None]: never lowered (still ⊤) *)
+    n_narrow : Provenance.narrow option;
+    n_children : node list;
+    n_cycle : bool;  (** entry already on the path: recursion cut here *)
+  }
+
+  type input = {
+    vals : D.t SM.t SM.t;
+    prov : Provenance.t;
+    jfs : Jumpfn.site_jfs list SM.t;
+    seed : D.t SM.t;  (** the main program's entry seed, for checking *)
+  }
+
+  let val_of (t : input) p name : D.t =
+    match SM.find_opt p t.vals with
+    | None -> D.bot
+    | Some m -> Option.value ~default:D.bot (SM.find_opt name m)
+
+  let find_jf (t : input) ~caller ~site_id ~param : Jumpfn.t option =
+    match SM.find_opt caller t.jfs with
+    | None -> None
+    | Some sites ->
+        List.find_map
+          (fun (sj : Jumpfn.site_jfs) ->
+            if sj.Jumpfn.sj_site.Instr.site_id = site_id then
+              List.find_map
+                (fun ((p : Jumpfn.param), jf) ->
+                  if String.equal p.Jumpfn.p_name param then Some jf else None)
+                sj.Jumpfn.jfs
+            else None)
+          sites
+
+  (* ---------------------------------------------------------------- *)
+  (* Tree construction *)
+
+  let rec build_entry (t : input) ~visited proc param : node =
+    let value = val_of t proc param in
+    let edge = Provenance.find t.prov ~proc ~param in
+    let narrow = Provenance.narrow_of t.prov ~proc ~param in
+    let key = (proc, param) in
+    if List.mem key visited then
+      {
+        n_proc = proc;
+        n_param = param;
+        n_value = value;
+        n_edge = edge;
+        n_narrow = narrow;
+        n_children = [];
+        n_cycle = true;
+      }
+    else
+      let visited = key :: visited in
+      let children =
+        match edge with
+        | Some { Provenance.e_kind = Provenance.Call { caller; support; _ }; _ }
+          ->
+            List.map (fun (name, _) -> build_entry t ~visited caller name) support
+        | _ -> []
+      in
+      {
+        n_proc = proc;
+        n_param = param;
+        n_value = value;
+        n_edge = edge;
+        n_narrow = narrow;
+        n_children = children;
+        n_cycle = false;
+      }
+
+  (** One tree per explained parameter: the named formal, or every
+      parameter tracked for [proc] (scalar formals then scalar globals,
+      in VAL order) when [param] is omitted. *)
+  let build (t : input) ~proc ?param () : node list =
+    match param with
+    | Some name -> [ build_entry t ~visited:[] proc name ]
+    | None ->
+        SM.bindings (Option.value ~default:SM.empty (SM.find_opt proc t.vals))
+        |> List.map (fun (name, _) -> build_entry t ~visited:[] proc name)
+
+  (* ---------------------------------------------------------------- *)
+  (* Differential check: every call edge re-justifies its value *)
+
+  (** Re-evaluate the derivation edge of every node in [nodes] (and
+      recursively of their children) against the final fixpoint.  A call
+      edge must still support the claimed value — [meet v (eval jf env)]
+      must equal [v]; a seed edge must satisfy [v ⊑ seed].  Entries the
+      narrowing pass refit are skipped (a single narrowing step is not
+      edge-stable in general). *)
+  let check (t : input) (nodes : node list) : violation list =
+    let bad = ref [] in
+    let push v_proc v_param v_reason =
+      bad := { v_proc; v_param; v_reason } :: !bad
+    in
+    let seen = Hashtbl.create 64 in
+    let rec walk (n : node) =
+      let key = (n.n_proc, n.n_param) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        (match (n.n_edge, n.n_narrow) with
+        | _, Some _ -> () (* narrowed: exempt *)
+        | None, None ->
+            (* never lowered: the entry must still be ⊤ *)
+            if not (D.equal n.n_value D.top) then
+              push n.n_proc n.n_param
+                (Fmt.str "no derivation edge but value is %a" D.pp n.n_value)
+        | Some e, None -> (
+            match e.Provenance.e_kind with
+            | Provenance.Seed _ -> (
+                match SM.find_opt n.n_param t.seed with
+                | None ->
+                    push n.n_proc n.n_param "seed edge for an unseeded entry"
+                | Some s ->
+                    if not (D.leq n.n_value s) then
+                      push n.n_proc n.n_param
+                        (Fmt.str "value %a not below seed %a" D.pp n.n_value
+                           D.pp s))
+            | Provenance.Call { caller; site_id; _ } -> (
+                match find_jf t ~caller ~site_id ~param:n.n_param with
+                | None ->
+                    push n.n_proc n.n_param
+                      (Fmt.str "recorded jump function not found (site %d)"
+                         site_id)
+                | Some jf ->
+                    let env name = val_of t caller name in
+                    let fresh, _ = JE.eval_with_support jf env in
+                    if not (D.equal (D.meet n.n_value fresh) n.n_value) then
+                      push n.n_proc n.n_param
+                        (Fmt.str
+                           "edge re-evaluates to %a, which lowers the claimed \
+                            %a"
+                           D.pp fresh D.pp n.n_value))));
+        List.iter walk n.n_children
+      end
+    in
+    List.iter walk nodes;
+    List.rev !bad
+
+  (* ---------------------------------------------------------------- *)
+  (* Rendering *)
+
+  let pp_edge ppf (n : node) =
+    (match n.n_edge with
+    | None -> Fmt.pf ppf "never lowered: no call edge reached this entry"
+    | Some e -> (
+        match e.Provenance.e_kind with
+        | Provenance.Seed { init = Some c } ->
+            Fmt.pf ppf "seed: DATA-initialised global = %d" c
+        | Provenance.Seed { init = None } ->
+            Fmt.pf ppf "seed: undefined at program start"
+        | Provenance.Call { caller; loc; jf_kind; jf; widened; _ } ->
+            Fmt.pf ppf "call from %s at %s: jf %s ⟨%s⟩ = %s (meet with %s)%s"
+              caller loc jf_kind jf e.Provenance.e_contrib
+              e.Provenance.e_before
+              (if widened then ", widened" else "")));
+    match n.n_narrow with
+    | Some { Provenance.nr_wide; _ } ->
+        Fmt.pf ppf "; narrowed from %s" nr_wide
+    | None -> ()
+
+  let render_text ppf (nodes : node list) =
+    let rec pp_tree ppf prefix (n : node) =
+      Fmt.pf ppf "%s.%s = %a%s@." n.n_proc n.n_param D.pp n.n_value
+        (if n.n_cycle then "  (cycle: see above)" else "");
+      if not n.n_cycle then begin
+        Fmt.pf ppf "%s└─ %a@." prefix pp_edge n;
+        let rest = prefix ^ "   " in
+        let rec each = function
+          | [] -> ()
+          | [ c ] ->
+              Fmt.pf ppf "%s└─ " rest;
+              pp_tree ppf (rest ^ "   ") c
+          | c :: tl ->
+              Fmt.pf ppf "%s├─ " rest;
+              pp_tree ppf (rest ^ "│  ") c;
+              each tl
+        in
+        each n.n_children
+      end
+    in
+    List.iter (fun n -> pp_tree ppf "" n) nodes
+
+  let rec json_of_node (n : node) : Json.t =
+    let derivation =
+      match n.n_edge with
+      | None -> Json.Null
+      | Some e ->
+          let kind_fields =
+            match e.Provenance.e_kind with
+            | Provenance.Seed { init } ->
+                [
+                  ("kind", Json.Str "seed");
+                  ( "init",
+                    match init with Some c -> Json.Int c | None -> Json.Null );
+                ]
+            | Provenance.Call { caller; site_id; loc; jf_kind; jf; widened; _ }
+              ->
+                [
+                  ("kind", Json.Str "call");
+                  ("caller", Json.Str caller);
+                  ("site", Json.Int site_id);
+                  ("loc", Json.Str loc);
+                  ("jf_kind", Json.Str jf_kind);
+                  ("jf", Json.Str jf);
+                  ("widened", Json.Bool widened);
+                ]
+          in
+          Json.Obj
+            (kind_fields
+            @ [
+                ("before", Json.Str e.Provenance.e_before);
+                ("contribution", Json.Str e.Provenance.e_contrib);
+                ("after", Json.Str e.Provenance.e_after);
+              ])
+    in
+    Json.Obj
+      [
+        ("procedure", Json.Str n.n_proc);
+        ("parameter", Json.Str n.n_param);
+        ("value", Json.Str (Fmt.str "%a" D.pp n.n_value));
+        ("derivation", derivation);
+        ( "narrowed",
+          match n.n_narrow with
+          | None -> Json.Null
+          | Some { Provenance.nr_wide; nr_after } ->
+              Json.Obj
+                [ ("wide", Json.Str nr_wide); ("after", Json.Str nr_after) ] );
+        ("cycle", Json.Bool n.n_cycle);
+        ("children", Json.Arr (List.map json_of_node n.n_children));
+      ]
+
+  let json (nodes : node list) : Json.t = Json.Arr (List.map json_of_node nodes)
+end

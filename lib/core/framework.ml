@@ -565,6 +565,73 @@ let run_avail (d : Driver.t) : report =
   { r_text = text; r_json = json }
 
 (* ------------------------------------------------------------------ *)
+(* Explain: derivation trees for the value domains *)
+
+type explanation = {
+  x_text : string;
+  x_json : Json.t;
+  x_violations : Explain.violation list;
+      (** differential re-evaluation failures; empty unless the
+          provenance is inconsistent with the final fixpoint *)
+}
+
+(** One explain pipeline per value domain: validate the target, build
+    the derivation trees, render both ways, and re-check every edge
+    against the final fixpoint. *)
+module Explain_via (D : Ipcp_domains.Domain.S) = struct
+  module X = Explain.Make (D)
+
+  let run ~(vals : D.t SM.t SM.t) ~(prov : Provenance.t option)
+      ~(jfs : Jumpfn.site_jfs list SM.t) ~(seed : D.t SM.t) ~proc ?param () :
+      (explanation, string) result =
+    match prov with
+    | None ->
+        Error
+          "no derivation provenance was recorded (the solve ran with \
+           Provenance disabled)"
+    | Some prov -> (
+        match SM.find_opt proc vals with
+        | None -> Error (Fmt.str "unknown procedure %s" proc)
+        | Some entry -> (
+            match param with
+            | Some n when not (SM.mem n entry) ->
+                Error
+                  (Fmt.str "procedure %s tracks no scalar parameter %s" proc n)
+            | _ ->
+                let input = { X.vals; prov; jfs; seed } in
+                let nodes = X.build input ~proc ?param () in
+                Ok
+                  {
+                    x_text = Fmt.str "%a" X.render_text nodes;
+                    x_json = X.json nodes;
+                    x_violations = X.check input nodes;
+                  }))
+end
+
+module XConst = Explain_via (CL)
+module XCopy = Explain_via (C)
+module XInt = Explain_via (I)
+
+let explain_const (d : Driver.t) ~proc ?param () =
+  let s = d.Driver.solver in
+  XConst.run ~vals:s.Solver.vals ~prov:s.Solver.prov ~jfs:d.Driver.jfs
+    ~seed:(Solver.main_seed d.Driver.symtab) ~proc ?param ()
+
+let explain_copyprop (d : Driver.t) ~proc ?param () =
+  let t = copyprop_compute d in
+  let s = t.CVF.solver in
+  XCopy.run ~vals:s.CVF.S.vals ~prov:s.CVF.S.prov ~jfs:d.Driver.jfs
+    ~seed:(CVF.S.main_seed d.Driver.symtab) ~proc ?param ()
+
+let explain_interval (d : Driver.t) ~proc ?param () =
+  let r = Driver.analyze_ranges d in
+  let s = r.Ranges.solver in
+  XInt.run ~vals:s.Ranges.ISolver.vals ~prov:s.Ranges.ISolver.prov
+    ~jfs:d.Driver.jfs
+    ~seed:(Ranges.ISolver.main_seed d.Driver.symtab)
+    ~proc ?param ()
+
+(* ------------------------------------------------------------------ *)
 (* The registry *)
 
 type entry = {
@@ -572,6 +639,12 @@ type entry = {
   e_doc : string;
   e_laws : laws;
   e_run : Driver.t -> report;
+  e_explain :
+    (Driver.t -> proc:string -> ?param:string -> unit ->
+    (explanation, string) result)
+    option;
+      (** derivation-tree explanation; value domains only — flow
+          problems record no interprocedural provenance *)
 }
 
 let all : entry list =
@@ -581,30 +654,37 @@ let all : entry list =
       e_doc = "interprocedural constant propagation (the paper's lattice)";
       e_laws = Laws (module Const_laws);
       e_run = run_const;
+      e_explain = Some (fun d ~proc ?param () -> explain_const d ~proc ?param ());
     };
     {
       e_name = "interval";
       e_doc = "interprocedural value ranges (the ipcp-ranges pipeline)";
       e_laws = Laws (module Interval_laws);
       e_run = run_interval;
+      e_explain =
+        Some (fun d ~proc ?param () -> explain_interval d ~proc ?param ());
     };
     {
       e_name = "copyprop";
       e_doc = "interprocedural copy propagation (subsumes const)";
       e_laws = Laws (module Copyprop_laws);
       e_run = run_copyprop;
+      e_explain =
+        Some (fun d ~proc ?param () -> explain_copyprop d ~proc ?param ());
     };
     {
       e_name = "live";
       e_doc = "backward live variables, with dead-store detection";
       e_laws = Laws (module Live_laws);
       e_run = run_live;
+      e_explain = None;
     };
     {
       e_name = "avail";
       e_doc = "forward available expressions (must-problem)";
       e_laws = Laws (module Avail_laws);
       e_run = run_avail;
+      e_explain = None;
     };
   ]
 
@@ -612,3 +692,25 @@ let names = List.map (fun e -> e.e_name) all
 
 let find name =
   List.find_opt (fun e -> String.equal e.e_name name) all
+
+(** Explain [proc] (or [proc.param]) under the named registered domain:
+    the derivation trees recorded by the last solve.  Requires
+    {!Provenance} to have been enabled before the analysis ran. *)
+let explain ~domain (d : Driver.t) ~proc ?param () :
+    (explanation, string) result =
+  match find domain with
+  | None ->
+      Error
+        (Fmt.str "unknown domain %s (known: %s)" domain
+           (String.concat ", " names))
+  | Some { e_explain = None; _ } ->
+      Error
+        (Fmt.str
+           "domain %s records no derivation provenance (explainable: %s)"
+           domain
+           (String.concat ", "
+              (List.filter_map
+                 (fun e ->
+                   if e.e_explain <> None then Some e.e_name else None)
+                 all)))
+  | Some { e_explain = Some f; _ } -> f d ~proc ?param ()

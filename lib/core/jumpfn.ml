@@ -195,6 +195,11 @@ module Eval (D : Ipcp_domains.Domain.S) = struct
             | Some c -> D.const c
             | None -> D.bot
           else E.eval env e)
+
+  let eval_with_support (jf : t) (env : string -> D.t) :
+      D.t * (string * D.t) list =
+    let sup = SS.elements (support jf) in
+    (eval jf env, List.map (fun x -> (x, env x)) sup)
 end
 
 include Eval (Ipcp_domains.Clattice)

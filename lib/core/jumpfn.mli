@@ -57,6 +57,12 @@ module Eval (D : Ipcp_domains.Domain.S) : sig
       ⊤, ⊥ supports ⊥; all-constant supports fold the polynomial exactly
       (a fault yields ⊥); mixed supports fold it through the domain's
       transfer functions. *)
+
+  val eval_with_support : t -> (string -> D.t) -> D.t * (string * D.t) list
+  (** Like {!eval}, additionally returning the entry values the jump
+      function read (its support bindings, in canonical order) — the
+      derivation edge recorded by {!Provenance} when explain-mode
+      recording is enabled. *)
 end
 
 val eval : t -> (string -> Clattice.t) -> Clattice.t

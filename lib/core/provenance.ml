@@ -1,0 +1,114 @@
+(** Derivation provenance for the interprocedural fixpoint.
+
+    When enabled, the solver records — per (procedure, parameter) VAL
+    entry — the derivation edge that last lowered it: the source call
+    site, the jump function evaluated there, the support values it read,
+    and the meet partner the new value was folded into.  The edges form
+    a derivation DAG rooted at the main program's seed (DATA-initialised
+    globals), queryable as [ipcp explain PROC[.FORMAL]] through
+    {!Explain}.
+
+    The recorder is domain-independent: values are stored pretty-printed
+    (the solver knows [D.pp] at the recording site), while the structural
+    references — caller, call-site id, support names — are kept exact so
+    {!Explain} can re-evaluate every edge against the final fixpoint (the
+    differential guarantee behind the CLI output).
+
+    Recording follows the {!Ipcp_obs.Obs} switch discipline: off by
+    default, one atomic load on the lowering path when disabled, and no
+    allocation anywhere unless enabled. *)
+
+(* ------------------------------------------------------------------ *)
+(* The switch *)
+
+let switch = Atomic.make false
+
+(** Turn derivation recording on or off (off by default). *)
+let set_enabled b = Atomic.set switch b
+
+(** One atomic load: is recording enabled? *)
+let on () = Atomic.get switch
+
+(** [with_enabled f] runs [f] with recording forced on, restoring the
+    previous state afterwards. *)
+let with_enabled f =
+  let prev = on () in
+  set_enabled true;
+  Fun.protect ~finally:(fun () -> set_enabled prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Edges *)
+
+(** Where a derivation edge comes from. *)
+type kind =
+  | Seed of { init : int option }
+      (** the main program's entry seed: a DATA-initialised global
+          ([init = Some c]) or an undefined-at-start global (⊥) *)
+  | Call of {
+      caller : string;
+      site_id : int;  (** [Instr.site.site_id], unique program-wide *)
+      loc : string;  (** pretty-printed source location of the call *)
+      jf_kind : string;  (** {!Jumpfn.kind_tag} of the jump function *)
+      jf : string;  (** pretty-printed jump function *)
+      support : (string * string) list;
+          (** caller entry values the jump function read, with their
+              pretty-printed values at derivation time — the edge's
+              children in the derivation DAG *)
+      widened : bool;  (** the lowering went through [D.widen] *)
+    }
+
+type edge = {
+  e_proc : string;  (** whose entry value was lowered *)
+  e_param : string;
+  e_kind : kind;
+  e_before : string;  (** pretty meet partner (value before the meet) *)
+  e_contrib : string;  (** pretty evaluated contribution *)
+  e_after : string;  (** pretty value after the meet *)
+  e_seq : int;  (** global derivation order *)
+}
+
+(** Post-convergence narrowing of one entry (non-finite-height domains
+    only): the widened value and what the narrowing pass refit it to. *)
+type narrow = { nr_wide : string; nr_after : string }
+
+type t = {
+  mutable seq : int;
+  edges : (string * string, edge) Hashtbl.t;
+      (** last lowering per (procedure, parameter) *)
+  narrows : (string * string, narrow) Hashtbl.t;
+}
+
+let create () = { seq = 0; edges = Hashtbl.create 64; narrows = Hashtbl.create 4 }
+
+(** Record the edge that just lowered [(proc, param)]; replaces any
+    earlier edge for the entry (the DAG keeps last derivations only). *)
+let record t ~proc ~param ~kind ~before ~contrib ~after =
+  let e =
+    {
+      e_proc = proc;
+      e_param = param;
+      e_kind = kind;
+      e_before = before;
+      e_contrib = contrib;
+      e_after = after;
+      e_seq = t.seq;
+    }
+  in
+  t.seq <- t.seq + 1;
+  Hashtbl.replace t.edges (proc, param) e
+
+let record_narrow t ~proc ~param ~wide ~after =
+  Hashtbl.replace t.narrows (proc, param) { nr_wide = wide; nr_after = after }
+
+(** The edge that last lowered [(proc, param)], if it was ever lowered
+    (an entry still at ⊤ has no derivation). *)
+let find t ~proc ~param = Hashtbl.find_opt t.edges (proc, param)
+
+let narrow_of t ~proc ~param = Hashtbl.find_opt t.narrows (proc, param)
+
+let size t = Hashtbl.length t.edges
+
+(** All recorded edges, in derivation order. *)
+let edges t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.edges []
+  |> List.sort (fun a b -> compare a.e_seq b.e_seq)

@@ -45,6 +45,8 @@
 
 open Ipcp_frontend.Names
 module Symtab = Ipcp_frontend.Symtab
+module Loc = Ipcp_frontend.Loc
+module Instr = Ipcp_ir.Instr
 module Callgraph = Ipcp_callgraph.Callgraph
 module Scc = Ipcp_callgraph.Scc
 module Obs = Ipcp_obs.Obs
@@ -162,6 +164,9 @@ module Make (D : Ipcp_domains.Domain.S) = struct
   type t = {
     vals : D.t SM.t SM.t;  (** procedure -> parameter -> value *)
     stats : stats;
+    prov : Provenance.t option;
+        (** derivation edges, recorded only when {!Provenance.on} held
+            at the start of the solve *)
   }
 
   (** The main program's entry values: globals are DATA constants or ⊥. *)
@@ -192,6 +197,8 @@ module Make (D : Ipcp_domains.Domain.S) = struct
       ~(jfs : Jumpfn.site_jfs list SM.t) () : t =
     let m name = metrics_ns ^ name in
     let stats = { pops = 0; jf_evals = 0; jf_eval_cost = 0; lowerings = 0 } in
+    let prov = if Provenance.on () then Some (Provenance.create ()) else None in
+    let pretty v = Fmt.str "%a" D.pp v in
     (* VAL, as in-place hash tables for the duration of the fixpoint *)
     let vals : (string, (string, D.t) Hashtbl.t) Hashtbl.t =
       Hashtbl.create 64
@@ -225,7 +232,18 @@ module Make (D : Ipcp_domains.Domain.S) = struct
           | Some old -> bump old (-1)
           | None -> ());
           bump v 1;
-          Hashtbl.replace main_tbl g v)
+          Hashtbl.replace main_tbl g v;
+          match prov with
+          | None -> ()
+          | Some pr ->
+              let init =
+                match SM.find_opt g symtab.Symtab.globals with
+                | Some { Symtab.init; _ } -> init
+                | None -> None
+              in
+              Provenance.record pr ~proc:cg.Callgraph.main ~param:g
+                ~kind:(Provenance.Seed { init })
+                ~before:(pretty D.top) ~contrib:(pretty v) ~after:(pretty v))
         (main_seed symtab)
     in
     let wl =
@@ -288,6 +306,7 @@ module Make (D : Ipcp_domains.Domain.S) = struct
                   let nv = D.meet cur v in
                   Metrics.incr (m ".meets");
                   if not (D.equal nv cur) then begin
+                    let widened = ref false in
                     let nv =
                       if D.finite_height then nv
                       else begin
@@ -302,6 +321,7 @@ module Make (D : Ipcp_domains.Domain.S) = struct
                         Hashtbl.replace lower_counts key c;
                         if c > widen_after then begin
                           if Obs.on () then Metrics.incr (m ".widenings");
+                          widened := true;
                           D.widen cur nv
                         end
                         else nv
@@ -312,6 +332,28 @@ module Make (D : Ipcp_domains.Domain.S) = struct
                     Hashtbl.replace qtbl name nv;
                     stats.lowerings <- stats.lowerings + 1;
                     lowered := true;
+                    (match prov with
+                    | None -> ()
+                    | Some pr ->
+                        let site = sj.Jumpfn.sj_site in
+                        let support =
+                          SS.elements (Jumpfn.support jf)
+                          |> List.map (fun x -> (x, pretty (env x)))
+                        in
+                        Provenance.record pr ~proc:q ~param:name
+                          ~kind:
+                            (Provenance.Call
+                               {
+                                 caller = p;
+                                 site_id = site.Instr.site_id;
+                                 loc = Fmt.str "%a" Loc.pp site.Instr.s_loc;
+                                 jf_kind = Jumpfn.kind_tag jf;
+                                 jf = Fmt.str "%a" Jumpfn.pp jf;
+                                 support;
+                                 widened = !widened;
+                               })
+                          ~before:(pretty cur) ~contrib:(pretty v)
+                          ~after:(pretty nv));
                     if Obs.on () then begin
                       Metrics.incr (m ".lowerings");
                       match (class_of cur, class_of nv) with
@@ -376,6 +418,11 @@ module Make (D : Ipcp_domains.Domain.S) = struct
               let narrowed = D.narrow wide refit in
               if not (D.equal narrowed wide) then begin
                 if Obs.on () then Metrics.incr (m ".narrowed");
+                (match prov with
+                | None -> ()
+                | Some pr ->
+                    Provenance.record_narrow pr ~proc:q ~param:name
+                      ~wide:(pretty wide) ~after:(pretty narrowed));
                 Hashtbl.replace wide_tbl name narrowed
               end)
             (Hashtbl.copy wide_tbl))
@@ -391,7 +438,7 @@ module Make (D : Ipcp_domains.Domain.S) = struct
           SM.add p m acc)
         SM.empty cg.Callgraph.procs
     in
-    { vals = snapshot; stats }
+    { vals = snapshot; stats; prov }
 
   (** CONSTANTS(p): the (name, value) pairs known constant on entry to
       [p]. *)

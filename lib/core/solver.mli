@@ -41,6 +41,9 @@ module Make (D : Ipcp_domains.Domain.S) : sig
     vals : D.t Ipcp_frontend.Names.SM.t Ipcp_frontend.Names.SM.t;
         (** procedure -> parameter -> value *)
     stats : stats;
+    prov : Provenance.t option;
+        (** derivation edges, recorded only when {!Provenance.on} held at
+            the start of the solve (see {!Provenance}) *)
   }
 
   val main_seed : Symtab.t -> D.t Ipcp_frontend.Names.SM.t
@@ -76,6 +79,9 @@ type t = {
   vals : Clattice.t Ipcp_frontend.Names.SM.t Ipcp_frontend.Names.SM.t;
       (** procedure -> parameter -> value *)
   stats : stats;
+  prov : Provenance.t option;
+      (** derivation edges, recorded only when {!Provenance.on} held at
+          the start of the solve (see {!Provenance}) *)
 }
 
 val main_seed : Symtab.t -> Clattice.t Ipcp_frontend.Names.SM.t

@@ -156,10 +156,14 @@ let load_snapshot ~dir ~key : (snapshot, string) result =
       warn "cache entry for %s is corrupt (%s); ignoring it" key r;
       Error r
   | Ok payload -> (
+      count "incr.load.bytes" (String.length payload);
       (* the payload passed its checksum, so unmarshalling is safe; the
          guard is belt-and-braces against a snapshot written by a
          different build of the same OCaml version *)
-      match (Marshal.from_string payload 0 : snapshot) with
+      match
+        Trace.span "incr:unmarshal" (fun () ->
+            (Marshal.from_string payload 0 : snapshot))
+      with
       | s -> Ok s
       | exception _ ->
           count1 "incr.cold.corrupt";
@@ -245,8 +249,12 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
     Pool.map_list ~jobs
       (fun ((name, fp) as pfp) ->
         match ir_hit pfp with
-        | Some pe -> (name, pe.pe_cfg, pe.pe_conv, true)
+        | Some pe ->
+            count1 ("incr.proc.ir.hit/" ^ name);
+            (name, pe.pe_cfg, pe.pe_conv, true)
         | None ->
+            count1 ("incr.proc.ir.miss/" ^ name);
+            Metrics.time ("proc_ns.lower/" ^ name) @@ fun () ->
             let psym = Symtab.proc symtab name in
             let cfg =
               Lower.lower_proc symtab
@@ -368,6 +376,8 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
       Pool.map_sm ~jobs
         (fun p (conv : Ssa.conv) ->
           if is_dirty p then begin
+            count1 ("incr.proc.summary.miss/" ^ p);
+            Metrics.time ("proc_ns.stage2/" ^ p) @@ fun () ->
             let ev =
               Symeval.run ~symtab ~psym:(Symtab.proc symtab p) ~policy
                 conv.Ssa.ssa
@@ -379,7 +389,9 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
             in
             (ev, sjs)
           end
-          else
+          else begin
+            count1 ("incr.proc.summary.hit/" ^ p);
+            Metrics.time ("proc_ns.rehydrate/" ^ p) @@ fun () ->
             let pe = entry_exn p in
             let ev = Symeval.of_artifact conv.Ssa.ssa pe.pe_sym in
             let sjs =
@@ -389,7 +401,8 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
                   (Jumpfn.of_site ~symtab ~kind:config.Config.jf ev)
                   ev.Symeval.cfg.Cfg.sites
             in
-            (ev, sjs))
+            (ev, sjs)
+          end)
         convs
     in
     (SM.map fst pairs, SM.map snd pairs)
@@ -408,7 +421,11 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
       count1 "incr.fixpoint.hit";
       let s = Option.get prev in
       let solver =
-        { Solver.vals = s.s_vals; stats = solver_stats_copy s.s_solver_stats }
+        {
+          Solver.vals = s.s_vals;
+          stats = solver_stats_copy s.s_solver_stats;
+          prov = None;
+        }
       in
       if config.Config.verify_ir then begin
         (* warm ≡ cold, checked: a fresh solve over the (partly
@@ -486,6 +503,12 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
                     modref;
               }
             in
+            (* per-procedure share of the snapshot, for `ipcp profile`'s
+               cache attribution; only measured with telemetry on (the
+               extra marshal is pure observation) *)
+            if Obs.on () then
+              count ("incr.proc.bytes/" ^ name)
+                (String.length (Marshal.to_string entry []));
             SM.add name entry m)
           SM.empty fps
       in

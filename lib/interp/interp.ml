@@ -20,8 +20,9 @@
       catch an analyzer that calls an uninitialised value constant;
     - [RETURN] in the main program behaves like [STOP];
     - faults (division by zero, bad subscript, READ past end of input) stop
-      execution with a [Fault]; the entry trace collected so far remains
-      valid. *)
+      execution with a [Fault] whose message is prefixed with the source
+      location of the faulting statement; the entry trace collected so far
+      remains valid. *)
 
 open Ipcp_frontend
 open Names
@@ -61,6 +62,9 @@ type state = {
   rng : Random.State.t;
   mutable fuel : int;
   fuel0 : int;
+  mutable at : Loc.t;
+      (** location of the statement being executed, so a fault can name
+          the source line it arose on *)
   observe : Loc.t -> int -> unit;
       (** called at every located scalar-variable read with the value it
           yields — the probe behind the range-soundness property test *)
@@ -252,6 +256,7 @@ and exec_body st frame body = List.iter (exec_stmt st frame) body
 
 and exec_stmt st frame (s : Ast.stmt) =
   tick st;
+  st.at <- Ast.stmt_loc s;
   match s with
   | Ast.Assign (lv, e, _) ->
       let v = eval_expr st frame e in
@@ -347,6 +352,7 @@ let run ?(seed = 42) ?(fuel = 200_000) ?(input = [])
       rng = Random.State.make [| seed |];
       fuel;
       fuel0 = fuel;
+      at = Loc.dummy;
       observe;
     }
   in
@@ -361,7 +367,10 @@ let run ?(seed = 42) ?(fuel = 200_000) ?(input = [])
     with
     | Stop_exc -> Stopped
     | Fuel_exc -> Out_of_fuel
-    | Fault_exc m -> Fault m
+    | Fault_exc m ->
+        Fault
+          (if Loc.equal st.at Loc.dummy then m
+           else Fmt.str "%a: %s" Loc.pp st.at m)
   in
   {
     output = List.rev st.rev_output;

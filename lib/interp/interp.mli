@@ -11,7 +11,13 @@
     (memoised per cell), so an analyzer that calls an uninitialised value
     constant is caught. *)
 
-type status = Completed | Stopped | Out_of_fuel | Fault of string
+type status =
+  | Completed
+  | Stopped
+  | Out_of_fuel
+  | Fault of string
+      (** the message is prefixed with the [file:line:col] of the faulting
+          statement, e.g. ["prog.f:7:3: division by zero"] *)
 
 type entry_snapshot = {
   e_proc : string;

@@ -70,6 +70,51 @@ let incr name = add name 1
 
 let add_ns name ns = add name (Int64.to_int ns)
 
+(* ------------------------------------------------------------------ *)
+(* Duration histograms *)
+
+(* Log-ish fixed buckets: task and wait times in the pool span five
+   orders of magnitude, so equal-width buckets would be useless. *)
+let hist_buckets =
+  [|
+    (1_000, "le_1us");
+    (10_000, "le_10us");
+    (100_000, "le_100us");
+    (1_000_000, "le_1ms");
+    (10_000_000, "le_10ms");
+    (100_000_000, "le_100ms");
+  |]
+
+(** Record one duration observation under [name]: bumps
+    ["<name>.count"], adds to ["<name>.sum_ns"], and bumps the matching
+    ["<name>.le_*"] (or ["<name>.gt_100ms"]) bucket counter.  The
+    histogram is just counters, so it drains/absorbs across domains like
+    everything else. *)
+let observe_ns name ns =
+  if Obs.on () then begin
+    let ns_i = Int64.to_int ns in
+    add (name ^ ".count") 1;
+    add (name ^ ".sum_ns") ns_i;
+    let rec bucket i =
+      if i >= Array.length hist_buckets then "gt_100ms"
+      else
+        let lim, tag = hist_buckets.(i) in
+        if ns_i <= lim then tag else bucket (i + 1)
+    in
+    add (name ^ "." ^ bucket 0) 1
+  end
+
+(** [time name f] runs [f] and adds its wall time to the plain counter
+    [name] (identity on the thunk while telemetry is off). *)
+let time name f =
+  if not (Obs.on ()) then f ()
+  else begin
+    let t0 = Obs.now_ns () in
+    Fun.protect
+      ~finally:(fun () -> add_ns name (Int64.sub (Obs.now_ns ()) t0))
+      f
+  end
+
 (** Current value ([0] when never touched). *)
 let get name =
   match Hashtbl.find_opt (registry ()).counters name with

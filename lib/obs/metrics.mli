@@ -13,6 +13,18 @@ val incr : string -> unit
 val add_ns : string -> int64 -> unit
 (** Add a nanosecond duration to a counter. *)
 
+val observe_ns : string -> int64 -> unit
+(** Record one duration observation in the histogram rooted at the given
+    name: bumps ["<name>.count"], adds to ["<name>.sum_ns"], and bumps
+    one bucket counter among ["<name>.le_1us"], [.le_10us], [.le_100us],
+    [.le_1ms], [.le_10ms], [.le_100ms], [.gt_100ms].  Buckets are plain
+    counters, so histograms merge across worker domains like any other
+    counter.  No-op while telemetry is off. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f] and adds its wall time to the plain counter
+    [name]; identity on the thunk while telemetry is off. *)
+
 val get : string -> int
 (** Current value; [0] for a counter never touched. *)
 

@@ -14,14 +14,16 @@
     span's numbers contain its children's — the convention of every
     hierarchical profiler.
 
-    {b Domain safety.}  The event buffer belongs to the main domain
-    alone: a span entered on a pool worker still measures itself and
-    feeds the per-phase counters (which are domain-local and merged at
-    batch join), but records no begin/end events.  Workers run strictly
-    within a coordinator-side span — the driver brackets every parallel
-    fan-out — so the exported trace keeps its single-stack B/E
-    discipline and stays deterministic while worker wall-time remains
-    visible in the enclosing span and in the merged counters. *)
+    {b Domain safety.}  Every domain records events into its own
+    domain-local buffer, tagged with a per-domain thread id: the main
+    domain is [tid 1]; pool workers are assigned distinct tids by
+    {!Ipcp_par.Pool} via {!set_tid}.  When a parallel batch joins, the
+    pool {!drain_events} each worker lane and the coordinator
+    {!absorb_events} them, mirroring the {!Metrics} hand-off — so the
+    exported trace shows one well-nested B/E stack per tid.  Events are
+    only recorded by domains with an assigned tid (the main domain, and
+    workers after the pool introduces them); a span on any domain always
+    feeds the per-phase counters regardless. *)
 
 type ph = B | E
 
@@ -29,39 +31,72 @@ type event = {
   ev_name : string;
   ev_ph : ph;
   ev_ts : int64;  (** monotonic ns *)
+  ev_tid : int;  (** recording domain: main = 1, pool worker [w] = [w+2] *)
   ev_args : (string * string) list;
 }
 
-(* newest first *)
-let buf : event list ref = ref []
+(* Per-domain buffer, newest first.  tid 0 = "not introduced": such a
+   domain records nothing (there would be no way to drain it). *)
+type buffer = { mutable tid : int; mutable evs : event list }
 
-let reset () = buf := []
+let buf_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { tid = (if Domain.is_main_domain () then 1 else 0); evs = [] })
 
-let events () : event list = List.rev !buf
+let buffer () = Domain.DLS.get buf_key
 
-let is_empty () = !buf = []
+let set_tid tid = (buffer ()).tid <- tid
+
+let reset () = (buffer ()).evs <- []
+
+let events () : event list = List.rev (buffer ()).evs
+
+let is_empty () = (buffer ()).evs = []
+
+(** Take the calling domain's events (newest first) and clear its
+    buffer.  The pool calls this on worker lanes at batch join. *)
+let drain_events () : event list =
+  let b = buffer () in
+  let evs = b.evs in
+  b.evs <- [];
+  evs
+
+(** Fold a {!drain_events} result into the calling domain's buffer. *)
+let absorb_events (evs : event list) =
+  let b = buffer () in
+  b.evs <- evs @ b.evs
 
 let span ?(args = []) name f =
   if not (Obs.on ()) then f ()
   else begin
-    (* events only from the main domain; a worker's span still feeds the
-       (domain-local) counters *)
-    let record = Domain.is_main_domain () in
+    let b = buffer () in
+    (* events only from introduced domains (tid set); a span on any
+       domain still feeds the (domain-local) counters *)
+    let record = b.tid <> 0 in
     (* [Gc.minor_words] is the precise per-domain accessor; the
        [quick_stat] counters only advance at collection boundaries *)
     let m0 = Gc.minor_words () in
     let j0 = (Gc.quick_stat ()).Gc.major_words in
     let t0 = Obs.now_ns () in
     if record then
-      buf := { ev_name = name; ev_ph = B; ev_ts = t0; ev_args = args } :: !buf;
+      b.evs <-
+        { ev_name = name; ev_ph = B; ev_ts = t0; ev_tid = b.tid; ev_args = args }
+        :: b.evs;
     Fun.protect
       ~finally:(fun () ->
         let t1 = Obs.now_ns () in
         let m1 = Gc.minor_words () in
         let j1 = (Gc.quick_stat ()).Gc.major_words in
         if record then
-          buf :=
-            { ev_name = name; ev_ph = E; ev_ts = t1; ev_args = [] } :: !buf;
+          b.evs <-
+            {
+              ev_name = name;
+              ev_ph = E;
+              ev_ts = t1;
+              ev_tid = b.tid;
+              ev_args = [];
+            }
+            :: b.evs;
         Metrics.add_ns ("time_ns/" ^ name) (Int64.sub t1 t0);
         Metrics.add ("gc.minor_words/" ^ name) (int_of_float (m1 -. m0));
         Metrics.add ("gc.major_words/" ^ name) (int_of_float (j1 -. j0)))
@@ -72,7 +107,12 @@ let span ?(args = []) name f =
 (* Chrome trace-event export *)
 
 let export_chrome () : string =
-  let evs = events () in
+  (* absorbed worker events interleave with the coordinator's, so order
+     by timestamp; the sort is stable, which preserves each tid's B/E
+     nesting for simultaneous stamps *)
+  let evs =
+    List.stable_sort (fun a b -> Int64.compare a.ev_ts b.ev_ts) (events ())
+  in
   let base = match evs with [] -> 0L | e :: _ -> e.ev_ts in
   let ts e = Int64.to_float (Int64.sub e.ev_ts base) /. 1e3 in
   let event_json e =
@@ -83,7 +123,7 @@ let export_chrome () : string =
          ("ph", Json.Str (match e.ev_ph with B -> "B" | E -> "E"));
          ("ts", Json.Num (ts e));
          ("pid", Json.Int 1);
-         ("tid", Json.Int 1);
+         ("tid", Json.Int e.ev_tid);
        ]
       @
       if e.ev_args = [] then []

@@ -1,5 +1,11 @@
 (** Nested span tracing with Chrome trace-event export (gated on
-    {!Obs.on}; without it, {!span} is the identity on its thunk). *)
+    {!Obs.on}; without it, {!span} is the identity on its thunk).
+
+    Every domain records into its own domain-local buffer, tagged with a
+    per-domain thread id ([tid]): the main domain is tid 1, and the
+    domain pool assigns workers distinct tids with {!set_tid}, draining
+    their buffers into the coordinator at batch join.  A domain with no
+    tid assigned records no events (spans still feed the counters). *)
 
 type ph = B | E
 
@@ -7,6 +13,7 @@ type event = {
   ev_name : string;
   ev_ph : ph;
   ev_ts : int64;  (** monotonic ns *)
+  ev_tid : int;  (** recording domain: main = 1, pool worker [w] = [w+2] *)
   ev_args : (string * string) list;
 }
 
@@ -17,14 +24,29 @@ val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
     ["gc.major_words/<name>"] counters in {!Metrics} (inclusive of child
     spans). *)
 
+val set_tid : int -> unit
+(** Assign the calling domain's thread id for subsequent events.  Called
+    once per worker by the domain pool; the main domain is tid 1 by
+    default. *)
+
 val events : unit -> event list
-(** Recorded events, oldest first. *)
+(** Recorded events of the calling domain, oldest first. *)
 
 val is_empty : unit -> bool
 
 val reset : unit -> unit
 
+val drain_events : unit -> event list
+(** Take the calling domain's events (newest first, the internal
+    representation) and clear its buffer.  Used by the domain pool on
+    worker lanes at batch join. *)
+
+val absorb_events : event list -> unit
+(** Fold a {!drain_events} result into the calling domain's buffer. *)
+
 val export_chrome : unit -> string
 (** The event buffer as Chrome trace-event JSON
-    ([{"traceEvents": [...]}]), timestamps in microseconds relative to
-    the first event — loadable in Perfetto or [chrome://tracing]. *)
+    ([{"traceEvents": [...]}]), ordered by timestamp, timestamps in
+    microseconds relative to the first event — loadable in Perfetto or
+    [chrome://tracing].  Each event carries the recording domain's
+    [tid], so a parallel run renders one lane per worker. *)

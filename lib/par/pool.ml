@@ -31,10 +31,13 @@
     because per-procedure work is heavily skewed.
 
     Telemetry: when a batch completes, each worker lane drains its
-    domain-local {!Ipcp_obs.Metrics} accumulator and the coordinator
-    absorbs the drains, so counters end up exactly as a sequential run
-    would have left them (sums commute).  Trace {e events} are emitted
-    only by the main domain — see {!Ipcp_obs.Trace}.
+    domain-local {!Ipcp_obs.Metrics} accumulator {e and} its
+    domain-local {!Ipcp_obs.Trace} event buffer; the coordinator absorbs
+    both, so counters end up exactly as a sequential run would have left
+    them (sums commute) and the trace shows one well-nested event lane
+    per worker tid.  With telemetry on, each claimed task additionally
+    feeds two histograms: ["pool.task"] (task run time) and
+    ["pool.wait"] (submit-to-claim queue wait).
 
     Nested parallelism is intentionally flattened: a task that calls
     back into the pool runs its inner map sequentially.  The outer fan
@@ -42,7 +45,9 @@
     bounded and the semantics obvious. *)
 
 open Ipcp_frontend.Names
+module Obs = Ipcp_obs.Obs
 module Metrics = Ipcp_obs.Metrics
+module Trace = Ipcp_obs.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Job-count policy *)
@@ -73,6 +78,8 @@ type batch = {
   b_expected : int;  (** workers that must check in before the join *)
   mutable b_finished : int;
   b_drains : (string * int) list array;  (** per-worker telemetry *)
+  b_tdrains : Trace.event list array;  (** per-worker trace events *)
+  b_t0 : int64;  (** submit stamp, for queue-wait attribution (0 = off) *)
 }
 
 let lock = Mutex.create ()
@@ -90,12 +97,29 @@ let coordinator_busy = ref false
 let rec claim b =
   let i = Atomic.fetch_and_add b.b_next 1 in
   if i < b.b_n then begin
-    b.b_run i;
+    (if Obs.on () then begin
+       (* queue wait: submit -> this lane picked the task up.  Both
+          histograms live in the claiming domain's local registry and
+          merge at the join like every other counter. *)
+       let t0 = Obs.now_ns () in
+       Metrics.observe_ns "pool.wait" (Int64.sub t0 b.b_t0);
+       Fun.protect
+         ~finally:(fun () ->
+           Metrics.observe_ns "pool.task" (Int64.sub (Obs.now_ns ()) t0))
+         (fun () ->
+           (* a span per task puts the batch's work on the claiming
+              lane's trace lane (workers included) *)
+           Trace.span ~args:[ ("task", string_of_int i) ] "pool:task"
+             (fun () -> b.b_run i))
+     end
+     else b.b_run i);
     claim b
   end
 
 let worker_loop wid gen0 =
   Domain.DLS.set in_worker_key true;
+  (* trace lane: main domain is tid 1, workers start at 2 *)
+  Trace.set_tid (wid + 2);
   let seen = ref gen0 in
   let rec loop () =
     Mutex.lock lock;
@@ -109,8 +133,10 @@ let worker_loop wid gen0 =
     | None -> () (* no batch with a fresh generation: shut down *)
     | Some b ->
         if wid < b.b_width then claim b;
-        if wid < Array.length b.b_drains then
+        if wid < Array.length b.b_drains then begin
           b.b_drains.(wid) <- Metrics.drain ();
+          b.b_tdrains.(wid) <- Trace.drain_events ()
+        end;
         Mutex.lock lock;
         b.b_finished <- b.b_finished + 1;
         if b.b_finished = b.b_expected then Condition.signal done_cv;
@@ -143,8 +169,12 @@ let run_batch ~lanes ~n run_one =
       b_expected = !spawned;
       b_finished = 0;
       b_drains = Array.make !spawned [];
+      b_tdrains = Array.make !spawned [];
+      b_t0 = (if Obs.on () then Obs.now_ns () else 0L);
     }
   in
+  Metrics.incr "pool.batches";
+  Metrics.add "pool.tasks" n;
   current := Some b;
   incr generation;
   coordinator_busy := true;
@@ -160,7 +190,8 @@ let run_batch ~lanes ~n run_one =
       coordinator_busy := false;
       Mutex.unlock lock;
       (* lane order: deterministic, and sums commute anyway *)
-      Array.iter Metrics.absorb b.b_drains)
+      Array.iter Metrics.absorb b.b_drains;
+      Array.iter Trace.absorb_events b.b_tdrains)
     (fun () -> claim b)
 
 (* ------------------------------------------------------------------ *)

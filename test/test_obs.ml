@@ -88,6 +88,50 @@ let ev_field name ev to_x =
   | Some x -> x
   | None -> fail_json ("event missing " ^ name)
 
+(* B/E stack discipline per tid + globally monotonic non-decreasing
+   timestamps (the export sorts by stamp; worker lanes interleave with
+   the main lane, so nesting only holds within a tid) *)
+let check_wellformed evs =
+  let last_ts = ref neg_infinity in
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 7 in
+  List.iter
+    (fun ev ->
+      let name = ev_field "name" ev Json.to_str in
+      let ph = ev_field "ph" ev Json.to_str in
+      let tid = ev_field "tid" ev Json.to_int in
+      let ts =
+        match Option.bind (Json.member "ts" ev) Json.to_float with
+        | Some f -> f
+        | None -> float_of_int (ev_field "ts" ev Json.to_int)
+      in
+      if ts < !last_ts then fail_json "timestamps not monotonic";
+      last_ts := ts;
+      let stack =
+        Option.value ~default:[] (Hashtbl.find_opt stacks tid)
+      in
+      match ph with
+      | "B" -> Hashtbl.replace stacks tid (name :: stack)
+      | "E" -> (
+          match stack with
+          | top :: rest when top = name -> Hashtbl.replace stacks tid rest
+          | top :: _ ->
+              fail_json
+                (Printf.sprintf "tid %d: E %S closes open span %S" tid name
+                   top)
+          | [] ->
+              fail_json
+                (Printf.sprintf "tid %d: E %s with empty span stack" tid
+                   name))
+      | p -> fail_json ("unexpected phase " ^ p))
+    evs;
+  Hashtbl.iter
+    (fun tid stack ->
+      if stack <> [] then
+        fail_json
+          (Printf.sprintf "tid %d: %d unclosed span(s)" tid
+             (List.length stack)))
+    stacks
+
 let test_trace_valid () =
   with_obs @@ fun () ->
   let _, d = analyze "adm" in
@@ -96,32 +140,7 @@ let test_trace_valid () =
   ignore (Substitute.apply d);
   let evs = get_events (Trace.export_chrome ()) in
   Alcotest.(check bool) "has events" true (evs <> []);
-  (* B/E stack discipline + monotonic non-decreasing timestamps *)
-  let last_ts = ref neg_infinity in
-  let stack = ref [] in
-  List.iter
-    (fun ev ->
-      let name = ev_field "name" ev Json.to_str in
-      let ph = ev_field "ph" ev Json.to_str in
-      let ts =
-        match Option.bind (Json.member "ts" ev) Json.to_float with
-        | Some f -> f
-        | None -> float_of_int (ev_field "ts" ev Json.to_int)
-      in
-      if ts < !last_ts then fail_json "timestamps not monotonic";
-      last_ts := ts;
-      match ph with
-      | "B" -> stack := name :: !stack
-      | "E" -> (
-          match !stack with
-          | top :: rest when top = name -> stack := rest
-          | top :: _ ->
-              fail_json
-                (Printf.sprintf "E %S closes open span %S" name top)
-          | [] -> fail_json ("E " ^ name ^ " with empty span stack"))
-      | p -> fail_json ("unexpected phase " ^ p))
-    evs;
-  Alcotest.(check int) "all spans closed" 0 (List.length !stack);
+  check_wellformed evs;
   (* the four pipeline stages of §4.1 must all be covered *)
   let names =
     List.map (fun ev -> ev_field "name" ev Json.to_str) evs
@@ -137,6 +156,49 @@ let test_trace_valid () =
       "stage4:record";
       "verify";
     ]
+
+(* Worker lanes: a 4-lane pool batch records [pool:task] spans on every
+   lane's own tid, and the drained events survive the DLS hand-off into
+   the main lane's export.  The tasks rendezvous on an atomic so each of
+   the four lanes is forced to claim exactly one task — the worker tids
+   are then guaranteed to appear, independent of the host's core count
+   or scheduling. *)
+let test_trace_workers () =
+  with_obs @@ fun () ->
+  let started = Atomic.make 0 in
+  let out =
+    Ipcp_par.Pool.map_array ~jobs:4
+      (fun i ->
+        Atomic.incr started;
+        while Atomic.get started < 4 do
+          Domain.cpu_relax ()
+        done;
+        i * 2)
+      [| 0; 1; 2; 3 |]
+  in
+  Alcotest.(check (array int)) "batch result" [| 0; 2; 4; 6 |] out;
+  (* per-task telemetry merged back: one [pool.task]/[pool.wait] sample
+     per lane, one batch of four tasks *)
+  Alcotest.(check int) "pool.task samples" 4 (Metrics.get "pool.task.count");
+  Alcotest.(check int) "pool.wait samples" 4 (Metrics.get "pool.wait.count");
+  Alcotest.(check int) "one batch" 1 (Metrics.get "pool.batches");
+  Alcotest.(check int) "four tasks" 4 (Metrics.get "pool.tasks");
+  (* and a full parallel analysis on top, for the driver integration *)
+  let p = List.find (fun p -> p.Programs.name = "spec77") Programs.all in
+  ignore
+    (Driver.analyze_source
+       ~config:{ Config.default with Config.jobs = 4 }
+       ~file:p.Programs.name p.Programs.source);
+  let evs = get_events (Trace.export_chrome ()) in
+  check_wellformed evs;
+  let tids = List.map (fun ev -> ev_field "tid" ev Json.to_int) evs in
+  Alcotest.(check bool) "main-lane events" true (List.mem 1 tids);
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "worker tid %d events" w)
+        true (List.mem w tids))
+    [ 2; 3; 4 ]
 
 let test_trace_disabled () =
   Obs.set_enabled false;
@@ -238,6 +300,8 @@ let suites =
         Alcotest.test_case "json parse errors" `Quick test_json_errors;
         Alcotest.test_case "trace valid + nested + staged" `Quick
           test_trace_valid;
+        Alcotest.test_case "worker-lane trace events survive the drain"
+          `Quick test_trace_workers;
         Alcotest.test_case "disabled telemetry is silent" `Quick
           test_trace_disabled;
         Alcotest.test_case "counters match Solver.stats" `Quick

@@ -17,7 +17,7 @@
 
 module Json = Ipcp_obs.Json
 
-type status = Ok_ | Regression | Improvement | New | Removed | Unfit
+type status = Ok_ | Regression | Improvement | New | Removed | Unfit | Meta
 
 let status_name = function
   | Ok_ -> "ok"
@@ -26,6 +26,12 @@ let status_name = function
   | New -> "new"
   | Removed -> "removed"
   | Unfit -> "unfit"
+  | Meta -> "meta"
+
+(* [meta:*] rows carry machine facts (core count), not timings: always
+   reported, never gated — a baseline recorded on different hardware is
+   information, not a regression *)
+let is_meta name = String.length name >= 5 && String.sub name 0 5 = "meta:"
 
 type delta = {
   d_name : string;
@@ -74,6 +80,7 @@ let deltas ~tolerance ~(baseline : (string * float option) list)
         let base = Option.join (List.assoc_opt name baseline) in
         let d_ratio, d_status =
           match (base, now, List.mem_assoc name baseline) with
+          | _ when is_meta name -> (None, Meta)
           | _, _, false -> (None, New)
           | None, _, true | _, None, true -> (None, Unfit)
           | Some b, Some nw, true ->
@@ -119,9 +126,14 @@ let render_text ~tolerance ds =
     (tolerance *. 100.0);
   Fmt.pr "%-32s %10s %10s %8s  %s@." "benchmark" "base" "now" "ratio"
     "status";
+  let pp_raw ppf = function
+    | None -> Fmt.pf ppf "%10s" "-"
+    | Some v -> Fmt.pf ppf "%10.0f" v
+  in
   List.iter
     (fun d ->
-      Fmt.pr "%-32s %a %a %8s  %s@." d.d_name pp_ns d.d_base pp_ns d.d_now
+      let pp = if d.d_status = Meta then pp_raw else pp_ns in
+      Fmt.pr "%-32s %a %a %8s  %s@." d.d_name pp d.d_base pp d.d_now
         (match d.d_ratio with
         | Some r -> Fmt.str "%.2fx" r
         | None -> "-")
@@ -130,8 +142,9 @@ let render_text ~tolerance ds =
   let n st = List.length (List.filter (fun d -> d.d_status = st) ds) in
   Fmt.pr
     "summary: %d ok, %d regression(s), %d improvement(s), %d new, %d \
-     removed, %d unfit@."
+     removed, %d unfit, %d meta@."
     (n Ok_) (n Regression) (n Improvement) (n New) (n Removed) (n Unfit)
+    (n Meta)
 
 let report_json ~tolerance ds : Json.t =
   let num = function None -> Json.Null | Some f -> Json.Num f in

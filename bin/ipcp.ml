@@ -684,17 +684,21 @@ let profile_cmd =
       (Ipcp.Source.file src) (ms wall)
       (List.length (Ipcp.Result.procedures r))
       config.Config.jobs;
-    (* phases *)
+    (* phases; the allocation column is the span's inclusive minor-heap
+       words (so a parent includes its children, like its time) *)
     let tops, childs = phase_tree () in
-    Fmt.pr "%-32s %9s %7s@." "phase" "ms" "% wall";
+    let mwords name = float_of_int (get ("gc.minor_words/" ^ name)) /. 1e6 in
+    Fmt.pr "%-32s %9s %7s %9s@." "phase" "ms" "% wall" "alloc_MW";
     let covered = List.fold_left (fun a (_, ns) -> a + ns) 0 tops in
     List.iter
       (fun (name, ns) ->
-        Fmt.pr "%-32s %9.3f %6.1f%%@." name (ms ns) (pct wall ns);
+        Fmt.pr "%-32s %9.3f %6.1f%% %9.2f@." name (ms ns) (pct wall ns)
+          (mwords name);
         List.iter
           (fun ((tp, child), cns) ->
             if tp = name then
-              Fmt.pr "  %-30s %9.3f %6.1f%%@." child (ms cns) (pct wall cns))
+              Fmt.pr "  %-30s %9.3f %6.1f%% %9.2f@." child (ms cns)
+                (pct wall cns) (mwords child))
           childs)
       tops;
     Fmt.pr "%-32s %9.3f %6.1f%%@." "(unattributed)"
@@ -958,14 +962,49 @@ let suite_cmd =
 let gen_cmd =
   let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Generator seed.") in
   let procs_arg = Arg.(value & opt int 5 & info [ "procs" ] ~doc:"Number of procedures.") in
-  let run seed n_procs =
+  let shape_arg =
+    let shape_conv =
+      Arg.conv
+        ( (fun s ->
+            match Ipcp_gen.Generator.shape_of_name s with
+            | Some sh -> Ok sh
+            | None ->
+                Error (`Msg "expected acyclic, chain, fanout, cyclic or mixed")),
+          fun ppf sh -> Fmt.string ppf (Ipcp_gen.Generator.shape_name sh) )
+    in
+    Arg.(
+      value
+      & opt shape_conv Ipcp_gen.Generator.Acyclic
+      & info [ "shape" ]
+          ~doc:
+            "Call-graph topology: $(b,acyclic) (default), $(b,chain), \
+             $(b,fanout), $(b,cyclic) (counter-bounded recursion groups) \
+             or $(b,mixed).")
+  in
+  let stmts_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "stmts" ] ~doc:"Max statements per body before nesting.")
+  in
+  let globals_arg =
+    Arg.(value & opt int 3 & info [ "globals" ] ~doc:"Number of COMMON globals.")
+  in
+  let run seed n_procs shape max_stmts n_globals =
     Fmt.pr "%s"
       (Ipcp_gen.Generator.generate
-         ~params:{ Ipcp_gen.Generator.default with Ipcp_gen.Generator.seed; n_procs }
+         ~params:
+           {
+             Ipcp_gen.Generator.default with
+             Ipcp_gen.Generator.seed;
+             n_procs;
+             shape;
+             max_stmts;
+             n_globals;
+           }
          ())
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a random well-formed program.")
-    Term.(const run $ seed_arg $ procs_arg)
+    Term.(const run $ seed_arg $ procs_arg $ shape_arg $ stmts_arg $ globals_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -377,16 +377,25 @@ let check_ssa ?symtab cfg = check_cfg ?symtab ~ssa:true cfg
 (** Lower and SSA-convert a complete source text, collecting violations
     from both stages — the hook source-to-source passes use to prove they
     produced a well-formed program.  Raises {!Diag.Error} if the text no
-    longer parses or checks (also a pass bug). *)
-let check_source ~file (src : string) : violation list =
+    longer parses or checks (also a pass bug).  [jobs] parallelizes the
+    per-procedure lower/SSA checks (the results are order-preserving
+    either way). *)
+let check_source ?(jobs = 1) ~file (src : string) : violation list =
   let symtab = Sema.parse_and_analyze ~file src in
   let cfgs = Lower.lower_program symtab in
-  SM.fold
-    (fun _ cfg acc ->
-      let low = check_lowered ~symtab cfg in
-      if low <> [] then acc @ low
-      else acc @ check_ssa ~symtab (Ssa.convert cfg))
-    cfgs []
+  let check _ cfg =
+    match check_lowered ~symtab cfg with
+    | _ :: _ as low -> low
+    | [] -> check_ssa ~symtab (Ssa.convert cfg)
+  in
+  let per =
+    if jobs <= 1 then SM.mapi check cfgs
+    else
+      Ipcp_par.Pool.map_sm ~jobs
+        ~cost:(fun _ cfg -> Cfg.weight cfg)
+        ~seq_below:Ipcp_par.Pool.default_seq_cost check cfgs
+  in
+  SM.fold (fun _ vs acc -> acc @ vs) per []
 
 (** Raise a {!Diag} analysis error when violations are present.  [what]
     names the producing stage ("lowering", "SSA construction", a pass). *)

@@ -42,11 +42,13 @@ val check_lowered : ?symtab:Symtab.t -> Cfg.t -> violation list
 val check_ssa : ?symtab:Symtab.t -> Cfg.t -> violation list
 (** [check_cfg ~ssa:true]. *)
 
-val check_source : file:string -> string -> violation list
+val check_source : ?jobs:int -> file:string -> string -> violation list
 (** Parse, check, lower and SSA-convert a complete source text,
     collecting violations from both IR stages — the hook source-to-source
     passes use to prove they produced a well-formed program.  Raises
-    [Ipcp_frontend.Diag.Error] if the text no longer parses. *)
+    [Ipcp_frontend.Diag.Error] if the text no longer parses.  [jobs]
+    (default 1) parallelizes the per-procedure lower/SSA checks; the
+    collected violations are in procedure order either way. *)
 
 val expect_ok : what:string -> violation list -> unit
 (** Raise a [Diag] analysis error when violations are present; [what]

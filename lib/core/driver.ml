@@ -53,21 +53,27 @@ let lower_parallel ~jobs (symtab : Symtab.t) : Cfg.t SM.t =
   in
   let tasks =
     let off = ref 0 in
-    List.map
-      (fun (psym : Symtab.proc_sym) ->
-        let o = !off in
-        off := o + Lower.count_sites psym.Symtab.proc;
-        (psym, o))
-      procs
+    Array.of_list
+      (List.map
+         (fun (psym : Symtab.proc_sym) ->
+           let o = !off in
+           off := o + Lower.count_sites psym.Symtab.proc;
+           (psym, o))
+         procs)
   in
-  List.fold_left
+  let costs =
+    Array.map (fun ((psym : Symtab.proc_sym), _) ->
+        Lower.count_stmts psym.Symtab.proc)
+      tasks
+  in
+  Array.fold_left
     (fun acc (name, cfg) -> SM.add name cfg acc)
     SM.empty
-    (Pool.map_list ~jobs
+    (Pool.map_array ~jobs ~costs ~seq_below:Pool.default_seq_cost
        (fun ((psym : Symtab.proc_sym), off) ->
          let p = psym.Symtab.proc.Ipcp_frontend.Ast.name in
          ( p,
-           Metrics.time ("proc_ns.lower/" ^ p) (fun () ->
+           Metrics.time_key "proc_ns.lower/" p (fun () ->
                Lower.lower_proc symtab ~site_counter:(ref off) psym) ))
        tasks)
 
@@ -77,10 +83,14 @@ let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
   (* A parallel verification fan-out gets one coordinator-side span so
      the phase shows up as a single block on the main trace lane (the
      workers' own events land on their tids). *)
-  let verify_fanout check m =
+  let verify_fanout cost check m =
     if jobs <= 1 then SM.iter check m
-    else Trace.span "verify" (fun () -> Pool.iter_sm ~jobs check m)
+    else
+      Trace.span "verify" (fun () ->
+          Pool.iter_sm ~jobs ~cost ~seq_below:Pool.default_seq_cost check m)
   in
+  let cfg_cost _ cfg = Cfg.weight cfg in
+  let conv_cost _ (conv : Ssa.conv) = Cfg.weight conv.Ssa.ssa in
   (* preparation *)
   (* [lower_parallel] reduces to the sequential map at [jobs = 1] (the
      pool combinators fall back), and either way carries the
@@ -89,19 +99,21 @@ let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
     Trace.span "prepare:lower" (fun () -> lower_parallel ~jobs symtab)
   in
   if config.Config.verify_ir then
-    verify_fanout
+    verify_fanout cfg_cost
       (fun _ cfg -> Verify.expect_ok ~what:"lowering" (Verify.check_lowered ~symtab cfg))
       cfgs;
   let convs =
     let ssa_one p cfg =
-      Metrics.time ("proc_ns.ssa/" ^ p) (fun () -> Ssa.convert_full cfg)
+      Metrics.time_key "proc_ns.ssa/" p (fun () -> Ssa.convert_full cfg)
     in
     Trace.span "prepare:ssa" (fun () ->
         if jobs <= 1 then SM.mapi ssa_one cfgs
-        else Pool.map_sm ~jobs ssa_one cfgs)
+        else
+          Pool.map_sm ~jobs ~cost:cfg_cost ~seq_below:Pool.default_seq_cost
+            ssa_one cfgs)
   in
   if config.Config.verify_ir then
-    verify_fanout
+    verify_fanout conv_cost
       (fun _ (conv : Ssa.conv) ->
         Verify.expect_ok ~what:"SSA construction"
           (Verify.check_ssa ~symtab conv.Ssa.ssa))
@@ -137,9 +149,9 @@ let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
         ~symbolic:config.Config.symbolic_returns
     in
     let pairs =
-      Pool.map_sm ~jobs
+      Pool.map_sm ~jobs ~cost:conv_cost ~seq_below:Pool.default_seq_cost
         (fun p (conv : Ssa.conv) ->
-          Metrics.time ("proc_ns.stage2/" ^ p) @@ fun () ->
+          Metrics.time_key "proc_ns.stage2/" p @@ fun () ->
           let ev =
             Symeval.run ~symtab ~psym:(Symtab.proc symtab p) ~policy
               conv.Ssa.ssa
@@ -157,7 +169,7 @@ let analyze ?(config = Config.default) (symtab : Symtab.t) : t =
   (* stage 3: interprocedural propagation *)
   let solver =
     Trace.span "stage3:propagate" (fun () ->
-        Solver.solve ~scc ~symtab ~cg ~jfs ())
+        Solver.solve ~scc ~jobs ~symtab ~cg ~jfs ())
   in
   { config; symtab; cfgs; convs; cg; modref; rjfs; evals; jfs; solver }
 
@@ -176,7 +188,7 @@ let total_constants t =
     their use-sites back to source locations. *)
 let final_eval t p : Symeval.t =
   Trace.span ~args:[ ("proc", p) ] "stage4:record" @@ fun () ->
-  Metrics.time ("proc_ns.stage4/" ^ p) @@ fun () ->
+  Metrics.time_key "proc_ns.stage4/" p @@ fun () ->
   let psym = Symtab.proc t.symtab p in
   let conv = SM.find p t.convs in
   let policy =
@@ -199,7 +211,11 @@ let final_evals (t : t) : Symeval.t SM.t =
   if jobs <= 1 then SM.mapi (fun p _ -> final_eval t p) t.convs
   else
     Trace.span "stage4:record" (fun () ->
-        Pool.map_sm ~jobs (fun p _ -> final_eval t p) t.convs)
+        Pool.map_sm ~jobs
+          ~cost:(fun _ (conv : Ssa.conv) -> Cfg.weight conv.Ssa.ssa)
+          ~seq_below:Pool.default_seq_cost
+          (fun p _ -> final_eval t p)
+          t.convs)
 
 (** The interval instance of the pipeline: interprocedural range
     propagation over the already-built jump functions, then a

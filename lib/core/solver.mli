@@ -54,6 +54,7 @@ module Make (D : Ipcp_domains.Domain.S) : sig
     ?metrics_ns:string ->
     ?strategy:strategy ->
     ?scc:Scc.t ->
+    ?jobs:int ->
     symtab:Symtab.t ->
     cg:Callgraph.t ->
     jfs:Jumpfn.site_jfs list Ipcp_frontend.Names.SM.t ->
@@ -63,7 +64,21 @@ module Make (D : Ipcp_domains.Domain.S) : sig
       the {!Scc_order} ranks; it is computed on demand otherwise.
       [?metrics_ns] (default ["solver"]) prefixes the telemetry counter
       names so concurrent instances stay distinguishable; only the
-      default namespace feeds the convergence log. *)
+      default namespace feeds the convergence log.
+
+      [?jobs] (default 1) enables parallel solving of independent SCCs:
+      the condensation is layered into topological wavefronts and the
+      components of one level are solved concurrently, with
+      cross-component contributions applied by the coordinator in
+      canonical component order.  Monotone evaluation over a
+      finite-height domain makes the fixpoint {e identical} to the
+      sequential one — only {!stats} iteration counts (pops,
+      evaluations) may differ.  The parallel path is taken only when it
+      is provably equivalent and can pay: [jobs > 1] with more than one
+      effective lane (see {!Ipcp_par.Pool.effective_lanes}), the
+      {!Scc_order} strategy, a finite-height domain (widening is
+      iteration-order-dependent), and provenance recording off (the
+      recorded lowering edges are schedule-dependent). *)
 
   val constants : t -> string -> int Ipcp_frontend.Names.SM.t
   (** CONSTANTS(p): the (name, value) pairs known constant on entry. *)
@@ -92,6 +107,7 @@ val solve :
   ?metrics_ns:string ->
   ?strategy:strategy ->
   ?scc:Scc.t ->
+  ?jobs:int ->
   symtab:Symtab.t ->
   cg:Callgraph.t ->
   jfs:Jumpfn.site_jfs list Ipcp_frontend.Names.SM.t ->

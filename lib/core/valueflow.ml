@@ -115,7 +115,7 @@ module Make (D : Ipcp_domains.Domain.S) = struct
     let jobs = max 1 config.Config.jobs in
     let solver =
       Trace.span (ns ^ ":propagate") (fun () ->
-          S.solve ~metrics_ns:(ns ^ ".solver") ~symtab ~cg ~jfs ())
+          S.solve ~metrics_ns:(ns ^ ".solver") ~jobs ~symtab ~cg ~jfs ())
     in
     let evals =
       Trace.span (ns ^ ":abseval") (fun () ->
@@ -125,7 +125,11 @@ module Make (D : Ipcp_domains.Domain.S) = struct
             let entry_binding name = Some (entry_of solver p name) in
             A.run ~entry_binding ~symtab ~psym ~policy conv.Ssa.ssa
           in
-          if jobs <= 1 then SM.mapi run convs else Pool.map_sm ~jobs run convs)
+          if jobs <= 1 then SM.mapi run convs
+          else
+            Pool.map_sm ~jobs
+              ~cost:(fun _ (conv : Ssa.conv) -> Cfg.weight conv.Ssa.ssa)
+              ~seq_below:Pool.default_seq_cost run convs)
     in
     let facts =
       Trace.span (ns ^ ":record") (fun () ->

@@ -17,7 +17,18 @@ let dummy = { file = "<none>"; line = 0; col = 0 }
 
 let make ~file ~line ~col = { file; line; col }
 
-let compare = Stdlib.compare
+(* line/col first: keys overwhelmingly come from a single file, where a
+   file-first comparison re-scans an identical string at every node on a
+   map's search path.  Within one file the order is unchanged
+   (line, then column decide); keys from different files still order
+   deterministically. *)
+let compare a b =
+  match Int.compare a.line b.line with
+  | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare a.file b.file
+      | c -> c)
+  | c -> c
 
 let equal a b = compare a b = 0
 

@@ -4,7 +4,14 @@
     yields a program that prints identically (tested by a qcheck property).
     The substitution pass uses this printer to emit the transformed source
     the paper describes ("a transformed version of the original source in
-    which the interprocedural constants are textually substituted"). *)
+    which the interprocedural constants are textually substituted").
+
+    The emitters write straight into a [Buffer]: the printer sits on the
+    substitution pass's output path and under the incremental engine's
+    per-procedure fingerprints, where the Format machinery — a
+    closure-driven interpreter plus a fresh indent string per line —
+    dominated the callers' allocation.  The [Fmt.t] combinators of the
+    public interface are thin wrappers producing the same bytes. *)
 
 open Ast
 
@@ -15,58 +22,117 @@ let prec_of = function
   | Binop ((Add | Sub), _, _, _) -> 10
   | Int _ | Var _ | Index _ | Callf _ | Intrin _ -> 100
 
-let rec pp_expr ppf e = pp_prec 0 ppf e
+(* bodies nest two columns per level; memoize the realistic depths *)
+let indents = Array.init 41 (fun n -> String.make n ' ')
 
-and pp_prec outer ppf e =
+let add_indent buf n =
+  Buffer.add_string buf
+    (if n < Array.length indents then indents.(n) else String.make n ' ')
+
+let add_sep_list buf emit = function
+  | [] -> ()
+  | x :: rest ->
+      emit buf x;
+      List.iter
+        (fun x ->
+          Buffer.add_string buf ", ";
+          emit buf x)
+        rest
+
+let rec add_prec outer buf e =
   let p = prec_of e in
-  let atom ppf () =
+  let atom () =
     match e with
-    | Int (n, _) -> Fmt.int ppf n
-    | Var (x, _) -> Fmt.string ppf x
-    | Index (a, i, _) -> Fmt.pf ppf "%s(%a)" a pp_expr i
+    | Int (n, _) -> Buffer.add_string buf (string_of_int n)
+    | Var (x, _) -> Buffer.add_string buf x
+    | Index (a, i, _) ->
+        Buffer.add_string buf a;
+        Buffer.add_char buf '(';
+        add_prec 0 buf i;
+        Buffer.add_char buf ')'
     | Callf (f, args, _) ->
-        Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp_expr) args
+        Buffer.add_string buf f;
+        Buffer.add_char buf '(';
+        add_sep_list buf (add_prec 0) args;
+        Buffer.add_char buf ')'
     | Intrin (i, args, _) ->
-        Fmt.pf ppf "%s(%a)" (intrinsic_name i)
-          Fmt.(list ~sep:(any ", ") pp_expr)
-          args
-    | Unop (Neg, e, _) -> Fmt.pf ppf "-%a" (pp_prec 25) e
+        Buffer.add_string buf (intrinsic_name i);
+        Buffer.add_char buf '(';
+        add_sep_list buf (add_prec 0) args;
+        Buffer.add_char buf ')'
+    | Unop (Neg, e, _) ->
+        Buffer.add_char buf '-';
+        add_prec 25 buf e
     | Binop (Pow, a, b, _) ->
         (* right-associative: parenthesise a left operand of equal prec *)
-        Fmt.pf ppf "%a ** %a" (pp_prec 31) a (pp_prec 30) b
+        add_prec 31 buf a;
+        Buffer.add_string buf " ** ";
+        add_prec 30 buf b
     | Binop (op, a, b, _) ->
-        Fmt.pf ppf "%a %s %a" (pp_prec p) a (binop_name op) (pp_prec (p + 1)) b
+        add_prec p buf a;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (binop_name op);
+        Buffer.add_char buf ' ';
+        add_prec (p + 1) buf b
   in
-  if p < outer then Fmt.pf ppf "(%a)" atom () else atom ppf ()
+  if p < outer then begin
+    Buffer.add_char buf '(';
+    atom ();
+    Buffer.add_char buf ')'
+  end
+  else atom ()
 
-let rec pp_cond ppf c = pp_cond_prec 0 ppf c
+let add_expr buf e = add_prec 0 buf e
 
-and pp_cond_prec outer ppf c =
+let rec add_cond_prec outer buf c =
   let p = match c with Or _ -> 1 | And _ -> 2 | _ -> 3 in
-  let atom ppf () =
+  let atom () =
     match c with
     | Rel (op, a, b) ->
-        Fmt.pf ppf "%a %s %a" pp_expr a (relop_name op) pp_expr b
+        add_expr buf a;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (relop_name op);
+        Buffer.add_char buf ' ';
+        add_expr buf b
     | And (a, b) ->
-        Fmt.pf ppf "%a .AND. %a" (pp_cond_prec 2) a (pp_cond_prec 3) b
+        add_cond_prec 2 buf a;
+        Buffer.add_string buf " .AND. ";
+        add_cond_prec 3 buf b
     | Or (a, b) ->
-        Fmt.pf ppf "%a .OR. %a" (pp_cond_prec 1) a (pp_cond_prec 2) b
-    | Not c -> Fmt.pf ppf ".NOT. %a" (pp_cond_prec 3) c
-    | Btrue -> Fmt.string ppf ".TRUE."
-    | Bfalse -> Fmt.string ppf ".FALSE."
+        add_cond_prec 1 buf a;
+        Buffer.add_string buf " .OR. ";
+        add_cond_prec 2 buf b
+    | Not c ->
+        Buffer.add_string buf ".NOT. ";
+        add_cond_prec 3 buf c
+    | Btrue -> Buffer.add_string buf ".TRUE."
+    | Bfalse -> Buffer.add_string buf ".FALSE."
   in
-  if p < outer then Fmt.pf ppf "(%a)" atom () else atom ppf ()
+  if p < outer then begin
+    Buffer.add_char buf '(';
+    atom ();
+    Buffer.add_char buf ')'
+  end
+  else atom ()
 
-let pp_lvalue ppf = function
-  | Lvar (x, _) -> Fmt.string ppf x
-  | Lindex (a, i, _) -> Fmt.pf ppf "%s(%a)" a pp_expr i
+let add_cond buf c = add_cond_prec 0 buf c
 
-let indent ppf n = Fmt.string ppf (String.make n ' ')
+let add_lvalue buf = function
+  | Lvar (x, _) -> Buffer.add_string buf x
+  | Lindex (a, i, _) ->
+      Buffer.add_string buf a;
+      Buffer.add_char buf '(';
+      add_expr buf i;
+      Buffer.add_char buf ')'
 
-let rec pp_stmt ind ppf s =
+let rec add_stmt ind buf s =
   match s with
   | Assign (lv, e, _) ->
-      Fmt.pf ppf "%a%a = %a@." indent ind pp_lvalue lv pp_expr e
+      add_indent buf ind;
+      add_lvalue buf lv;
+      Buffer.add_string buf " = ";
+      add_expr buf e;
+      Buffer.add_char buf '\n'
   | If ([ (c, [ single ]) ], [], _)
     when match single with
          | Assign _ | Call _ | Return _ | Stop _ | Continue _ | Print _
@@ -74,96 +140,197 @@ let rec pp_stmt ind ppf s =
              true
          | _ -> false ->
       (* logical IF, printed on one line *)
-      Fmt.pf ppf "%aIF (%a) %a" indent ind pp_cond c (pp_stmt 0) single
+      add_indent buf ind;
+      Buffer.add_string buf "IF (";
+      add_cond buf c;
+      Buffer.add_string buf ") ";
+      add_stmt 0 buf single
   | If (branches, els, _) ->
       List.iteri
         (fun i (c, body) ->
-          if i = 0 then Fmt.pf ppf "%aIF (%a) THEN@." indent ind pp_cond c
-          else Fmt.pf ppf "%aELSEIF (%a) THEN@." indent ind pp_cond c;
-          pp_body (ind + 2) ppf body)
+          add_indent buf ind;
+          Buffer.add_string buf (if i = 0 then "IF (" else "ELSEIF (");
+          add_cond buf c;
+          Buffer.add_string buf ") THEN\n";
+          add_body (ind + 2) buf body)
         branches;
-      if els <> [] then (
-        Fmt.pf ppf "%aELSE@." indent ind;
-        pp_body (ind + 2) ppf els);
-      Fmt.pf ppf "%aENDIF@." indent ind
+      if els <> [] then begin
+        add_indent buf ind;
+        Buffer.add_string buf "ELSE\n";
+        add_body (ind + 2) buf els
+      end;
+      add_indent buf ind;
+      Buffer.add_string buf "ENDIF\n"
   | Do (v, lo, hi, step, body, _) ->
+      add_indent buf ind;
+      Buffer.add_string buf "DO ";
+      Buffer.add_string buf v;
+      Buffer.add_string buf " = ";
+      add_expr buf lo;
+      Buffer.add_string buf ", ";
+      add_expr buf hi;
       (match step with
-      | None -> Fmt.pf ppf "%aDO %s = %a, %a@." indent ind v pp_expr lo pp_expr hi
+      | None -> ()
       | Some s ->
-          Fmt.pf ppf "%aDO %s = %a, %a, %a@." indent ind v pp_expr lo pp_expr
-            hi pp_expr s);
-      pp_body (ind + 2) ppf body;
-      Fmt.pf ppf "%aENDDO@." indent ind
+          Buffer.add_string buf ", ";
+          add_expr buf s);
+      Buffer.add_char buf '\n';
+      add_body (ind + 2) buf body;
+      add_indent buf ind;
+      Buffer.add_string buf "ENDDO\n"
   | While (c, body, _) ->
-      Fmt.pf ppf "%aWHILE (%a)@." indent ind pp_cond c;
-      pp_body (ind + 2) ppf body;
-      Fmt.pf ppf "%aENDWHILE@." indent ind
-  | Call (n, [], _) -> Fmt.pf ppf "%aCALL %s@." indent ind n
+      add_indent buf ind;
+      Buffer.add_string buf "WHILE (";
+      add_cond buf c;
+      Buffer.add_string buf ")\n";
+      add_body (ind + 2) buf body;
+      add_indent buf ind;
+      Buffer.add_string buf "ENDWHILE\n"
+  | Call (n, [], _) ->
+      add_indent buf ind;
+      Buffer.add_string buf "CALL ";
+      Buffer.add_string buf n;
+      Buffer.add_char buf '\n'
   | Call (n, args, _) ->
-      Fmt.pf ppf "%aCALL %s(%a)@." indent ind n
-        Fmt.(list ~sep:(any ", ") pp_expr)
-        args
-  | Return _ -> Fmt.pf ppf "%aRETURN@." indent ind
+      add_indent buf ind;
+      Buffer.add_string buf "CALL ";
+      Buffer.add_string buf n;
+      Buffer.add_char buf '(';
+      add_sep_list buf add_expr args;
+      Buffer.add_string buf ")\n"
+  | Return _ ->
+      add_indent buf ind;
+      Buffer.add_string buf "RETURN\n"
   | Print (es, _) ->
-      Fmt.pf ppf "%aPRINT *, %a@." indent ind Fmt.(list ~sep:(any ", ") pp_expr) es
+      add_indent buf ind;
+      Buffer.add_string buf "PRINT *, ";
+      add_sep_list buf add_expr es;
+      Buffer.add_char buf '\n'
   | Read (lvs, _) ->
-      Fmt.pf ppf "%aREAD *, %a@." indent ind
-        Fmt.(list ~sep:(any ", ") pp_lvalue)
-        lvs
-  | Stop _ -> Fmt.pf ppf "%aSTOP@." indent ind
-  | Continue _ -> Fmt.pf ppf "%aCONTINUE@." indent ind
+      add_indent buf ind;
+      Buffer.add_string buf "READ *, ";
+      add_sep_list buf add_lvalue lvs;
+      Buffer.add_char buf '\n'
+  | Stop _ ->
+      add_indent buf ind;
+      Buffer.add_string buf "STOP\n"
+  | Continue _ ->
+      add_indent buf ind;
+      Buffer.add_string buf "CONTINUE\n"
 
-and pp_body ind ppf body = List.iter (pp_stmt ind ppf) body
+and add_body ind buf body = List.iter (add_stmt ind buf) body
 
-let pp_decl_item ppf (n, dime) =
+let add_decl_item buf (n, dime) =
   match dime with
-  | None -> Fmt.string ppf n
-  | Some e -> Fmt.pf ppf "%s(%a)" n pp_expr e
+  | None -> Buffer.add_string buf n
+  | Some e ->
+      Buffer.add_string buf n;
+      Buffer.add_char buf '(';
+      add_expr buf e;
+      Buffer.add_char buf ')'
 
-let pp_decl ind ppf = function
+let add_decl ind buf = function
   | Dinteger (items, _) ->
-      Fmt.pf ppf "%aINTEGER %a@." indent ind
-        Fmt.(list ~sep:(any ", ") pp_decl_item)
-        items
+      add_indent buf ind;
+      Buffer.add_string buf "INTEGER ";
+      add_sep_list buf add_decl_item items;
+      Buffer.add_char buf '\n'
   | Dcommon (blk, items, _) ->
-      Fmt.pf ppf "%aCOMMON /%s/ %a@." indent ind blk
-        Fmt.(list ~sep:(any ", ") pp_decl_item)
-        items
+      add_indent buf ind;
+      Buffer.add_string buf "COMMON /";
+      Buffer.add_string buf blk;
+      Buffer.add_string buf "/ ";
+      add_sep_list buf add_decl_item items;
+      Buffer.add_char buf '\n'
   | Dparameter (items, _) ->
-      Fmt.pf ppf "%aPARAMETER (%a)@." indent ind
-        Fmt.(list ~sep:(any ", ") (fun ppf (n, e) -> Fmt.pf ppf "%s = %a" n pp_expr e))
-        items
+      add_indent buf ind;
+      Buffer.add_string buf "PARAMETER (";
+      add_sep_list buf
+        (fun buf (n, e) ->
+          Buffer.add_string buf n;
+          Buffer.add_string buf " = ";
+          add_expr buf e)
+        items;
+      Buffer.add_string buf ")\n"
   | Ddata (items, _) ->
-      Fmt.pf ppf "%aDATA %a@." indent ind
-        Fmt.(list ~sep:(any ", ") (fun ppf (n, v) ->
-                 if v < 0 then Fmt.pf ppf "%s /-%d/" n (-v)
-                 else Fmt.pf ppf "%s /%d/" n v))
-        items
+      add_indent buf ind;
+      Buffer.add_string buf "DATA ";
+      add_sep_list buf
+        (fun buf (n, v) ->
+          Buffer.add_string buf n;
+          if v < 0 then begin
+            Buffer.add_string buf " /-";
+            Buffer.add_string buf (string_of_int (-v));
+            Buffer.add_char buf '/'
+          end
+          else begin
+            Buffer.add_string buf " /";
+            Buffer.add_string buf (string_of_int v);
+            Buffer.add_char buf '/'
+          end)
+        items;
+      Buffer.add_char buf '\n'
 
-let pp_proc ppf (p : proc) =
+let add_proc buf (p : proc) =
   (match p.kind with
-  | Main -> Fmt.pf ppf "PROGRAM %s@." p.name
+  | Main ->
+      Buffer.add_string buf "PROGRAM ";
+      Buffer.add_string buf p.name;
+      Buffer.add_char buf '\n'
   | Subroutine ->
-      Fmt.pf ppf "SUBROUTINE %s(%a)@." p.name
-        Fmt.(list ~sep:(any ", ") string)
-        p.formals
+      Buffer.add_string buf "SUBROUTINE ";
+      Buffer.add_string buf p.name;
+      Buffer.add_char buf '(';
+      add_sep_list buf Buffer.add_string p.formals;
+      Buffer.add_string buf ")\n"
   | Function ->
-      Fmt.pf ppf "INTEGER FUNCTION %s(%a)@." p.name
-        Fmt.(list ~sep:(any ", ") string)
-        p.formals);
-  List.iter (pp_decl 2 ppf) p.decls;
-  pp_body 2 ppf p.body;
-  Fmt.pf ppf "END@."
+      Buffer.add_string buf "INTEGER FUNCTION ";
+      Buffer.add_string buf p.name;
+      Buffer.add_char buf '(';
+      add_sep_list buf Buffer.add_string p.formals;
+      Buffer.add_string buf ")\n");
+  List.iter (add_decl 2 buf) p.decls;
+  add_body 2 buf p.body;
+  Buffer.add_string buf "END\n"
 
-let pp_program ppf (prog : program) =
+let add_program buf (prog : program) =
   List.iteri
     (fun i p ->
-      if i > 0 then Fmt.pf ppf "@.";
-      pp_proc ppf p)
+      if i > 0 then Buffer.add_char buf '\n';
+      add_proc buf p)
     prog
 
-let program_to_string prog = Fmt.str "%a" pp_program prog
+(* ------------------------------------------------------------------ *)
+(* Public interface: string producers and Fmt wrappers over the
+   emitters, byte-for-byte the historical output *)
 
-let expr_to_string e = Fmt.str "%a" pp_expr e
+let to_string ?(size = 256) add x =
+  let buf = Buffer.create size in
+  add buf x;
+  Buffer.contents buf
 
-let stmt_to_string s = Fmt.str "%a" (pp_stmt 0) s
+let program_to_string prog = to_string ~size:65536 add_program prog
+
+let proc_to_string p = to_string ~size:4096 add_proc p
+
+let expr_to_string e = to_string add_expr e
+
+let stmt_to_string s = to_string (add_stmt 0) s
+
+let of_add add ppf x = Fmt.string ppf (to_string add x)
+
+let pp_expr ppf e = of_add add_expr ppf e
+
+let pp_cond ppf c = of_add add_cond ppf c
+
+let pp_lvalue ppf lv = of_add add_lvalue ppf lv
+
+let pp_stmt ind ppf s = of_add (add_stmt ind) ppf s
+
+let pp_body ind ppf b = of_add (add_body ind) ppf b
+
+let pp_decl ind ppf d = of_add (add_decl ind) ppf d
+
+let pp_proc ppf p = of_add add_proc ppf p
+
+let pp_program ppf prog = of_add add_program ppf prog

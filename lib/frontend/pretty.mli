@@ -26,6 +26,11 @@ val pp_program : Ast.program Fmt.t
 
 val program_to_string : Ast.program -> string
 
+val proc_to_string : Ast.proc -> string
+(** One procedure, exactly as {!pp_proc} prints it; the incremental
+    engine digests this for its content fingerprints, so it avoids the
+    Format machinery. *)
+
 val expr_to_string : Ast.expr -> string
 
 val stmt_to_string : Ast.stmt -> string

@@ -27,6 +27,47 @@
 
 open Printf
 
+(** Call-graph topology of the generated program.
+
+    [Acyclic] is the historical behaviour: every procedure calls only
+    higher-numbered procedures, picked at random — a dense DAG.  The
+    shaped modes exist for the scaling benchmarks, where the {e shape}
+    of the condensation is what the scheduler and the solver react to:
+
+    - [Chain]: procedure [i] calls exactly procedure [i+1] — one deep
+      dependence chain, the worst case for SCC-wavefront parallelism
+      (condensation width 1);
+    - [Fanout]: a small layer of hub procedures, each calling its own
+      wide segment of leaf procedures — maximal condensation width;
+    - [Cyclic]: procedures are partitioned into recursion groups of
+      3–6; inside a group each member calls the next around the cycle
+      (guarded by a decreasing counter formal, so the program still
+      terminates), and the groups form a binary tree — the condensation
+      has thousands of non-trivial SCCs with both width and depth;
+    - [Mixed]: first third chain, middle third fanout, last third
+      cyclic, all reachable from the main program.
+
+    Shaped procedures are all subroutines with scalar formals (the
+    first formal is the recursion counter in cyclic groups); the
+    statement machinery around the structural calls is the same as in
+    [Acyclic] bodies. *)
+type shape = Acyclic | Chain | Fanout | Cyclic | Mixed
+
+let shape_name = function
+  | Acyclic -> "acyclic"
+  | Chain -> "chain"
+  | Fanout -> "fanout"
+  | Cyclic -> "cyclic"
+  | Mixed -> "mixed"
+
+let shape_of_name = function
+  | "acyclic" -> Some Acyclic
+  | "chain" -> Some Chain
+  | "fanout" -> Some Fanout
+  | "cyclic" -> Some Cyclic
+  | "mixed" -> Some Mixed
+  | _ -> None
+
 type params = {
   n_procs : int;  (** callable procedures besides the main program *)
   n_globals : int;
@@ -34,6 +75,7 @@ type params = {
   max_depth : int;  (** nesting depth of IF/DO *)
   initialised : bool;
   seed : int;
+  shape : shape;  (** call-graph topology; [Acyclic] is the default *)
 }
 
 let default =
@@ -44,7 +86,15 @@ let default =
     max_depth = 2;
     initialised = true;
     seed = 0;
+    shape = Acyclic;
   }
+
+(** Preset for the scaling benchmarks: [n_procs] procedures with larger
+    bodies (deterministic for a given [seed]).  At [n_procs = 10_000]
+    the [Mixed] default yields roughly 0.4M statements. *)
+let scaled ?(shape = Mixed) ?(seed = 11) ~n_procs () =
+  { n_procs; n_globals = 4; max_stmts = 10; max_depth = 2;
+    initialised = true; seed; shape }
 
 type rng = Random.State.t
 
@@ -191,6 +241,127 @@ let gen_cond sc depth =
   | _ -> rel ()
 
 (* ------------------------------------------------------------------ *)
+(* Shaped structural call edges.
+
+   Shaped programs ([shape <> Acyclic]) get their call graph from an
+   explicit plan instead of the random candidate picker: the plan is an
+   array of structural out-edges per procedure, emitted verbatim at the
+   end of each body.  The random-statement machinery still generates the
+   bodies, but its own call budget is zeroed so the topology is exactly
+   the plan (and so generation stays O(n) — the random picker filters
+   the whole proto array per call site). *)
+
+type edge =
+  | Guarded of int
+      (* cycle edge: IF (cnt .GT. 0) CALL callee(cnt - 1, ...); the
+         counter formal is protected from assignment, so recursion depth
+         is bounded by the entry counter *)
+  | Seeded of int * int
+      (* callee, literal counter: targets a recursion-group entry, so
+         the counter must be a small bounded literal *)
+  | Plain of int
+      (* acyclic structural edge; the first actual is caller's choice *)
+
+type plan = {
+  pl_calls : edge list array;  (* structural out-edges per procedure *)
+  pl_in_cycle : bool array;  (* procedure is a recursion-group member *)
+  pl_main : edge list;  (* entry calls emitted from the main program *)
+}
+
+let shaped_plan (params : params) (rng : rng) : plan =
+  let n = params.n_procs in
+  let calls = Array.make (max n 1) [] in
+  let in_cycle = Array.make (max n 1) false in
+  let add i e = calls.(i) <- e :: calls.(i) in
+  let entries = ref [] in
+  let chain lo hi =
+    if hi > lo then begin
+      entries := lo :: !entries;
+      for i = lo to hi - 2 do
+        add i (Plain (i + 1))
+      done
+    end
+  in
+  let fanout lo hi =
+    if hi > lo then begin
+      entries := lo :: !entries;
+      let len = hi - lo in
+      let nhubs = min len (max 1 ((len + 63) / 64)) in
+      (* hubs form a spine so one entry reaches everything; each leaf is
+         assigned to a hub round-robin, giving maximal condensation
+         width at the leaf level *)
+      for h = 0 to nhubs - 2 do
+        add (lo + h) (Plain (lo + h + 1))
+      done;
+      let leaves_lo = lo + nhubs in
+      let nleaves = hi - leaves_lo in
+      for j = 0 to nleaves - 1 do
+        add (lo + (j mod nhubs)) (Plain (leaves_lo + j))
+      done
+    end
+  in
+  let cyclic lo hi =
+    if hi - lo < 3 then chain lo hi
+    else begin
+      (* partition [lo, hi) into recursion groups of 3-6 members *)
+      let groups = ref [] in
+      let i = ref lo in
+      while !i < hi do
+        let want = 3 + Random.State.int rng 4 in
+        let size = if hi - !i - want < 3 then hi - !i else want in
+        groups := (!i, size) :: !groups;
+        i := !i + size
+      done;
+      let groups = Array.of_list (List.rev !groups) in
+      let ng = Array.length groups in
+      Array.iter
+        (fun (glo, size) ->
+          for k = 0 to size - 1 do
+            in_cycle.(glo + k) <- true;
+            add (glo + k) (Guarded (glo + ((k + 1) mod size)))
+          done)
+        groups;
+      (* recursion groups form a binary tree rooted at group 0; the
+         seeded counters shrink with depth to bound the dynamic call
+         tree (cyclic programs are for analysis-scale tests, not for
+         interpretation at scale) *)
+      let rec seed_tree g depth =
+        if g < ng then begin
+          let glo, _ = groups.(g) in
+          List.iter
+            (fun c ->
+              if c < ng then begin
+                let clo, _ = groups.(c) in
+                add glo (Seeded (clo, max 1 (6 - depth)))
+              end)
+            [ (2 * g) + 1; (2 * g) + 2 ];
+          seed_tree ((2 * g) + 1) (depth + 1);
+          seed_tree ((2 * g) + 2) (depth + 1)
+        end
+      in
+      seed_tree 0 0;
+      entries := fst groups.(0) :: !entries
+    end
+  in
+  (match params.shape with
+  | Acyclic -> ()
+  | Chain -> chain 0 n
+  | Fanout -> fanout 0 n
+  | Cyclic -> cyclic 0 n
+  | Mixed ->
+      let a = n / 3 and b = 2 * n / 3 in
+      chain 0 a;
+      fanout a b;
+      cyclic b n);
+  let calls = Array.map List.rev calls in
+  let pl_main =
+    List.rev_map
+      (fun e -> Seeded (e, 4 + Random.State.int rng 4))
+      !entries
+  in
+  { pl_calls = calls; pl_in_cycle = in_cycle; pl_main }
+
+(* ------------------------------------------------------------------ *)
 (* Statements *)
 
 let rec gen_stmt sc ind =
@@ -258,13 +429,76 @@ and gen_stmts sc ind n =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Emitting the structural calls of a shaped plan *)
+
+(* actuals for every formal after the counter; same alias rules as
+   [gen_args]: by-reference actuals are distinct non-global variables *)
+let struct_rest_args sc (p : proto) =
+  match p.p_formals with
+  | [] | [ _ ] -> ""
+  | _ :: rest ->
+      let used = ref [] in
+      let locals_only =
+        List.filter
+          (fun v -> not (List.mem v sc.globals || List.mem v sc.protected))
+          sc.scalars
+      in
+      let args =
+        List.map
+          (fun _ ->
+            let by_ref =
+              List.filter (fun v -> not (List.mem v !used)) locals_only
+            in
+            match Random.State.int sc.rng 4 with
+            | 0 -> string_of_int (Random.State.int sc.rng 15 - 3)
+            | (1 | 2) when by_ref <> [] ->
+                let v = choose sc.rng by_ref in
+                used := v :: !used;
+                v
+            | _ -> sprintf "(0 + %s)" (gen_expr sc 1))
+          rest
+      in
+      ", " ^ String.concat ", " args
+
+(* [counter] is this procedure's own first scalar formal, when it has
+   one: [Plain] edges sometimes pass it through incremented, so constants
+   seeded in main propagate down whole chain segments *)
+let emit_struct_call sc ~counter edge =
+  let callee i = sc.protos.(i) in
+  match edge with
+  | Guarded i ->
+      let p = callee i in
+      let cnt =
+        match counter with
+        | Some c -> c
+        | None -> assert false (* cycle members always have a counter *)
+      in
+      line sc 2 "IF (%s .GT. 0) THEN" cnt;
+      line sc 4 "CALL %s(%s - 1%s)" p.p_name cnt (struct_rest_args sc p);
+      line sc 2 "ENDIF"
+  | Seeded (i, c) ->
+      let p = callee i in
+      line sc 2 "CALL %s(%d%s)" p.p_name c (struct_rest_args sc p)
+  | Plain i ->
+      let p = callee i in
+      let first =
+        match Random.State.int sc.rng 4 with
+        | 0 | 1 -> string_of_int (2 + Random.State.int sc.rng 6)
+        | 2 when counter <> None -> (
+            match counter with Some c -> sprintf "(%s + 1)" c | None -> "")
+        | _ -> sprintf "(0 + %s)" (gen_expr sc 1)
+      in
+      line sc 2 "CALL %s(%s%s)" p.p_name first (struct_rest_args sc p)
+
+(* ------------------------------------------------------------------ *)
 (* Procedures *)
 
 let proc_locals r =
   let n = 2 + Random.State.int r 3 in
   List.init n (fun i -> sprintf "v%d" i)
 
-let gen_proc (params : params) rng (protos : proto array) globals idx =
+let gen_proc ?(struct_calls = []) ?(in_cycle = false) (params : params) rng
+    (protos : proto array) globals idx =
   let p = protos.(idx) in
   let buf = Buffer.create 256 in
   let locals = proc_locals rng in
@@ -295,6 +529,11 @@ let gen_proc (params : params) rng (protos : proto array) globals idx =
   List.iter
     (fun a -> Buffer.add_string buf (sprintf "  INTEGER %s(%d)\n" a arr_dim))
     array_formals;
+  let counter =
+    match scalar_formals with
+    | c :: _ when params.shape <> Acyclic -> Some c
+    | _ -> None
+  in
   let sc =
     {
       rng;
@@ -307,8 +546,12 @@ let gen_proc (params : params) rng (protos : proto array) globals idx =
       buf;
       fresh = 0;
       depth = 0;
-      protected = [];
-      calls_left = ref 4;
+      (* a recursion counter must never be reassigned: the guarded cycle
+         call passes [counter - 1], which bounds the recursion depth *)
+      protected =
+        (match counter with Some c when in_cycle -> [ c ] | _ -> []);
+      (* shaped bodies get their calls from the plan only *)
+      calls_left = ref (if params.shape = Acyclic then 4 else 0);
     }
   in
   if params.initialised then begin
@@ -322,11 +565,13 @@ let gen_proc (params : params) rng (protos : proto array) globals idx =
     line sc 2 "%s = %d" (List.hd locals) (Random.State.int rng 9)
   end;
   gen_stmts sc 2 (1 + Random.State.int rng params.max_stmts);
+  List.iter (emit_struct_call sc ~counter) struct_calls;
   if p.p_is_function then line sc 2 "%s = %s" p.p_name (gen_expr sc 2);
   Buffer.add_string buf "END\n";
   Buffer.contents buf
 
-let gen_main (params : params) rng (protos : proto array) globals =
+let gen_main ?(struct_calls = []) (params : params) rng (protos : proto array)
+    globals =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "PROGRAM main\n";
   if globals <> [] then
@@ -359,7 +604,7 @@ let gen_main (params : params) rng (protos : proto array) globals =
       fresh = 0;
       depth = 0;
       protected = [];
-      calls_left = ref 4;
+      calls_left = ref (if params.shape = Acyclic then 4 else 0);
     }
   in
   if params.initialised then begin
@@ -377,6 +622,7 @@ let gen_main (params : params) rng (protos : proto array) globals =
     line sc 2 "%s = %d" (List.hd locals) (Random.State.int rng 9)
   end;
   gen_stmts sc 2 (2 + Random.State.int rng params.max_stmts);
+  List.iter (emit_struct_call sc ~counter:None) struct_calls;
   (* always observe some state so optimisation bugs surface in output *)
   List.iter (fun v -> line sc 2 "PRINT *, %s" v) locals;
   List.iter (fun g -> line sc 2 "PRINT *, %s" g) globals;
@@ -387,19 +633,43 @@ let gen_main (params : params) rng (protos : proto array) globals =
 let generate ?(params = default) () : string =
   let rng = Random.State.make [| params.seed |] in
   let globals = List.init params.n_globals (fun i -> sprintf "g%d" i) in
-  let protos =
-    Array.init params.n_procs (fun i ->
-        let is_function = chance rng 0.3 in
-        let n_formals = Random.State.int rng 4 in
-        let formals =
-          List.init n_formals (fun _ ->
-              if chance rng 0.25 then `Array else `Scalar)
-        in
-        { p_idx = i; p_name = sprintf "proc%d" i; p_is_function = is_function;
-          p_formals = formals })
-  in
-  let main = gen_main params rng protos globals in
-  let procs =
-    List.init params.n_procs (fun i -> gen_proc params rng protos globals i)
-  in
-  String.concat "\n" (main :: procs)
+  if params.shape = Acyclic then begin
+    (* historical path; the draw order is part of the contract — a given
+       (seed, params) must keep producing the same program text *)
+    let protos =
+      Array.init params.n_procs (fun i ->
+          let is_function = chance rng 0.3 in
+          let n_formals = Random.State.int rng 4 in
+          let formals =
+            List.init n_formals (fun _ ->
+                if chance rng 0.25 then `Array else `Scalar)
+          in
+          { p_idx = i; p_name = sprintf "proc%d" i;
+            p_is_function = is_function; p_formals = formals })
+    in
+    let main = gen_main params rng protos globals in
+    let procs =
+      List.init params.n_procs (fun i -> gen_proc params rng protos globals i)
+    in
+    String.concat "\n" (main :: procs)
+  end
+  else begin
+    let plan = shaped_plan params rng in
+    (* shaped procedures are subroutines over scalar formals; the first
+       formal doubles as the recursion counter in cyclic groups *)
+    let protos =
+      Array.init params.n_procs (fun i ->
+          let n_formals =
+            if plan.pl_in_cycle.(i) then 2 else 1 + Random.State.int rng 2
+          in
+          { p_idx = i; p_name = sprintf "proc%d" i; p_is_function = false;
+            p_formals = List.init n_formals (fun _ -> `Scalar) })
+    in
+    let main = gen_main ~struct_calls:plan.pl_main params rng protos globals in
+    let procs =
+      List.init params.n_procs (fun i ->
+          gen_proc ~struct_calls:plan.pl_calls.(i)
+            ~in_cycle:plan.pl_in_cycle.(i) params rng protos globals i)
+    in
+    String.concat "\n" (main :: procs)
+  end

@@ -1,8 +1,21 @@
 (** Random MiniFortran program generator for property tests and scaling
     benchmarks.  Generated programs are terminating (acyclic call graph,
-    bounded loops with protected indices), alias-free (no global actuals,
-    no repeated by-reference actuals), and — with [initialised] — fully
+    or counter-bounded recursion in the shaped modes; bounded loops with
+    protected indices), alias-free (no global actuals, no repeated
+    by-reference actuals), and — with [initialised] — fully
     deterministic, as required by the semantic-preservation properties. *)
+
+type shape =
+  | Acyclic  (** historical default: a dense random DAG *)
+  | Chain  (** procedure [i] calls exactly [i+1]: condensation width 1 *)
+  | Fanout  (** hub spine fanning out to leaf segments: maximal width *)
+  | Cyclic
+      (** recursion groups of 3-6 procedures (counter-bounded cycles)
+          arranged in a binary tree: many non-trivial SCCs *)
+  | Mixed  (** thirds: chain, fanout, cyclic — all reachable from main *)
+
+val shape_name : shape -> string
+val shape_of_name : string -> shape option
 
 type params = {
   n_procs : int;  (** callable procedures besides the main program *)
@@ -12,11 +25,20 @@ type params = {
   initialised : bool;
       (** define every variable before use (deterministic output) *)
   seed : int;
+  shape : shape;  (** call-graph topology; [Acyclic] is the default *)
 }
 
 val default : params
-(** 5 procedures, 3 globals, initialised, seed 0. *)
+(** 5 procedures, 3 globals, initialised, seed 0, acyclic. *)
+
+val scaled : ?shape:shape -> ?seed:int -> n_procs:int -> unit -> params
+(** Preset for the scaling benchmarks ([shape] defaults to [Mixed],
+    [seed] to 11): larger bodies, 4 globals.  At [n_procs = 10_000] the
+    default yields a few hundred thousand statements.  Cyclic and mixed
+    programs are meant for analysis-scale tests — their dynamic call
+    trees can be expensive to interpret at large [n_procs]. *)
 
 val generate : ?params:params -> unit -> string
 (** A complete well-formed program (parse it through the normal front
-    end). *)
+    end).  Deterministic: the same [params] always produce the same
+    text. *)

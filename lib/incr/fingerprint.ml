@@ -36,7 +36,7 @@ type proc_fp = {
 
 let proc ~site_offset (p : Ast.proc) : proc_fp =
   {
-    fp_content = Digest.string (Fmt.str "%a" Pretty.pp_proc p);
+    fp_content = Digest.string (Pretty.proc_to_string p);
     fp_exact = Digest.string (Marshal.to_string p []);
     fp_site_offset = site_offset;
   }

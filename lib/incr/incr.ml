@@ -246,7 +246,14 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
   in
   let ir =
     Trace.span "prepare:lower" @@ fun () ->
-    Pool.map_list ~jobs
+    let tasks = Array.of_list fps in
+    let costs =
+      Array.map
+        (fun (name, _) -> Lower.count_stmts (Symtab.proc symtab name).Symtab.proc)
+        tasks
+    in
+    Array.to_list
+    @@ Pool.map_array ~jobs ~costs ~seq_below:Pool.default_seq_cost
       (fun ((name, fp) as pfp) ->
         match ir_hit pfp with
         | Some pe ->
@@ -254,7 +261,7 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
             (name, pe.pe_cfg, pe.pe_conv, true)
         | None ->
             count1 ("incr.proc.ir.miss/" ^ name);
-            Metrics.time ("proc_ns.lower/" ^ name) @@ fun () ->
+            Metrics.time_key "proc_ns.lower/" name @@ fun () ->
             let psym = Symtab.proc symtab name in
             let cfg =
               Lower.lower_proc symtab
@@ -269,7 +276,7 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
               Verify.expect_ok ~what:"SSA construction"
                 (Verify.check_ssa ~symtab conv.Ssa.ssa);
             (name, cfg, conv, false))
-      fps
+      tasks
   in
   let cfgs =
     List.fold_left (fun m (n, cfg, _, _) -> SM.add n cfg m) SM.empty ir
@@ -374,10 +381,12 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
     in
     let pairs =
       Pool.map_sm ~jobs
+        ~cost:(fun _ (conv : Ssa.conv) -> Cfg.weight conv.Ssa.ssa)
+        ~seq_below:Pool.default_seq_cost
         (fun p (conv : Ssa.conv) ->
           if is_dirty p then begin
             count1 ("incr.proc.summary.miss/" ^ p);
-            Metrics.time ("proc_ns.stage2/" ^ p) @@ fun () ->
+            Metrics.time_key "proc_ns.stage2/" p @@ fun () ->
             let ev =
               Symeval.run ~symtab ~psym:(Symtab.proc symtab p) ~policy
                 conv.Ssa.ssa
@@ -391,7 +400,7 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
           end
           else begin
             count1 ("incr.proc.summary.hit/" ^ p);
-            Metrics.time ("proc_ns.rehydrate/" ^ p) @@ fun () ->
+            Metrics.time_key "proc_ns.rehydrate/" p @@ fun () ->
             let pe = entry_exn p in
             let ev = Symeval.of_artifact conv.Ssa.ssa pe.pe_sym in
             let sjs =
@@ -444,7 +453,7 @@ let warm ~(config : Config.t) ~(prev : snapshot option) ~cold_reason
     else begin
       count1 "incr.fixpoint.miss";
       Trace.span "stage3:propagate" (fun () ->
-          Solver.solve ~scc ~symtab ~cg ~jfs ())
+          Solver.solve ~scc ~jobs ~symtab ~cg ~jfs ())
     end
   in
   let driver =

@@ -35,6 +35,12 @@ type t = {
 
 let entry _t = 0
 
+(** Rough per-procedure work estimate — total instruction count across
+    all blocks.  The parallel driver stages hand this to the pool as the
+    chunking cost hint. *)
+let weight (t : t) : int =
+  Array.fold_left (fun n b -> n + List.length b.instrs) 0 t.blocks
+
 let succs (t : t) bid =
   match t.blocks.(bid).term with
   | Tjump b -> [ b ]

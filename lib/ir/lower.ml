@@ -357,3 +357,24 @@ and count_body body = List.fold_left (fun n s -> n + count_stmt s) 0 body
 
 (** Number of call-site ids [lower_proc] will consume for [proc]. *)
 let count_sites (proc : Ast.proc) : int = count_body proc.Ast.body
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic statement counting *)
+
+let rec size_stmt (s : Ast.stmt) : int =
+  match s with
+  | Ast.Assign _ | Ast.Call _ | Ast.Print _ | Ast.Read _ | Ast.Return _
+  | Ast.Stop _ | Ast.Continue _ ->
+      1
+  | Ast.If (branches, els, _) ->
+      List.fold_left
+        (fun n (_, body) -> n + size_body body)
+        (1 + size_body els) branches
+  | Ast.Do (_, _, _, _, body, _) | Ast.While (_, body, _) ->
+      1 + size_body body
+
+and size_body body = List.fold_left (fun n s -> n + size_stmt s) 0 body
+
+(** Statements in [proc], nested bodies included — the pre-lowering work
+    estimate the parallel driver hands to the pool as a cost hint. *)
+let count_stmts (proc : Ast.proc) : int = size_body proc.Ast.body

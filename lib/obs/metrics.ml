@@ -115,6 +115,13 @@ let time name f =
       f
   end
 
+(** [time_key prefix key f] is [time (prefix ^ key) f], but builds the
+    counter name only when telemetry is on — per-procedure timers sit on
+    hot paths where even the concatenation is measurable waste while
+    off. *)
+let time_key prefix key f =
+  if not (Obs.on ()) then f () else time (prefix ^ key) f
+
 (** Current value ([0] when never touched). *)
 let get name =
   match Hashtbl.find_opt (registry ()).counters name with

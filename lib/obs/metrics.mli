@@ -25,6 +25,12 @@ val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f] and adds its wall time to the plain counter
     [name]; identity on the thunk while telemetry is off. *)
 
+val time_key : string -> string -> (unit -> 'a) -> 'a
+(** [time_key prefix key f] is [time (prefix ^ key) f] that builds the
+    counter name only when telemetry is on — for per-procedure timers on
+    hot paths, where even the concatenation is measurable waste while
+    off. *)
+
 val get : string -> int
 (** Current value; [0] for a counter never touched. *)
 

@@ -30,14 +30,14 @@ type t = {
 let round ?config src =
   Ipcp_obs.Trace.span "pass:complete-round" @@ fun () ->
   Ipcp_obs.Metrics.incr "complete.rounds";
-  let verify_ir =
-    (Option.value ~default:Ipcp_core.Config.default config)
-      .Ipcp_core.Config.verify_ir
-  in
+  let cfg = Option.value ~default:Ipcp_core.Config.default config in
+  let verify_ir = cfg.Ipcp_core.Config.verify_ir in
   let verify what src =
     if verify_ir then
       Ipcp_verify.Verify.expect_ok ~what
-        (Ipcp_verify.Verify.check_source ~file:"<complete>" src)
+        (Ipcp_verify.Verify.check_source
+           ~jobs:(max 1 cfg.Ipcp_core.Config.jobs)
+           ~file:"<complete>" src)
   in
   let symtab, t = Driver.analyze_source ?config ~file:"<complete>" src in
   let sub = Substitute.apply t in

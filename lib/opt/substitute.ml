@@ -45,55 +45,118 @@ let constant_uses (t : Driver.t) : int Loc.Map.t =
 
 type ctx = { lookup : Loc.t -> int option }
 
+(* The rewriters preserve physical sharing: a node none of whose
+   children changed is returned as-is, so a procedure with no
+   substitutions keeps its original body instead of a fresh copy — most
+   procedures substitute nothing, and rebuilding the whole AST roughly
+   doubled the program's allocation. *)
+let map_sharing f xs =
+  let changed = ref false in
+  let ys =
+    List.map
+      (fun x ->
+        let y = f x in
+        if y != x then changed := true;
+        y)
+      xs
+  in
+  if !changed then ys else xs
+
 let rec rw_expr ctx (e : Ast.expr) : Ast.expr =
   match e with
   | Ast.Int _ -> e
-  | Ast.Var (x, l) -> (
-      match ctx.lookup l with
-      | Some c -> Ast.Int (c, l)
-      | None -> Ast.Var (x, l))
-  | Ast.Index (a, i, l) -> Ast.Index (a, rw_expr ctx i, l)
-  | Ast.Callf (f, args, l) -> Ast.Callf (f, List.map (rw_arg ctx) args, l)
-  | Ast.Intrin (i, args, l) -> Ast.Intrin (i, List.map (rw_expr ctx) args, l)
-  | Ast.Unop (op, e, l) -> Ast.Unop (op, rw_expr ctx e, l)
-  | Ast.Binop (op, a, b, l) -> Ast.Binop (op, rw_expr ctx a, rw_expr ctx b, l)
+  | Ast.Var (_, l) -> (
+      match ctx.lookup l with Some c -> Ast.Int (c, l) | None -> e)
+  | Ast.Index (a, i, l) ->
+      let i' = rw_expr ctx i in
+      if i' == i then e else Ast.Index (a, i', l)
+  | Ast.Callf (f, args, l) ->
+      let args' = map_sharing (rw_arg ctx) args in
+      if args' == args then e else Ast.Callf (f, args', l)
+  | Ast.Intrin (i, args, l) ->
+      let args' = map_sharing (rw_expr ctx) args in
+      if args' == args then e else Ast.Intrin (i, args', l)
+  | Ast.Unop (op, x, l) ->
+      let x' = rw_expr ctx x in
+      if x' == x then e else Ast.Unop (op, x', l)
+  | Ast.Binop (op, a, b, l) ->
+      let a' = rw_expr ctx a in
+      let b' = rw_expr ctx b in
+      if a' == a && b' == b then e else Ast.Binop (op, a', b', l)
 
 (* a [Var] actual is an address (it may be written through); leave it *)
 and rw_arg ctx (e : Ast.expr) : Ast.expr =
   match e with Ast.Var _ -> e | _ -> rw_expr ctx e
 
 let rw_cond ctx (c : Ast.cond) : Ast.cond =
-  let rec go = function
-    | Ast.Rel (op, a, b) -> Ast.Rel (op, rw_expr ctx a, rw_expr ctx b)
-    | Ast.And (a, b) -> Ast.And (go a, go b)
-    | Ast.Or (a, b) -> Ast.Or (go a, go b)
-    | Ast.Not c -> Ast.Not (go c)
-    | (Ast.Btrue | Ast.Bfalse) as c -> c
+  let rec go c =
+    match c with
+    | Ast.Rel (op, a, b) ->
+        let a' = rw_expr ctx a in
+        let b' = rw_expr ctx b in
+        if a' == a && b' == b then c else Ast.Rel (op, a', b')
+    | Ast.And (a, b) ->
+        let a' = go a in
+        let b' = go b in
+        if a' == a && b' == b then c else Ast.And (a', b')
+    | Ast.Or (a, b) ->
+        let a' = go a in
+        let b' = go b in
+        if a' == a && b' == b then c else Ast.Or (a', b')
+    | Ast.Not x ->
+        let x' = go x in
+        if x' == x then c else Ast.Not x'
+    | Ast.Btrue | Ast.Bfalse -> c
   in
   go c
 
 let rw_lvalue ctx (lv : Ast.lvalue) : Ast.lvalue =
   match lv with
   | Ast.Lvar _ -> lv
-  | Ast.Lindex (a, i, l) -> Ast.Lindex (a, rw_expr ctx i, l)
+  | Ast.Lindex (a, i, l) ->
+      let i' = rw_expr ctx i in
+      if i' == i then lv else Ast.Lindex (a, i', l)
 
 let rec rw_stmt ctx (s : Ast.stmt) : Ast.stmt =
   match s with
-  | Ast.Assign (lv, e, l) -> Ast.Assign (rw_lvalue ctx lv, rw_expr ctx e, l)
+  | Ast.Assign (lv, e, l) ->
+      let lv' = rw_lvalue ctx lv in
+      let e' = rw_expr ctx e in
+      if lv' == lv && e' == e then s else Ast.Assign (lv', e', l)
   | Ast.If (branches, els, l) ->
-      Ast.If
-        ( List.map (fun (c, b) -> (rw_cond ctx c, rw_stmts ctx b)) branches,
-          rw_stmts ctx els,
-          l )
+      let branches' =
+        map_sharing
+          (fun ((c, b) as br) ->
+            let c' = rw_cond ctx c in
+            let b' = rw_stmts ctx b in
+            if c' == c && b' == b then br else (c', b'))
+          branches
+      in
+      let els' = rw_stmts ctx els in
+      if branches' == branches && els' == els then s
+      else Ast.If (branches', els', l)
   | Ast.Do (v, lo, hi, step, body, l) ->
-      Ast.Do (v, rw_expr ctx lo, rw_expr ctx hi, step, rw_stmts ctx body, l)
-  | Ast.While (c, body, l) -> Ast.While (rw_cond ctx c, rw_stmts ctx body, l)
-  | Ast.Call (n, args, l) -> Ast.Call (n, List.map (rw_arg ctx) args, l)
-  | Ast.Print (es, l) -> Ast.Print (List.map (rw_expr ctx) es, l)
-  | Ast.Read (lvs, l) -> Ast.Read (List.map (rw_lvalue ctx) lvs, l)
+      let lo' = rw_expr ctx lo in
+      let hi' = rw_expr ctx hi in
+      let body' = rw_stmts ctx body in
+      if lo' == lo && hi' == hi && body' == body then s
+      else Ast.Do (v, lo', hi', step, body', l)
+  | Ast.While (c, body, l) ->
+      let c' = rw_cond ctx c in
+      let body' = rw_stmts ctx body in
+      if c' == c && body' == body then s else Ast.While (c', body', l)
+  | Ast.Call (n, args, l) ->
+      let args' = map_sharing (rw_arg ctx) args in
+      if args' == args then s else Ast.Call (n, args', l)
+  | Ast.Print (es, l) ->
+      let es' = map_sharing (rw_expr ctx) es in
+      if es' == es then s else Ast.Print (es', l)
+  | Ast.Read (lvs, l) ->
+      let lvs' = map_sharing (rw_lvalue ctx) lvs in
+      if lvs' == lvs then s else Ast.Read (lvs', l)
   | Ast.Return _ | Ast.Stop _ | Ast.Continue _ -> s
 
-and rw_stmts ctx b = List.map (rw_stmt ctx) b
+and rw_stmts ctx b = map_sharing (rw_stmt ctx) b
 
 type result = {
   program : Ast.program;  (** the transformed source *)
@@ -123,14 +186,19 @@ let apply (t : Driver.t) : result =
         in
         let body = rw_stmts ctx proc.Ast.body in
         per_proc := SM.add pname !cnt !per_proc;
-        { proc with Ast.body })
+        if body == proc.Ast.body then proc else { proc with Ast.body })
       t.Driver.symtab.Symtab.order
   in
   let total = SM.fold (fun _ c acc -> acc + c) !per_proc 0 in
   Ipcp_obs.Metrics.add "substitute.substituted" total;
-  if t.Driver.config.Ipcp_core.Config.verify_ir then
+  (* [total = 0] means the sharing rewriters changed nothing: the
+     program is element-wise the already-checked input, so there is
+     nothing new to verify *)
+  if total > 0 && t.Driver.config.Ipcp_core.Config.verify_ir then
     Ipcp_verify.Verify.expect_ok ~what:"constant substitution"
-      (Ipcp_verify.Verify.check_source ~file:"<substitute>"
+      (Ipcp_verify.Verify.check_source
+         ~jobs:(max 1 t.Driver.config.Ipcp_core.Config.jobs)
+         ~file:"<substitute>"
          (Pretty.program_to_string program));
   { program; per_proc = !per_proc; total }
 

@@ -68,6 +68,33 @@ let default_jobs () =
   | None -> max 1 (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Lane policy
+
+   [jobs] is an upper bound, not a lane count: the pool never runs more
+   lanes than the hardware offers.  OCaml 5 minor collections are
+   stop-the-world across domains, so domains beyond the core count add
+   GC-synchronization stalls and win nothing — on a single-core host an
+   8-domain batch measures ~45% slower than sequential on the same
+   work.  Clamping makes [jobs = N] monotone in N on any machine.
+
+   [oversubscribe] is a testing hook: lane-mechanics tests (rendezvous
+   batches, chunk claiming) need real concurrent lanes even where the
+   hardware reports a single core.  [IPCP_OVERSUBSCRIBE=1] seeds it, so
+   the parallel code paths can be exercised end-to-end from the CLI on
+   such hosts. *)
+
+let oversubscribe =
+  ref
+    (match Sys.getenv_opt "IPCP_OVERSUBSCRIBE" with
+    | Some ("1" | "true") -> true
+    | _ -> false)
+
+let hw_lanes () = max 1 (Domain.recommended_domain_count ())
+
+let effective_lanes jobs =
+  if !oversubscribe then jobs else min jobs (hw_lanes ())
+
+(* ------------------------------------------------------------------ *)
 (* The pool *)
 
 type batch = {
@@ -195,13 +222,84 @@ let run_batch ~lanes ~n run_one =
     (fun () -> claim b)
 
 (* ------------------------------------------------------------------ *)
+(* Chunking
+
+   Per-item claiming pays one fetch-and-add (and, with telemetry on,
+   two histogram observations) per task.  At 12 suite programs that is
+   noise; at 10,000 procedures it dominates.  A chunked batch groups the
+   task indices into contiguous, cost-balanced ranges and lets lanes
+   claim whole ranges from the same atomic cursor.  Claiming stays
+   dynamic — a lane stuck on an expensive chunk simply claims fewer
+   chunks, which is the work-sharing fallback for stragglers — and
+   [chunks_per_lane] ranges per lane bound a straggler's overhang by
+   ~1/[chunks_per_lane] of a lane's fair share.
+
+   Contiguity is what keeps cost hints honest: costs are estimates (a
+   procedure's statement count, not its measured runtime), and
+   contiguous ranges at worst mis-balance; they can never reorder or
+   drop tasks.  Results are still written to per-item slots, so the
+   join and the input-order exception policy are shared with the
+   per-item path. *)
+
+let chunks_per_lane = 4
+
+let default_seq_cost = 2048
+(* below this total estimated cost a parallel dispatch costs more than
+   it buys; callers passing statement counts should use this as
+   [seq_below] (the 12 suite programs all land under it, which is what
+   fixes the jobs-N-slower-than-jobs-1 inversion at suite scale) *)
+
+(* cost-balanced contiguous chunk boundaries over [0, n):
+   [bounds.(c)] .. [bounds.(c+1) - 1] is chunk [c] *)
+let chunk_bounds ~lanes ~costs n =
+  let target = lanes * chunks_per_lane in
+  if n <= target then Array.init (n + 1) Fun.id
+  else begin
+    let total = ref 0 in
+    Array.iter (fun c -> total := !total + max 1 c) costs;
+    let per = max 1 (!total / target) in
+    let bounds = ref [ 0 ] and acc = ref 0 and nb = ref 1 in
+    for i = 0 to n - 1 do
+      acc := !acc + max 1 costs.(i);
+      if !acc >= per && i < n - 1 && !nb < target then begin
+        bounds := (i + 1) :: !bounds;
+        incr nb;
+        acc := 0
+      end
+    done;
+    Array.of_list (List.rev (n :: !bounds))
+  end
+
+(* run tasks 0..n-1 grouped into cost-balanced chunks; [run_one] must
+   never raise (combinators capture into result slots first) *)
+let run_chunked_batch ~lanes ~costs ~n run_one =
+  let bounds = chunk_bounds ~lanes ~costs n in
+  let nchunks = Array.length bounds - 1 in
+  Metrics.add "pool.chunks" nchunks;
+  run_batch ~lanes:(min lanes nchunks) ~n:nchunks (fun c ->
+      for i = bounds.(c) to bounds.(c + 1) - 1 do
+        run_one i
+      done)
+
+(* ------------------------------------------------------------------ *)
 (* Combinators *)
 
-let map_array ~jobs f xs =
+let map_array ~jobs ?costs ?(seq_below = 0) f xs =
   let n = Array.length xs in
-  let jobs = min jobs n in
-  if jobs <= 1 || Domain.DLS.get in_worker_key || !coordinator_busy then
-    Array.map f xs
+  let jobs = effective_lanes (min jobs n) in
+  let total =
+    match costs with
+    | None -> n (* uniform unit cost *)
+    | Some cs ->
+        let t = ref 0 in
+        Array.iter (fun c -> t := !t + max 1 c) cs;
+        !t
+  in
+  if
+    jobs <= 1 || total < seq_below
+    || Domain.DLS.get in_worker_key
+    || !coordinator_busy
+  then Array.map f xs
   else begin
     let slots = Array.make n None in
     let run_one i =
@@ -211,7 +309,8 @@ let map_array ~jobs f xs =
           | v -> Ok v
           | exception e -> Error (e, Printexc.get_raw_backtrace ()))
     in
-    run_batch ~lanes:jobs ~n run_one;
+    let costs = match costs with Some c -> c | None -> Array.make n 1 in
+    run_chunked_batch ~lanes:jobs ~costs ~n run_one;
     Array.map
       (function
         | Some (Ok v) -> v
@@ -220,22 +319,31 @@ let map_array ~jobs f xs =
       slots
   end
 
+let run_chunked ~jobs ~costs f =
+  let n = Array.length costs in
+  ignore
+    (map_array ~jobs ~costs (fun i -> f i) (Array.init n Fun.id) : unit array)
+
 let map_list ~jobs f xs = Array.to_list (map_array ~jobs f (Array.of_list xs))
 
-let map_sm ~jobs f m =
+let map_sm ~jobs ?cost ?seq_below f m =
   if jobs <= 1 then SM.mapi f m
   else begin
     let kvs = Array.of_list (SM.bindings m) in
-    let rs = map_array ~jobs (fun (k, v) -> f k v) kvs in
+    let costs = Option.map (fun c -> Array.map (fun (k, v) -> c k v) kvs) cost in
+    let rs = map_array ~jobs ?costs ?seq_below (fun (k, v) -> f k v) kvs in
     (* canonical join: rebuild in ascending key order *)
     let acc = ref SM.empty in
     Array.iteri (fun i (k, _) -> acc := SM.add k rs.(i) !acc) kvs;
     !acc
   end
 
-let iter_sm ~jobs f m =
+let iter_sm ~jobs ?cost ?seq_below f m =
   if jobs <= 1 then SM.iter f m
-  else
+  else begin
+    let kvs = Array.of_list (SM.bindings m) in
+    let costs = Option.map (fun c -> Array.map (fun (k, v) -> c k v) kvs) cost in
     ignore
-      (map_array ~jobs (fun (k, v) -> f k v) (Array.of_list (SM.bindings m))
+      (map_array ~jobs ?costs ?seq_below (fun (k, v) -> f k v) kvs
         : unit array)
+  end

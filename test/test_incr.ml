@@ -136,6 +136,33 @@ let lifecycle_tests =
           "fixpoint replayed" true c.Ipcp.Cache.r_fixpoint_reused;
         Alcotest.(check int)
           "all IR replayed" c.Ipcp.Cache.r_procs c.Ipcp.Cache.r_ir_reused);
+    Alcotest.test_case "warm replay at scale (generated 300-proc program)"
+      `Quick
+      (fun () ->
+        (* the bench's incr:warm@1k row, shrunk to test size: a full
+           replay of a scaled generated program must be byte-equal to
+           the cold analysis and reuse every per-procedure artifact *)
+        let src =
+          Ipcp_gen.Generator.generate
+            ~params:(Ipcp_gen.Generator.scaled ~n_procs:300 ())
+            ()
+        in
+        let cache = Ipcp.Cache.Dir (fresh_dir ()) in
+        let r1 = analyze ~cache src in
+        Alcotest.(check bool)
+          "first run is cold" true
+          ((report r1).Ipcp.Cache.r_cold <> None);
+        let r2 = check_warm_equals_cold "scaled rerun" ~cache src in
+        let c = report r2 in
+        Alcotest.(check bool) "warm" true (c.Ipcp.Cache.r_cold = None);
+        Alcotest.(check int) "301 procedures" 301 c.Ipcp.Cache.r_procs;
+        Alcotest.(check int) "nothing dirty" 0 c.Ipcp.Cache.r_dirty;
+        Alcotest.(check bool)
+          "fixpoint replayed" true c.Ipcp.Cache.r_fixpoint_reused;
+        Alcotest.(check bool)
+          "substitution replayed" true c.Ipcp.Cache.r_substitution_reused;
+        Alcotest.(check int)
+          "all IR replayed" c.Ipcp.Cache.r_procs c.Ipcp.Cache.r_ir_reused);
     Alcotest.test_case "comment shift rebuilds IR, keeps summaries" `Quick
       (fun () ->
         let dir = fresh_dir () in

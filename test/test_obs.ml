@@ -165,16 +165,22 @@ let test_trace_valid () =
    or scheduling. *)
 let test_trace_workers () =
   with_obs @@ fun () ->
+  (* the rendezvous needs four truly concurrent lanes even on a
+     single-core host, so bypass the pool's hardware lane clamp *)
+  Ipcp_par.Pool.oversubscribe := true;
   let started = Atomic.make 0 in
   let out =
-    Ipcp_par.Pool.map_array ~jobs:4
-      (fun i ->
-        Atomic.incr started;
-        while Atomic.get started < 4 do
-          Domain.cpu_relax ()
-        done;
-        i * 2)
-      [| 0; 1; 2; 3 |]
+    Fun.protect
+      ~finally:(fun () -> Ipcp_par.Pool.oversubscribe := false)
+      (fun () ->
+        Ipcp_par.Pool.map_array ~jobs:4
+          (fun i ->
+            Atomic.incr started;
+            while Atomic.get started < 4 do
+              Domain.cpu_relax ()
+            done;
+            i * 2)
+          [| 0; 1; 2; 3 |])
   in
   Alcotest.(check (array int)) "batch result" [| 0; 2; 4; 6 |] out;
   (* per-task telemetry merged back: one [pool.task]/[pool.wait] sample

@@ -98,6 +98,67 @@ let pool_tests =
           [ 1; 4 ]);
   ]
 
+(* Chunked dispatch: batches large enough to group tasks into
+   cost-balanced ranges, forced onto genuinely concurrent lanes with
+   the oversubscription hook (the host may have one core).  Skewed
+   costs make the chunk boundaries land unevenly, which is exactly
+   where an off-by-one in range claiming would show. *)
+let with_lanes f =
+  Pool.oversubscribe := true;
+  Fun.protect ~finally:(fun () -> Pool.oversubscribe := false) f
+
+let chunking_tests =
+  [
+    Alcotest.test_case "skewed costs: map_array output order preserved"
+      `Quick (fun () ->
+        with_lanes @@ fun () ->
+        let n = 257 in
+        let xs = Array.init n (fun i -> i) in
+        let costs =
+          Array.init n (fun i -> if i mod 17 = 0 then 500 else 1)
+        in
+        let f x = (x * 31) mod 101 in
+        let expect = Array.map f xs in
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (array int))
+              (Fmt.str "jobs=%d" jobs)
+              expect
+              (Pool.map_array ~jobs ~costs f xs))
+          [ 2; 3; 8 ]);
+    Alcotest.test_case "chunked batches re-raise the first exception"
+      `Quick (fun () ->
+        with_lanes @@ fun () ->
+        (* tasks 97..299 all raise; chunked or not, input order wins *)
+        let xs = Array.init 300 (fun i -> i) in
+        let costs = Array.init 300 (fun i -> if i < 97 then 50 else 1) in
+        let boom i = if i >= 97 then failwith (Fmt.str "task %d" i) else i in
+        match Pool.map_array ~jobs:8 ~costs boom xs with
+        | _ -> Alcotest.fail "expected an exception"
+        | exception Failure msg -> Alcotest.(check string) "first" "task 97" msg);
+    Alcotest.test_case "run_chunked hits every index exactly once" `Quick
+      (fun () ->
+        with_lanes @@ fun () ->
+        let n = 300 in
+        let costs = Array.init n (fun i -> if i mod 13 = 0 then 200 else 1) in
+        (* lanes claim disjoint index ranges, so plain writes suffice *)
+        let hits = Array.make n 0 in
+        Pool.run_chunked ~jobs:8 ~costs (fun i -> hits.(i) <- hits.(i) + 1);
+        Alcotest.(check (array int)) "once each" (Array.make n 1) hits);
+    Alcotest.test_case "seq_below keeps small batches on the caller" `Quick
+      (fun () ->
+        with_lanes @@ fun () ->
+        let caller = (Domain.self () :> int) in
+        let xs = Array.init 50 (fun i -> i) in
+        let doms =
+          Pool.map_array ~jobs:8 ~seq_below:max_int
+            (fun _ -> (Domain.self () :> int))
+            xs
+        in
+        Alcotest.(check (array int))
+          "all on the calling domain" (Array.make 50 caller) doms);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Parallel determinism on the bundled suite *)
 
@@ -165,6 +226,46 @@ let gen_determinism_prop (seed, n_procs) =
       seed n_procs;
   true
 
+(* The same contract across call-graph shapes, at jobs=8 with
+   oversubscribed lanes — this drives the chunked stage dispatch AND
+   the solver's SCC wavefronts (cyclic shapes give non-trivial
+   components) on genuinely concurrent domains even on a 1-core host.
+   Observed surfaces are the ones CI diffs across job counts: the
+   fixpoint, the substituted source, the lint report, and the interval
+   JSON. *)
+let shapes = Generator.[ Chain; Fanout; Cyclic; Mixed ]
+
+let observe_shaped jobs src =
+  let _, t = Driver.analyze_source ~config:(cfg_jobs jobs) ~file:"<gen>" src in
+  let sub = Substitute.apply t in
+  ( t.Driver.solver.Solver.vals,
+    Pretty.program_to_string sub.Substitute.program,
+    Lint.render_text (Lint.run t),
+    Ipcp_obs.Json.to_string (Ipcp_core.Ranges.json (Driver.analyze_ranges t))
+  )
+
+let shaped_determinism_prop (seed, n_procs, shape) =
+  let src =
+    Generator.generate ~params:(Generator.scaled ~shape ~seed ~n_procs ()) ()
+  in
+  let vals1, src1, lint1, rng1 = observe_shaped 1 src in
+  let vals8, src8, lint8, rng8 =
+    with_lanes (fun () -> observe_shaped 8 src)
+  in
+  let where what =
+    Fmt.str "seed %d procs %d shape %s: %s differ" seed n_procs
+      (Generator.shape_name shape) what
+  in
+  if not (vals_equal vals1 vals8) then
+    QCheck.Test.fail_report (where "fixpoints");
+  if not (String.equal src1 src8) then
+    QCheck.Test.fail_report (where "substituted sources");
+  if not (String.equal lint1 lint8) then
+    QCheck.Test.fail_report (where "lint reports");
+  if not (String.equal rng1 rng8) then
+    QCheck.Test.fail_report (where "interval JSON");
+  true
+
 let gen_determinism_tests =
   [
     QCheck_alcotest.to_alcotest
@@ -172,6 +273,87 @@ let gen_determinism_tests =
          ~name:"generated programs: jobs=4 identical to jobs=1" ~count:20
          QCheck.(pair (make Gen.(int_bound 999)) (make Gen.(int_range 2 16)))
          gen_determinism_prop);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"shaped programs: jobs=8 oversubscribed identical to jobs=1"
+         ~count:8
+         QCheck.(
+           triple
+             (make Gen.(int_bound 999))
+             (make Gen.(int_range 12 40))
+             (make (Gen.oneofl shapes)))
+         shaped_determinism_prop);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Chunk boundaries must not disturb the global call-site numbering:
+   parallel lowering gives each procedure a pre-computed site-id offset,
+   so the ids must be exactly the sequential walk's no matter how the
+   chunked dispatch splits the procedure list. *)
+
+let site_numbering_tests =
+  [
+    Alcotest.test_case
+      "parallel lowering keeps sequential call-site numbering" `Quick
+      (fun () ->
+        with_lanes @@ fun () ->
+        let src =
+          Generator.generate
+            ~params:(Generator.scaled ~shape:Generator.Mixed ~n_procs:120 ())
+            ()
+        in
+        let symtab = Sema.parse_and_analyze ~file:"<sites>" src in
+        let ids cfgs =
+          SM.map
+            (fun (cfg : Ipcp_ir.Cfg.t) ->
+              List.map
+                (fun (s : Ipcp_ir.Instr.site) -> s.Ipcp_ir.Instr.site_id)
+                cfg.Ipcp_ir.Cfg.sites)
+            cfgs
+        in
+        let seq = ids (Ipcp_ir.Lower.lower_program symtab) in
+        let _, t =
+          Driver.analyze_source ~config:(cfg_jobs 8) ~file:"<sites>" src
+        in
+        Alcotest.(check bool)
+          "site ids identical" true
+          (SM.equal (List.equal Int.equal) seq (ids t.Driver.cfgs)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The parallel SCC wavefront (jobs > 1, finite-height domain) must
+   reach the sequential solver's exact fixpoint — deferred
+   cross-component contributions are a schedule, not a semantics. *)
+
+let wavefront_tests =
+  [
+    Alcotest.test_case "wavefront (jobs=8) = sequential fixpoint" `Quick
+      (fun () ->
+        with_lanes @@ fun () ->
+        let check_src name src =
+          let _, t =
+            Driver.analyze_source ~config:(cfg_jobs 1) ~file:name src
+          in
+          let solve jobs =
+            Solver.solve ~jobs ~symtab:t.Driver.symtab ~cg:t.Driver.cg
+              ~jfs:t.Driver.jfs ()
+          in
+          Alcotest.(check bool)
+            (name ^ ": fixpoints agree") true
+            (vals_equal (solve 1).Solver.vals (solve 8).Solver.vals)
+        in
+        List.iter
+          (fun (p : Programs.program) ->
+            check_src p.Programs.name p.Programs.source)
+          Programs.all;
+        List.iter
+          (fun shape ->
+            check_src
+              (Generator.shape_name shape)
+              (Generator.generate
+                 ~params:(Generator.scaled ~shape ~n_procs:60 ())
+                 ()))
+          shapes);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -221,7 +403,10 @@ let scheduling_tests =
 let suites =
   [
     ("par-pool", pool_tests);
+    ("par-chunking", chunking_tests);
     ("par-determinism", determinism_tests);
     ("par-gen-determinism", gen_determinism_tests);
+    ("par-sites", site_numbering_tests);
+    ("par-wavefront", wavefront_tests);
     ("par-scheduling", scheduling_tests);
   ]

@@ -91,6 +91,83 @@ let incr_cold () =
    whichever domain row happens to be measured first *)
 let zoo_inputs = lazy (List.map (analyze_one incr_cfg) Programs.all)
 
+(* the serve layer: an in-process server with every suite program open
+   as a resident session, reads pre-warmed so the sampled requests hit
+   the fingerprint-keyed response cache.  [serve:warm-query] is one
+   repeated analyze against a warm session — the ratio to a cold
+   one-shot analyze is the daemon's reason to exist.  [serve:qps] is a
+   mixed read batch (analyze/ranges/query across all sessions)
+   dispatched through the batching path; requests/s = batch size
+   divided by the row's time/run. *)
+let serve_frame id meth params =
+  let module Json = Ipcp_obs.Json in
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Int id);
+         ("method", Json.Str meth);
+         ("params", Json.Obj params);
+       ])
+
+let serve_state =
+  lazy
+    (let module Json = Ipcp_obs.Json in
+     let module Server = Ipcp_serve.Server in
+     let server = Server.create ~config:incr_cfg () in
+     let sids =
+       List.map
+         (fun (p : Programs.program) ->
+           let resp =
+             Server.handle_line server
+               (serve_frame 1 "open"
+                  [
+                    ("source", Json.Str p.Programs.source);
+                    ("file", Json.Str p.Programs.name);
+                  ])
+           in
+           match Json.parse resp with
+           | Ok j -> (
+               match
+                 Option.bind (Json.member "result" j) (fun r ->
+                     Option.bind (Json.member "session" r) Json.to_int)
+               with
+               | Some sid -> sid
+               | None -> failwith ("serve bench: open failed: " ^ resp))
+           | Error e -> failwith ("serve bench: " ^ e))
+         Programs.all
+     in
+     let mixed =
+       List.concat_map
+         (fun sid ->
+           let p = [ ("session", Json.Int sid) ] in
+           [
+             serve_frame 2 "analyze" p;
+             serve_frame 3 "ranges" p;
+             serve_frame 4 "query"
+               (("proc", Json.Str "main") :: ("what", Json.Str "constants")
+               :: p);
+           ])
+         sids
+     in
+     (* warm every sampled read once *)
+     ignore (Server.handle_batch server mixed);
+     (server, sids, mixed))
+
+let serve_tests =
+  [
+    Test.make ~name:"serve:warm-query"
+      (Staged.stage (fun () ->
+           let server, sids, _ = Lazy.force serve_state in
+           ignore
+             (Ipcp_serve.Server.handle_line server
+                (serve_frame 9 "analyze"
+                   [ ("session", Ipcp_obs.Json.Int (List.hd sids)) ]))));
+    Test.make ~name:"serve:qps"
+      (Staged.stage (fun () ->
+           let server, _, mixed = Lazy.force serve_state in
+           ignore (Ipcp_serve.Server.handle_batch server mixed)));
+  ]
+
 let domain_test name =
   Staged.stage (fun () ->
       List.iter
@@ -99,7 +176,7 @@ let domain_test name =
 
 let tests =
   Test.make_grouped ~name:"ipcp"
-    [
+    ([
       (* the three tables, end to end *)
       Test.make ~name:"table1:characteristics"
         (Staged.stage (fun () ->
@@ -174,6 +251,7 @@ let tests =
          incr_cold ();
          Staged.stage incr_run);
     ]
+    @ serve_tests)
 
 (* ------------------------------------------------------------------ *)
 (* Scaled rows.  At 1k-10k procedures a single analysis takes seconds,
@@ -304,6 +382,7 @@ let run ?(quick = false) () : (string * float) list =
     else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
   in
   ignore (Lazy.force zoo_inputs);
+  ignore (Lazy.force serve_state);
   let raw = Benchmark.all cfg [ instance ] tests in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]

@@ -229,3 +229,81 @@ let cache_note (o : obs_opts) (r : Ipcp.Cache.report) =
           r.Ipcp.Cache.r_dirty r.Ipcp.Cache.r_procs
           (if r.Ipcp.Cache.r_fixpoint_reused then ", fixpoint replayed"
            else "")
+
+(* ------------------------------------------------------------------ *)
+(* Serve client *)
+
+(** The CLI's client of the analysis server: typed helpers over
+    {!Ipcp_serve.Client} shared by [watch] (in-process endpoint) and
+    [loadgen] (either endpoint).  Every helper unwraps the JSON-RPC
+    envelope; errors come back as rendered ["code: message"] strings
+    ready for {!or_die}. *)
+module Client = struct
+  module C = Ipcp_serve.Client
+
+  type t = C.t
+
+  let in_process ?config ?cache () =
+    C.in_process (Ipcp_serve.Server.create ?config ?cache ())
+
+  let connect path = or_die (C.connect path)
+  let close = C.close
+
+  let rpc cl ~meth params =
+    match C.request cl ~meth params with
+    | Ok json -> Ok json
+    | Error (code, msg) -> Error (Fmt.str "%s: [%d] %s" meth code msg)
+
+  (** What one open/update reports: the session generation and the
+      incremental work it did. *)
+  type dirty = { generation : int; procs : int; changed : int; dirty : int }
+
+  let dirty_of json =
+    let d = Option.value ~default:json (Json.member "dirty" json) in
+    let int k =
+      Option.value ~default:0 (Option.bind (Json.member k d) Json.to_int)
+    in
+    {
+      generation = int "generation";
+      procs = int "procs";
+      changed = int "changed";
+      dirty = int "dirty";
+    }
+
+  let open_session ?cache_dir cl (src : Ipcp.Source.t) =
+    let params =
+      [
+        ("source", Json.Str (Ipcp.Source.text src));
+        ("file", Json.Str (Ipcp.Source.file src));
+      ]
+      @
+      match cache_dir with
+      | Some d -> [ ("cache_dir", Json.Str d) ]
+      | None -> []
+    in
+    Result.bind (rpc cl ~meth:"open" params) (fun json ->
+        match Option.bind (Json.member "session" json) Json.to_int with
+        | Some sid -> Ok (sid, dirty_of json)
+        | None -> Error "open: response carries no session id")
+
+  let update cl ~session (src : Ipcp.Source.t) =
+    Result.map dirty_of
+      (rpc cl ~meth:"update"
+         [
+           ("session", Json.Int session);
+           ("source", Json.Str (Ipcp.Source.text src));
+           ("file", Json.Str (Ipcp.Source.file src));
+         ])
+
+  let analyze cl ~session =
+    rpc cl ~meth:"analyze" [ ("session", Json.Int session) ]
+
+  (** The [substituted] count of an [analyze] payload — what the watch
+      summary line reports. *)
+  let substituted json =
+    Option.value ~default:0
+      (Option.bind (Json.member "substituted" json) Json.to_int)
+
+  let close_session cl ~session =
+    Result.map ignore (rpc cl ~meth:"close" [ ("session", Json.Int session) ])
+end

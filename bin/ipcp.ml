@@ -13,7 +13,11 @@
     - [stats]      telemetry metrics aggregated over the bundled suite
     - [profile]    wall-time attribution of one analysis: phase table,
                    hot procedures, pool and cache behaviour
-    - [watch]      reanalyze a file whenever it changes (incremental)
+    - [serve]      the analysis server: JSON-RPC frames over stdio or a
+                   Unix socket against resident sessions
+    - [watch]      reanalyze a file whenever it changes (a serve client
+                   holding the file as a resident session)
+    - [loadgen]    drive an analysis server with a mixed query/edit load
     - [cache]      inspect or clear an incremental cache directory
     - [run]        interpret a program (exits nonzero on a fault)
     - [dump]       internal representations (tokens/ast/cfg/ssa/callgraph/
@@ -872,7 +876,53 @@ let cache_cmd =
     Term.(const run $ action_arg $ dir_arg)
 
 (* ------------------------------------------------------------------ *)
-(* watch *)
+(* serve / watch / loadgen *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to serve on (default: stdio frames).")
+
+let serve_cmd =
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and write the metrics registry (the \
+             per-method serve.* latency histograms included) as JSON to \
+             $(docv) on exit.")
+  in
+  let run config cache socket metrics =
+    if metrics <> None then begin
+      Ipcp_obs.Obs.set_enabled true;
+      Ipcp_obs.Metrics.reset ()
+    end;
+    let server = Ipcp_serve.Server.create ~config ~cache () in
+    (match socket with
+    | Some path -> Ipcp_serve.Transport.serve_socket server ~path
+    | None -> Ipcp_serve.Transport.serve_stdio server);
+    match metrics with
+    | Some path ->
+        write_file path
+          (Json.to_string (Ipcp_obs.Report.snapshot_json ()) ^ "\n")
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis server: newline-delimited JSON-RPC frames \
+          ($(b,open)/$(b,analyze)/$(b,ranges)/$(b,lint)/$(b,query)/\
+          $(b,update)/$(b,invalidate)/$(b,stats)/$(b,close)/$(b,shutdown)) \
+          over stdio, or over a Unix-domain socket with $(b,--socket).  \
+          Programs stay resident as sessions: queries are answered from \
+          the converged in-memory fixpoint and a fingerprint-keyed \
+          response cache, and updates reanalyze only the edited \
+          procedures and their transitive callers.")
+    Term.(const run $ config_term $ cache_term () $ socket_arg $ metrics_arg)
 
 let watch_cmd =
   let interval_arg =
@@ -888,21 +938,45 @@ let watch_cmd =
           ~doc:"Stop after $(docv) analyses (0 = run until interrupted).")
   in
   let run config cache interval max_runs path =
+    (* watch is a serve client: one resident session held warm by an
+       in-process server, edits applied with [update] *)
+    let cache_dir =
+      match cache with
+      | Ipcp.Cache.Dir d -> Some d
+      | Ipcp.Cache.Disabled -> None
+    in
+    let cl = Client.in_process ~config () in
+    let session = ref None in
     let mtime () =
       try Some (Unix.stat path).Unix.st_mtime with Unix.Unix_error _ -> None
     in
     let analyze_once () =
-      match Ipcp.analyze ~config ~cache (load_source path) with
+      let outcome =
+        let step =
+          match !session with
+          | None ->
+              Result.map
+                (fun (sid, d) ->
+                  session := Some sid;
+                  (sid, d))
+                (Client.open_session ?cache_dir cl (load_source path))
+          | Some sid ->
+              Result.map
+                (fun d -> (sid, d))
+                (Client.update cl ~session:sid (load_source path))
+        in
+        Result.bind step (fun (sid, d) ->
+            Result.map
+              (fun a -> (d, Client.substituted a))
+              (Client.analyze cl ~session:sid))
+      in
+      match outcome with
       | Error e -> Fmt.pr "%s: %s@." path e
-      | Ok r ->
-          let c = Ipcp.Result.cache r in
-          Fmt.pr "%s: %d constants substituted (%s)@." path
-            (Ipcp.Result.substitution r).Ipcp.Result.total
-            (match c.Ipcp.Cache.r_cold with
-            | Some reason -> "cold: " ^ reason
-            | None ->
-                Fmt.str "warm: %d/%d procedure(s) reanalyzed"
-                  c.Ipcp.Cache.r_dirty c.Ipcp.Cache.r_procs)
+      | Ok (d, substituted) ->
+          Fmt.pr "%s: %d constants substituted (gen %d: %d/%d procedure(s) \
+                  reanalyzed)@."
+            path substituted d.Client.generation d.Client.dirty
+            d.Client.procs
     in
     let rec loop runs last =
       if max_runs > 0 && runs >= max_runs then ()
@@ -926,13 +1000,149 @@ let watch_cmd =
   Cmd.v
     (Cmd.info "watch"
        ~doc:
-         "Poll FILE and reanalyze it on every change.  With the cache \
-          (on by default here) each rerun only reanalyzes the edited \
-          procedures and their transitive callers.")
+         "Poll FILE and reanalyze it on every change.  The file is held \
+          resident as an analysis-server session, so each rerun only \
+          reanalyzes the edited procedures and their transitive callers; \
+          with the cache (on by default here) the warm state also \
+          persists across watch restarts.")
     Term.(
       const run $ config_term
       $ cache_term ~default:(Ipcp.Cache.Dir Ipcp.Cache.default_dir) ()
       $ interval_arg $ max_runs_arg $ file_arg)
+
+let loadgen_cmd =
+  let duration_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~docv:"SECS"
+          ~doc:"Generate load for $(docv) seconds.")
+  in
+  let gen_procs_arg =
+    Arg.(
+      value & opt int 600
+      & info [ "gen-procs" ] ~docv:"N"
+          ~doc:
+            "Also serve a generated program with $(docv) procedures \
+             (0 = suite only).")
+  in
+  let edit_every_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "edit-every" ] ~docv:"N"
+          ~doc:
+            "Issue an $(b,update) every $(docv) requests (0 = read-only \
+             load).")
+  in
+  let run config socket duration gen_procs edit_every =
+    let cl =
+      match socket with
+      | Some p -> Client.connect p
+      | None -> Client.in_process ~config ()
+    in
+    let corpus =
+      List.map
+        (fun (p : Ipcp_suite.Programs.program) ->
+          (p.Ipcp_suite.Programs.name, fun _round -> p.Ipcp_suite.Programs.source))
+        Ipcp_suite.Programs.all
+      @
+      if gen_procs > 0 then
+        [
+          ( "generated",
+            (* a real whole-program edit per round: regenerate with the
+               round number as the seed *)
+            fun round ->
+              Ipcp_gen.Generator.generate
+                ~params:
+                  {
+                    Ipcp_gen.Generator.default with
+                    Ipcp_gen.Generator.seed = round;
+                    n_procs = gen_procs;
+                    shape = Ipcp_gen.Generator.Mixed;
+                  }
+                () );
+        ]
+      else []
+    in
+    let procedures sid =
+      match Client.rpc cl ~meth:"analyze" [ ("session", Json.Int sid) ] with
+      | Error _ -> []
+      | Ok a -> (
+          match Json.member "procedures" a with
+          | Some (Json.Arr ps) -> List.filter_map Json.to_str ps
+          | _ -> [])
+    in
+    let sessions =
+      List.map
+        (fun (name, src) ->
+          let sid, _ =
+            or_die
+              (Client.open_session cl
+                 (Ipcp.Source.of_string ~file:name (src 0)))
+          in
+          (sid, name, src, ref (procedures sid)))
+        corpus
+    in
+    let sessions = Array.of_list sessions in
+    let methods = [| "analyze"; "query"; "ranges"; "query"; "lint" |] in
+    let t0 = Unix.gettimeofday () in
+    let requests = ref 0 and errors = ref 0 in
+    let check name = function
+      | Ok _ -> ()
+      | Error e ->
+          incr errors;
+          Fmt.epr "loadgen: %s: %s@." name e
+    in
+    while Unix.gettimeofday () -. t0 < duration do
+      let i = !requests in
+      let sid, name, src, procs = sessions.(i mod Array.length sessions) in
+      if edit_every > 0 && i mod edit_every = edit_every - 1 then begin
+        check name
+          (Result.map ignore
+             (Client.update cl ~session:sid
+                (Ipcp.Source.of_string ~file:name (src (i / edit_every)))));
+        procs := procedures sid
+      end
+      else begin
+        let meth = methods.(i mod Array.length methods) in
+        let params = [ ("session", Json.Int sid) ] in
+        let params =
+          (* cycle procedures and query targets *)
+          if meth = "query" && !procs <> [] then
+            ("proc", Json.Str (List.nth !procs (i mod List.length !procs)))
+            :: ( "what",
+                 Json.Str (if i mod 2 = 0 then "constants" else "ranges") )
+            :: params
+          else params
+        in
+        let meth = if meth = "query" && !procs = [] then "analyze" else meth in
+        check name (Client.rpc cl ~meth params)
+      end;
+      incr requests
+    done;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Array.iter
+      (fun (sid, name, _, _) ->
+        check name
+          (Result.map ignore
+             (Client.rpc cl ~meth:"close" [ ("session", Json.Int sid) ])))
+      sessions;
+    Client.close cl;
+    Fmt.pr "loadgen: %d requests in %.2fs (%.0f req/s), %d error(s)@."
+      !requests elapsed
+      (float_of_int !requests /. Float.max 1e-9 elapsed)
+      !errors;
+    if !errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive an analysis server with a mixed query/edit load over the \
+          bundled suite plus a generated program, and report the \
+          achieved request rate.  Exits nonzero on any error response.  \
+          Without $(b,--socket) the server runs in-process.")
+    Term.(
+      const run $ config_term $ socket_arg $ duration_arg $ gen_procs_arg
+      $ edit_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite / gen *)
@@ -1024,7 +1234,9 @@ let () =
             stats_cmd;
             profile_cmd;
             cache_cmd;
+            serve_cmd;
             watch_cmd;
+            loadgen_cmd;
             intra_cmd;
             run_cmd;
             dump_cmd;

@@ -14,7 +14,7 @@ module Sema = Ipcp_frontend.Sema
 module Diag = Ipcp_frontend.Diag
 module Symtab = Ipcp_frontend.Symtab
 
-let api_version = 1
+let api_version = 2
 
 (* ------------------------------------------------------------------ *)
 
@@ -230,15 +230,211 @@ let analyze_symtab_window ~reset_window ?(config = Config.default)
 let analyze_symtab ?config ?cache ~key symtab =
   analyze_symtab_window ~reset_window:true ?config ?cache ~key symtab
 
+(* ------------------------------------------------------------------ *)
+(* Sessions (api_version 2).  A session is the resident-state unit the
+   serve layer speaks through: one compilation unit held warm — checked
+   symbol table, converged result, program fingerprint — across a
+   sequence of incremental updates and queries.  Sessions are not
+   domain-safe; concurrent callers must serialize per session (the
+   serve dispatcher does). *)
+
+module Session = struct
+  type dirty = {
+    d_generation : int;
+    d_procs : int;
+    d_changed : int;
+    d_dirty : int;
+    d_dirty_procs : string list;
+  }
+
+  type t = {
+    s_config : Config.t;
+    s_cache : Cache.policy;
+    mutable s_source : Source.t;
+    mutable s_symtab : Symtab.t;
+    mutable s_result : Result.t;
+    mutable s_fingerprint : string;
+    mutable s_fps : (string * string) list;  (** per-proc content hashes *)
+    mutable s_generation : int;
+    mutable s_dirty : dirty;
+    mutable s_ranges : Ipcp_core.Ranges.t option;  (** per-generation memo *)
+    mutable s_closed : bool;
+  }
+
+  let check_open t = if t.s_closed then invalid_arg "Ipcp.Session: closed"
+
+  (* changed ∪ transitive callers, over the current call graph — the
+     same closure the incremental engine reanalyzes (lib/incr) *)
+  let caller_closure (d : Driver.t) seeds =
+    let module CG = Ipcp_callgraph.Callgraph in
+    let present p = List.mem p d.Driver.symtab.Symtab.order in
+    let seen = Hashtbl.create 16 in
+    let rec go = function
+      | [] -> ()
+      | p :: rest ->
+          if Hashtbl.mem seen p then go rest
+          else begin
+            Hashtbl.add seen p ();
+            go (CG.callers d.Driver.cg p @ rest)
+          end
+    in
+    go (List.filter present seeds);
+    List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+  let parse_source (src : Source.t) =
+    Ipcp_obs.Trace.span "frontend:parse" (fun () ->
+        Sema.parse_and_analyze ~file:src.Source.file src.Source.text)
+
+  let open_ ?(config = Config.default) ?(cache = Cache.Disabled)
+      (src : Source.t) : (t, string) result =
+    Diag.guard_s (fun () ->
+        if Obs.on () then Metrics.reset ();
+        let symtab = parse_source src in
+        let result =
+          analyze_symtab_window ~reset_window:false ~config ~cache
+            ~key:src.Source.file symtab
+        in
+        let n = List.length symtab.Symtab.order in
+        (* a warm open replays the persistent cache; its report is the
+           honest dirty summary.  Per-procedure names are reported for
+           updates only (the on-disk report carries counts). *)
+        let c = result.Result.cache in
+        let changed, dirty =
+          if c.Cache.r_enabled && c.Cache.r_cold = None then
+            (c.Cache.r_changed, c.Cache.r_dirty)
+          else (n, n)
+        in
+        {
+          s_config = config;
+          s_cache = cache;
+          s_source = src;
+          s_symtab = symtab;
+          s_result = result;
+          s_fingerprint = Incr.program_key config symtab;
+          s_fps = Incr.content_fingerprints symtab;
+          s_generation = 1;
+          s_dirty =
+            {
+              d_generation = 1;
+              d_procs = n;
+              d_changed = changed;
+              d_dirty = dirty;
+              d_dirty_procs = [];
+            };
+          s_ranges = None;
+          s_closed = false;
+        })
+
+  let update t (src : Source.t) : (dirty, string) result =
+    check_open t;
+    Diag.guard_s (fun () ->
+        if Obs.on () then Metrics.reset ();
+        (* parse/check first: a rejected source leaves the session on its
+           previous generation, untouched *)
+        let symtab = parse_source src in
+        let fps = Incr.content_fingerprints symtab in
+        let changed_names =
+          List.filter_map
+            (fun (name, fp) ->
+              match List.assoc_opt name t.s_fps with
+              | Some old when String.equal old fp -> None
+              | _ -> Some name)
+            fps
+        in
+        let removed =
+          List.filter
+            (fun (name, _) -> not (List.mem_assoc name fps))
+            t.s_fps
+        in
+        let result =
+          analyze_symtab_window ~reset_window:false ~config:t.s_config
+            ~cache:t.s_cache ~key:src.Source.file symtab
+        in
+        let dirty_procs = caller_closure result.Result.driver changed_names in
+        let summary =
+          {
+            d_generation = t.s_generation + 1;
+            d_procs = List.length symtab.Symtab.order;
+            d_changed = List.length changed_names + List.length removed;
+            d_dirty = List.length dirty_procs;
+            d_dirty_procs = dirty_procs;
+          }
+        in
+        t.s_source <- src;
+        t.s_symtab <- symtab;
+        t.s_result <- result;
+        t.s_fingerprint <- Incr.program_key t.s_config symtab;
+        t.s_fps <- fps;
+        t.s_generation <- summary.d_generation;
+        t.s_dirty <- summary;
+        t.s_ranges <- None;
+        summary)
+
+  (* Invalidation drops the session's derived artifacts (the ranges
+     memo; the serve layer additionally evicts its cached responses)
+     and reports the closure that a reanalysis would rebuild.  The
+     converged fixpoint itself is still valid — the source has not
+     changed — so it is kept. *)
+  let invalidate t procs : dirty =
+    check_open t;
+    let seeds = if procs = [] then t.s_symtab.Symtab.order else procs in
+    let dirty_procs = caller_closure t.s_result.Result.driver seeds in
+    let summary =
+      {
+        d_generation = t.s_generation + 1;
+        d_procs = List.length t.s_symtab.Symtab.order;
+        d_changed = List.length (List.filter (fun p -> List.mem p t.s_symtab.Symtab.order) seeds);
+        d_dirty = List.length dirty_procs;
+        d_dirty_procs = dirty_procs;
+      }
+    in
+    t.s_generation <- summary.d_generation;
+    t.s_dirty <- summary;
+    t.s_ranges <- None;
+    summary
+
+  let result t =
+    check_open t;
+    t.s_result
+
+  let ranges t =
+    check_open t;
+    match t.s_ranges with
+    | Some r -> r
+    | None ->
+        let r = Result.ranges t.s_result in
+        t.s_ranges <- Some r;
+        r
+
+  let source t = t.s_source
+
+  let config t = t.s_config
+
+  let cache_policy t = t.s_cache
+
+  let generation t = t.s_generation
+
+  let last_dirty t = t.s_dirty
+
+  let fingerprint t =
+    check_open t;
+    t.s_fingerprint
+
+  let procedures t =
+    check_open t;
+    t.s_symtab.Symtab.order
+
+  let closed t = t.s_closed
+
+  let close t = t.s_closed <- true
+end
+
+(* v1 one-shot entry point, now a thin wrapper over an implicit
+   session: open, take the result, drop the session. *)
 let analyze ?config ?cache (src : Source.t) : (Result.t, string) result =
-  Diag.guard_s (fun () ->
-      if Obs.on () then Metrics.reset ();
-      let symtab =
-        Ipcp_obs.Trace.span "frontend:parse" (fun () ->
-            Sema.parse_and_analyze ~file:src.Source.file src.Source.text)
-      in
-      analyze_symtab_window ~reset_window:false ?config ?cache
-        ~key:src.Source.file symtab)
+  match Session.open_ ?config ?cache src with
+  | Ok s -> Ok (Session.result s)
+  | Error _ as e -> e
 
 type complete = Complete.t = {
   count : int;

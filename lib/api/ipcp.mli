@@ -28,7 +28,12 @@ module Config = Ipcp_core.Config
 (** Analysis configurations (re-exported; part of the stable surface). *)
 
 val api_version : int
-(** Version of this facade's contract.  Currently [1]. *)
+(** Version of this facade's contract.  Currently [2]: the
+    session-oriented surface ({!Session}) is the primary entry point and
+    the wire contract of the [ipcp serve] daemon; the v1 one-shot
+    functions ({!analyze}, {!analyze_symtab}, {!complete}) remain, as
+    thin wrappers over an implicit session, with unchanged signatures
+    and behaviour. *)
 
 (** A compilation unit: a file name (used in diagnostics, source
     locations, and as the cache key) plus its text. *)
@@ -172,7 +177,96 @@ module Result : sig
 
   val driver : t -> Ipcp_core.Driver.t
   (** Escape hatch to the underlying pipeline state.  {b Unstable}: not
-      covered by {!api_version}. *)
+      covered by {!api_version}.
+
+      {b Deprecated} since api_version 2: every documented use (ranges,
+      lints, domain reports, explanation) now has a stable entry point
+      on {!Result} or {!Domains}.  The escape hatch will be removed when
+      api_version 3 lands; see DESIGN.md §"API v2 and the wire
+      protocol" for the migration table. *)
+end
+
+(** A resident analysis session: one compilation unit held warm across
+    incremental updates and queries.  This is the primary surface of
+    api_version 2 and the contract the [ipcp serve] daemon exposes over
+    the wire — one session per served program, queries answered from
+    the converged in-memory result, updates reanalyzing only the dirty
+    closure (changed procedures and their transitive callers) when a
+    persistent cache is attached.
+
+    Sessions are single-owner mutable state: callers that share one
+    across domains must serialize access per session (the serve
+    dispatcher does). *)
+module Session : sig
+  type t
+
+  (** What one lifecycle step (open/update/invalidate) dirtied. *)
+  type dirty = {
+    d_generation : int;  (** session generation after the step; open = 1 *)
+    d_procs : int;  (** procedures in the program *)
+    d_changed : int;
+        (** procedures whose content fingerprint changed (removed
+            procedures included) *)
+    d_dirty : int;  (** changed plus their transitive callers *)
+    d_dirty_procs : string list;
+        (** the dirty closure by name, sorted; empty on {!open_} (a
+            warm open reports counts from the persistent cache) *)
+  }
+
+  val open_ :
+    ?config:Config.t -> ?cache:Cache.policy -> Source.t -> (t, string) result
+  (** Parse, check and analyze [src] into a resident session at
+      generation 1.  [cache] attaches the persistent incremental store
+      (replayed on open, updated on every {!update}); [Error] carries a
+      rendered diagnostic exactly like {!analyze}. *)
+
+  val update : t -> Source.t -> (dirty, string) result
+  (** Replace the session's source and reanalyze incrementally: the
+      summary reports the changed set (content-fingerprint diff against
+      the previous generation) and its transitive-caller closure.  On
+      [Error] (lexical/syntax/semantic) the session is left untouched on
+      its previous generation. *)
+
+  val invalidate : t -> string list -> dirty
+  (** Drop the session's derived artifacts (memoized ranges; the serve
+      layer additionally evicts its cached responses) and bump the
+      generation.  The argument names the procedures presumed stale
+      ([[]] = all); the summary reports their caller closure.  The
+      converged fixpoint is kept — the source is unchanged. *)
+
+  val result : t -> Result.t
+  (** The current generation's analysis result. *)
+
+  val ranges : t -> Ipcp_core.Ranges.t
+  (** As {!Result.ranges}, memoized per generation — repeated range
+      queries against a warm session pay the interval fixpoint once. *)
+
+  val fingerprint : t -> string
+  (** The whole-program content key of the current generation (the
+      incremental engine's {!Ipcp_incr.Incr.program_key}): equal keys
+      guarantee byte-identical analysis results, so the serve layer
+      uses it to key its response cache — an edit that reverts to a
+      previously-seen program hits warm. *)
+
+  val procedures : t -> string list
+  (** Procedure names in declaration order. *)
+
+  val source : t -> Source.t
+
+  val config : t -> Config.t
+
+  val cache_policy : t -> Cache.policy
+
+  val generation : t -> int
+
+  val last_dirty : t -> dirty
+  (** The summary of the most recent open/update/invalidate. *)
+
+  val closed : t -> bool
+
+  val close : t -> unit
+  (** Mark the session closed; subsequent queries raise
+      [Invalid_argument].  Idempotent. *)
 end
 
 (** The analysis registry: every monotone-framework instance behind

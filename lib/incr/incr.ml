@@ -206,6 +206,18 @@ let fingerprints (symtab : Symtab.t) : (string * Fingerprint.proc_fp) list =
       (name, Fingerprint.proc ~site_offset:o psym.Symtab.proc))
     symtab.Symtab.order
 
+let content_fingerprints symtab =
+  List.map
+    (fun (name, fp) -> (name, fp.Fingerprint.fp_content))
+    (fingerprints symtab)
+
+let program_key config symtab =
+  Digest.to_hex
+    (Fingerprint.program
+       ~config_key:(Fingerprint.config config)
+       ~globals_hash:(Fingerprint.globals symtab)
+       (fingerprints symtab))
+
 (** The warm pipeline: mirrors {!Driver.analyze} stage for stage, with
     per-procedure reuse decisions.  With no usable snapshot every
     procedure is dirty and this computes exactly what the driver does. *)

@@ -53,6 +53,21 @@ type outcome = {
           [false] (after printing a warning) if the write failed. *)
 }
 
+val content_fingerprints : Symtab.t -> (string * string) list
+(** Per-procedure content fingerprints ([fp_content] of
+    {!Fingerprint.proc}), in declaration order — stable across
+    whitespace and across edits to other procedures.  The diff of two
+    programs' fingerprint lists is the changed set of an incremental
+    update. *)
+
+val program_key : Config.t -> Symtab.t -> string
+(** The whole-program content key that guards fixpoint reuse: the
+    {!Fingerprint.program} digest (hex-encoded) over the configuration
+    key, the global table and every procedure's content fingerprint.
+    Two sources with equal keys produce byte-identical analysis
+    results, which is what makes the key usable as a response-cache
+    key. *)
+
 val analyze :
   ?config:Config.t -> policy:policy -> key:string -> Symtab.t -> outcome
 (** Analyze [symtab], reusing whatever the cache entry under [key]

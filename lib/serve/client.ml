@@ -1,0 +1,111 @@
+(** Serve clients — see client.mli. *)
+
+module Json = Ipcp_obs.Json
+module P = Protocol
+
+type endpoint =
+  | In_process of Server.t
+  | Socket of { fd : Unix.file_descr; buf : Buffer.t }
+
+type t = { ep : endpoint; mutable next_id : int; mutable alive : bool }
+
+let in_process server =
+  { ep = In_process server; next_id = 1; alive = true }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+      Ok
+        {
+          ep = Socket { fd; buf = Buffer.create 256 };
+          next_id = 1;
+          alive = true;
+        }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with _ -> ());
+      Error
+        (Fmt.str "cannot connect to %s: %s" path (Unix.error_message e))
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* read until the buffer holds a full line; one request in flight at a
+   time, so the first complete line is our response *)
+let read_line fd buf =
+  let chunk = Bytes.create 8192 in
+  let rec take () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear buf;
+        Buffer.add_string buf
+          (String.sub s (i + 1) (String.length s - i - 1));
+        Some (String.sub s 0 i)
+    | None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> None
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            take ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> take ())
+  in
+  take ()
+
+let request t ~meth params =
+  if not t.alive then Error (P.internal_error, "client is closed")
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let frame =
+      Json.to_string
+        (Json.Obj
+           [
+             ("id", Json.Int id);
+             ("method", Json.Str meth);
+             ("params", Json.Obj params);
+           ])
+    in
+    let line =
+      match t.ep with
+      | In_process server -> Some (Server.handle_line server frame)
+      | Socket { fd; buf } -> (
+          match write_all fd (frame ^ "\n") with
+          | () -> read_line fd buf
+          | exception Unix.Unix_error (e, _, _) ->
+              ignore (Unix.error_message e);
+              None)
+    in
+    match line with
+    | None -> Error (P.internal_error, "connection closed by server")
+    | Some line -> (
+        match Json.parse line with
+        | Error e ->
+            Error (P.internal_error, "unparseable response: " ^ e)
+        | Ok json -> (
+            match P.response_error json with
+            | Some (code, msg) -> Error (code, msg)
+            | None -> (
+                match Json.member "result" json with
+                | Some r -> Ok r
+                | None ->
+                    Error
+                      ( P.internal_error,
+                        "response carries neither result nor error" ))))
+  end
+
+let close t =
+  if t.alive then begin
+    t.alive <- false;
+    match t.ep with
+    | In_process _ -> ()
+    | Socket { fd; _ } -> ( try Unix.close fd with _ -> ())
+  end

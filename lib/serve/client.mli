@@ -1,0 +1,29 @@
+(** A client of the analysis server, for the CLI's [watch] loop, the
+    load generator and the tests.
+
+    Two endpoints: [In_process] wraps a {!Server.t} directly (no I/O —
+    this is how [ipcp watch] runs the serve loop without spawning a
+    daemon), and {!connect} dials a Unix-domain socket served by
+    {!Transport.serve_socket}. *)
+
+module Json = Ipcp_obs.Json
+
+type t
+
+val in_process : Server.t -> t
+(** A client whose requests go straight through
+    {!Server.handle_line}. *)
+
+val connect : string -> (t, string) result
+(** Dial the Unix-domain socket at the given path. *)
+
+val request :
+  t -> meth:string -> (string * Json.t) list -> (Json.t, int * string) result
+(** Send one request (ids are assigned internally, monotonically) and
+    wait for its response.  [Ok] carries the [result] member, [Error]
+    the error [code, message] pair — a transport failure or a response
+    that violates the frame contract is reported as
+    {!Protocol.internal_error}. *)
+
+val close : t -> unit
+(** Close the socket (no-op for in-process clients).  Idempotent. *)

@@ -1,0 +1,84 @@
+(** Wire framing for [ipcp serve] — see protocol.mli. *)
+
+module Json = Ipcp_obs.Json
+
+let parse_error = -32700
+let invalid_request = -32600
+let method_not_found = -32601
+let invalid_params = -32602
+let internal_error = -32603
+let session_not_found = -32001
+let session_closed = -32002
+let analysis_error = -32003
+let stale_generation = -32004
+let unknown_domain = -32005
+let unknown_proc = -32006
+let shutting_down = -32007
+
+type request = {
+  rq_id : int;
+  rq_method : string;
+  rq_params : (string * Json.t) list;
+}
+
+let parse_frame line : (request, int option * int * string) result =
+  match Json.parse line with
+  | Error e -> Error (None, parse_error, "parse error: " ^ e)
+  | Ok json -> (
+      let id = Option.bind (Json.member "id" json) Json.to_int in
+      match
+        ( id,
+          Option.bind (Json.member "method" json) Json.to_str,
+          Json.member "params" json )
+      with
+      | None, _, _ -> Error (None, invalid_request, "missing integer \"id\"")
+      | Some id, None, _ ->
+          Error (Some id, invalid_request, "missing string \"method\"")
+      | Some id, Some m, params ->
+          let params =
+            match params with
+            | Some (Json.Obj kvs) -> kvs
+            | Some Json.Null | None -> []
+            | Some _ -> [ ("", Json.Null) ]
+          in
+          if params = [ ("", Json.Null) ] then
+            Error (Some id, invalid_request, "\"params\" must be an object")
+          else Ok { rq_id = id; rq_method = m; rq_params = params })
+
+let param rq key = List.assoc_opt key rq.rq_params
+let param_str rq key = Option.bind (param rq key) Json.to_str
+let param_int rq key = Option.bind (param rq key) Json.to_int
+
+let ok id payload =
+  Json.to_string (Json.Obj [ ("id", Json.Int id); ("result", payload) ])
+
+let err id code message =
+  let id = match id with None -> Json.Null | Some i -> Json.Int i in
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ( "error",
+           Json.Obj
+             [ ("code", Json.Int code); ("message", Json.Str message) ] );
+       ])
+
+let response_error json =
+  match Json.member "error" json with
+  | Some e -> (
+      match
+        ( Option.bind (Json.member "code" e) Json.to_int,
+          Option.bind (Json.member "message" e) Json.to_str )
+      with
+      | Some code, Some msg -> Some (code, msg)
+      | Some code, None -> Some (code, "")
+      | None, _ -> Some (internal_error, "malformed error object"))
+  | None -> None
+
+let canonical_params kvs =
+  let routing = [ "session"; "generation" ] in
+  let kept =
+    List.filter (fun (k, _) -> not (List.mem k routing)) kvs
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Json.to_string (Json.Obj kept)

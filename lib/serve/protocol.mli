@@ -1,0 +1,82 @@
+(** The wire protocol of [ipcp serve]: newline-delimited JSON-RPC
+    frames.
+
+    One request per line, one response line per request, in request
+    order.  A request is a JSON object with an integer ["id"], a string
+    ["method"] and an optional ["params"] object; a response carries
+    either a ["result"] payload or an ["error"] object with a stable
+    numeric ["code"] and a human-readable ["message"].  Frames that do
+    not parse get a response with ["id": null].
+
+    The method table, schemas and error codes are documented in
+    DESIGN.md §"API v2 and the wire protocol". *)
+
+module Json = Ipcp_obs.Json
+
+(** {2 Error codes} (standard JSON-RPC range, plus server-defined) *)
+
+val parse_error : int  (** -32700: the frame is not valid JSON *)
+
+val invalid_request : int  (** -32600: no integer id / string method *)
+
+val method_not_found : int  (** -32601 *)
+
+val invalid_params : int  (** -32602: missing or ill-typed parameter *)
+
+val internal_error : int  (** -32603: unexpected server-side exception *)
+
+val session_not_found : int  (** -32001: unknown session id *)
+
+val session_closed : int  (** -32002: the session was closed *)
+
+val analysis_error : int
+(** -32003: the source was rejected (lexical/syntax/semantic); the
+    message is the rendered diagnostic *)
+
+val stale_generation : int
+(** -32004: the request pinned a ["generation"] that is no longer the
+    session's current one (a concurrent update or invalidate won) *)
+
+val unknown_domain : int  (** -32005: not a registered analysis name *)
+
+val unknown_proc : int  (** -32006: no such procedure in the program *)
+
+val shutting_down : int  (** -32007: the server is draining *)
+
+(* ------------------------------------------------------------------ *)
+
+type request = {
+  rq_id : int;
+  rq_method : string;
+  rq_params : (string * Json.t) list;
+}
+
+val parse_frame : string -> (request, int option * int * string) result
+(** Parse one wire line.  [Error (id, code, message)] carries the
+    request id when one could still be recovered (so the response can
+    echo it), the error code and the message. *)
+
+(** {2 Parameter accessors} *)
+
+val param : request -> string -> Json.t option
+
+val param_str : request -> string -> string option
+
+val param_int : request -> string -> int option
+
+(** {2 Response rendering} *)
+
+val ok : int -> Json.t -> string
+(** [ok id payload] is the serialized success frame (no newline). *)
+
+val err : int option -> int -> string -> string
+(** [err id code message] is the serialized error frame; [None] renders
+    ["id": null] (unparseable request). *)
+
+val response_error : Json.t -> (int * string) option
+(** Decode the error of a parsed response frame, if it is one. *)
+
+val canonical_params : (string * Json.t) list -> string
+(** Deterministic rendering of a params object — sorted by key, with
+    the routing-only keys ([session], [generation]) removed — used as
+    the method-arguments component of response-cache keys. *)

@@ -1,0 +1,52 @@
+(** The analysis server: resident {!Ipcp_api.Ipcp.Session}s behind the
+    JSON-RPC method table of {!Protocol}.
+
+    The dispatcher is transport-agnostic: {!handle_batch} takes the wire
+    lines that arrived together and returns one response line per
+    request, in request order.  Internally a batch is admitted
+    sequentially (frame parsing, [open]/[stats]/[shutdown], request
+    accounting), then the session-addressed requests are grouped per
+    session — sessions are single-owner mutable state, so requests
+    against one session execute in request order — and the groups run
+    concurrently on the {!Ipcp_par.Pool} domain pool.  Responses are
+    reassembled in request order, so the wire behaviour is identical for
+    every [jobs] setting.
+
+    Two caching layers make warm queries cheap: identical read requests
+    within one batch-group are {e coalesced} (computed once), and
+    cacheable responses ([analyze]/[ranges]/[lint]/[query]) are kept in
+    a sharded in-memory cache keyed by the session's whole-program
+    content fingerprint plus the method and its canonical arguments —
+    so a query against an unchanged (or reverted) program is a string
+    lookup, and [update]/[invalidate] simply move the session off (or
+    evict) the stale key.
+
+    With telemetry on ({!Ipcp_obs.Obs}), every request is counted and
+    its latency recorded in a per-method [serve.<method>] histogram
+    ({!Ipcp_obs.Metrics.observe_ns}), visible in [ipcp profile]-style
+    reports; a second, always-on set of plain counters backs the
+    [stats] method. *)
+
+module Ipcp = Ipcp_api.Ipcp
+
+type t
+
+val create :
+  ?config:Ipcp.Config.t -> ?cache:Ipcp.Cache.policy -> unit -> t
+(** A fresh server with no sessions.  [config] governs every analysis
+    (jobs included); [cache] is the default persistent-store policy for
+    [open] requests that do not name a [cache_dir]. *)
+
+val handle_batch : t -> string list -> string list
+(** Process the wire lines of one batch; returns one response line per
+    input line, in input order. *)
+
+val handle_line : t -> string -> string
+(** [handle_batch] of a singleton. *)
+
+val stopped : t -> bool
+(** Has a [shutdown] request been processed?  Transports drain and exit
+    once this turns true. *)
+
+val session_count : t -> int
+(** Open (non-closed) sessions — for tests and the [stats] method. *)

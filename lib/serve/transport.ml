@@ -1,0 +1,149 @@
+(** Stdio and Unix-socket loops over {!Server} — see transport.mli. *)
+
+(* A per-connection byte buffer that yields complete lines.  Frames are
+   newline-delimited, so a partial frame simply stays buffered until its
+   terminator arrives. *)
+module Linebuf = struct
+  type t = { buf : Buffer.t }
+
+  let create () = { buf = Buffer.create 256 }
+
+  let feed t bytes len = Buffer.add_subbytes t.buf bytes 0 len
+
+  (* complete lines accumulated so far, in arrival order; the trailing
+     partial line (if any) is retained *)
+  let drain t =
+    let s = Buffer.contents t.buf in
+    match String.rindex_opt s '\n' with
+    | None -> []
+    | Some last ->
+        Buffer.clear t.buf;
+        Buffer.add_string t.buf
+          (String.sub s (last + 1) (String.length s - last - 1));
+        String.split_on_char '\n' (String.sub s 0 last)
+        |> List.filter (fun l -> l <> "")
+end
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let respond fd lines =
+  write_all fd (String.concat "" (List.map (fun r -> r ^ "\n") lines))
+
+(* ------------------------------------------------------------------ *)
+
+let serve_stdio server =
+  let input = Unix.stdin and output = Unix.stdout in
+  let lb = Linebuf.create () in
+  let chunk = Bytes.create 65536 in
+  let rec read_available ~block =
+    (* admit everything already queued on the pipe as one batch; only
+       the first read of a round blocks *)
+    let ready =
+      if block then true
+      else
+        match Unix.select [ input ] [] [] 0.0 with
+        | [ _ ], _, _ -> true
+        | _ -> false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if not ready then false
+    else
+      match Unix.read input chunk 0 (Bytes.length chunk) with
+      | 0 -> block  (* genuine EOF only when we blocked for it *)
+      | n ->
+          Linebuf.feed lb chunk n;
+          ignore (read_available ~block:false : bool);
+          false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          read_available ~block
+  in
+  let rec loop () =
+    if not (Server.stopped server) then begin
+      let eof = read_available ~block:true in
+      let lines = Linebuf.drain lb in
+      if lines <> [] then respond output (Server.handle_batch server lines);
+      if not eof then loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+
+type conn = { c_fd : Unix.file_descr; c_lb : Linebuf.t }
+
+let serve_socket server ~path =
+  (if Sys.file_exists path then try Unix.unlink path with _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 16;
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  let close_conn fd =
+    Hashtbl.remove conns fd;
+    try Unix.close fd with _ -> ()
+  in
+  let chunk = Bytes.create 65536 in
+  (let rec loop () =
+     if not (Server.stopped server) then begin
+       let fds =
+         listener :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+       in
+       match Unix.select fds [] [] 1.0 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+       | readable, _, _ ->
+           (* accept first so a connector's first frames can still make
+              this round's batch *)
+           if List.memq listener readable then begin
+             match Unix.accept listener with
+             | fd, _ ->
+                 Hashtbl.replace conns fd
+                   { c_fd = fd; c_lb = Linebuf.create () }
+             | exception Unix.Unix_error _ -> ()
+           end;
+           (* one batch per select round: complete frames from every
+              readable connection, in arrival order per connection *)
+           let batch = ref [] in
+           List.iter
+             (fun fd ->
+               if fd != listener then
+                 match Hashtbl.find_opt conns fd with
+                 | None -> ()
+                 | Some c -> (
+                     match
+                       Unix.read c.c_fd chunk 0 (Bytes.length chunk)
+                     with
+                     | 0 -> close_conn fd
+                     | n ->
+                         Linebuf.feed c.c_lb chunk n;
+                         List.iter
+                           (fun line -> batch := (c, line) :: !batch)
+                           (Linebuf.drain c.c_lb)
+                     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                     | exception Unix.Unix_error _ -> close_conn fd))
+             readable;
+           let batch = List.rev !batch in
+           if batch <> [] then begin
+             let responses =
+               Server.handle_batch server (List.map snd batch)
+             in
+             List.iter2
+               (fun (c, _) resp ->
+                 try write_all c.c_fd (resp ^ "\n")
+                 with Unix.Unix_error _ -> close_conn c.c_fd)
+               batch responses
+           end;
+           loop ()
+     end
+   in
+   loop ());
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with _ -> ()) conns;
+  (try Unix.close listener with _ -> ());
+  try Unix.unlink path with _ -> ()

@@ -1,0 +1,24 @@
+(** Wire transports for the analysis server: newline-delimited JSON-RPC
+    frames over stdio or a Unix-domain socket, both feeding
+    {!Server.handle_batch}.
+
+    Both loops batch naturally: every frame that has already arrived
+    when the server goes to read is admitted as one batch, so
+    concurrent clients (or a pipelining client) get their independent
+    requests dispatched onto the domain pool together, while a lone
+    interactive client degrades to batch-of-one with no added
+    latency. *)
+
+val serve_stdio : Server.t -> unit
+(** Serve frames from stdin, responses to stdout (one line each, in
+    request order).  Returns on EOF or after a [shutdown] request's
+    batch completes. *)
+
+val serve_socket : Server.t -> path:string -> unit
+(** Listen on a Unix-domain socket at [path] (an existing socket file
+    there is replaced) and serve every connection concurrently: each
+    select round admits the complete frames from all readable
+    connections — in arrival order — as one batch, and writes each
+    response back on the connection its request came from.  Returns
+    after [shutdown] (remaining connections are closed) and unlinks
+    [path]. *)

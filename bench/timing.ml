@@ -174,6 +174,30 @@ let domain_test name =
         (fun r -> ignore (Ipcp.Domains.run name r))
         (Lazy.force zoo_inputs))
 
+(* value-context tabulation over the same prebuilt artifacts:
+   [ctx:suite] is the cold context-sensitive constant analysis across
+   the twelve programs — its ratio to [domain:const:suite] is the price
+   of context sensitivity on real program shapes; [ctx:warm] replays
+   with the process-global exit cache prepopulated, the resident-session
+   ratio *)
+let ctx_drivers =
+  lazy (List.map Ipcp.Result.driver (Lazy.force zoo_inputs))
+
+let ctx_suite ~warm () =
+  List.iter
+    (fun d -> ignore (Ipcp_contexts.Registry.run_const ~warm d))
+    (Lazy.force ctx_drivers)
+
+let ctx_tests =
+  [
+    Test.make ~name:"ctx:suite" (Staged.stage (ctx_suite ~warm:false));
+    Test.make ~name:"ctx:warm"
+      ((* populate the exit stores once so every sampled run is warm *)
+       Ipcp_contexts.Registry.reset_caches ();
+       ctx_suite ~warm:true ();
+       Staged.stage (ctx_suite ~warm:true));
+  ]
+
 let tests =
   Test.make_grouped ~name:"ipcp"
     ([
@@ -251,7 +275,7 @@ let tests =
          incr_cold ();
          Staged.stage incr_run);
     ]
-    @ serve_tests)
+    @ ctx_tests @ serve_tests)
 
 (* ------------------------------------------------------------------ *)
 (* Scaled rows.  At 1k-10k procedures a single analysis takes seconds,
@@ -294,6 +318,7 @@ let gen_scaled n =
 let scaled_rows ~quick () : (string * float) list =
   let samples = 3 in
   let row name f = (name, best_of ~samples name f) in
+  let row' ~samples name f = (name, best_of ~samples name f) in
   let src1k = gen_scaled 1_000 in
   (* untimed runs before sampling at each new scale: the first runs at
      a new scale grow the major heap from suite size to workload size
@@ -337,7 +362,21 @@ let scaled_rows ~quick () : (string * float) list =
     go ();
     row "incr:warm@1k" go
   in
-  let base = [ meta; scale_1k; warm_1k ] in
+  let ctx_1k =
+    (* the tabulation's scaled row: the same 1k-procedure program,
+       cold context-sensitive constant analysis on a prebuilt driver.
+       One analysis runs ~20s (≈120k context evaluations), so two
+       samples — best-of filters the GC-phase spike well enough at
+       this duration and keeps the row affordable in CI *)
+    let d =
+      snd
+        (Ipcp_core.Driver.analyze_source ~config:(par_cfg 1) ~file:"<g1k>"
+           src1k)
+    in
+    row' ~samples:2 "ctx:1k-procs" (fun () ->
+        ignore (Ipcp_contexts.Registry.run_const ~warm:false d))
+  in
+  let base = [ meta; scale_1k; warm_1k; ctx_1k ] in
   if quick then base
   else begin
     let src10k = gen_scaled 10_000 in

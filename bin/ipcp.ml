@@ -62,6 +62,27 @@ let analyze_cmd =
       & info [ "list-domains" ]
           ~doc:"List the registered analyses and exit.")
   in
+  let contexts_arg =
+    Arg.(
+      value & flag
+      & info [ "contexts" ]
+          ~doc:
+            "Run the context-sensitive (value-context tabulation) \
+             instantiation of the selected value domain instead of the \
+             jump-function analysis: one entry/exit row per (procedure, \
+             entry abstract value), plus the per-procedure merged view.  \
+             --domain defaults to const here.")
+  in
+  let ctx_limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ctx-limit" ] ~docv:"N"
+          ~doc:
+            "With --contexts: cap of exact contexts per procedure; \
+             further entry values merge into one widened fallback \
+             context (default 64).")
+  in
   let format_arg =
     Arg.(
       value
@@ -75,17 +96,31 @@ let analyze_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
   in
-  let run config obs cache domain list_domains format path =
+  let run config obs cache domain list_domains contexts ctx_limit format path
+      =
     if list_domains then (
       List.iter
         (fun n ->
           Fmt.pr "%-10s %s@." n
             (Option.value ~default:"" (Ipcp.Domains.describe n)))
         (Ipcp.Domains.names ());
+      List.iter
+        (fun n ->
+          Fmt.pr "%-10s %s  (with --contexts)@." n
+            (Option.value ~default:"" (Ipcp.Domains.describe_contexts n)))
+        (Ipcp.Domains.context_names ());
       exit 0);
+    (* --contexts defaults the domain to const; both registries reject
+       unknown names up front *)
+    let domain = if contexts && domain = None then Some "const" else domain in
     (match domain with
-    | Some name when Ipcp.Domains.describe name = None ->
-        Fmt.epr "ipcp: unknown domain %s (try --list-domains)@." name;
+    | Some name
+      when (if contexts then Ipcp.Domains.describe_contexts name
+            else Ipcp.Domains.describe name)
+           = None ->
+        Fmt.epr "ipcp: unknown %sdomain %s (try --list-domains)@."
+          (if contexts then "context-sensitive " else "")
+          name;
         exit 2
     | _ -> ());
     let path =
@@ -100,7 +135,12 @@ let analyze_cmd =
     let r = or_die (Ipcp.analyze ~config ~cache src) in
     (match domain with
     | Some name -> (
-        match Ipcp.Domains.run name r with
+        let rep =
+          if contexts then
+            Ipcp.Domains.run_contexts ?ctx_limit:ctx_limit name r
+          else Ipcp.Domains.run name r
+        in
+        match rep with
         | Some rep -> (
             match format with
             | `Text -> Fmt.pr "%s" rep.Ipcp.Domains.text
@@ -135,7 +175,8 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Run interprocedural constant propagation.")
     Term.(
       const run $ config_term $ obs_term $ cache_term () $ domain_arg
-      $ list_domains_arg $ format_arg $ opt_file_arg)
+      $ list_domains_arg $ contexts_arg $ ctx_limit_arg $ format_arg
+      $ opt_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain *)
@@ -157,48 +198,83 @@ let explain_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
   in
+  let contexts_arg =
+    Arg.(
+      value & flag
+      & info [ "contexts" ]
+          ~doc:
+            "Explain the value-context tabulation instead of a single \
+             entry value: print the context table of the selected domain \
+             together with every context-creation edge (which caller, at \
+             which call site, created which context with which entry \
+             values).  The positional target is not used.")
+  in
   let target_arg =
     Arg.(
-      required
+      value
       & pos 1 (some string) None
       & info [] ~docv:"PROC[.FORMAL]"
           ~doc:
             "Entry to explain: a procedure (every tracked parameter), or \
-             PROC.FORMAL for a single one.")
+             PROC.FORMAL for a single one.  Not used with --contexts.")
   in
-  let run config obs domain format path target =
+  let run config obs domain contexts format path target =
     let src = load_source path in
-    let proc, param =
-      match String.index_opt target '.' with
-      | None -> (target, None)
-      | Some i ->
-          ( String.sub target 0 i,
-            Some (String.sub target (i + 1) (String.length target - i - 1)) )
-    in
     with_obs obs @@ fun () ->
     (* provenance is recorded fresh per run and never cached, so the
        analysis here deliberately bypasses the incremental store *)
     Provenance.with_enabled @@ fun () ->
     let r = or_die (Ipcp.analyze ~config src) in
-    match Framework.explain ~domain (Ipcp.Result.driver r) ~proc ?param () with
-    | Error e ->
-        Fmt.epr "ipcp: %s@." e;
-        exit 2
-    | Ok x -> (
-        (match format with
-        | `Text -> Fmt.pr "%s" x.Framework.x_text
-        | `Json -> Fmt.pr "%s@." (Ipcp_obs.Json.to_string x.Framework.x_json));
-        (* every printed edge was re-evaluated against the fixpoint; a
-           violation means the tree lies, which is a hard failure *)
-        match x.Framework.x_violations with
-        | [] -> ()
-        | vs ->
-            List.iter
-              (fun v ->
-                Fmt.epr "! explain: unverified edge %a@."
-                  Ipcp_core.Explain.pp_violation v)
-              vs;
-            exit 3)
+    if contexts then (
+      match Ipcp_contexts.Registry.explain ~domain (Ipcp.Result.driver r) with
+      | Error e ->
+          Fmt.epr "ipcp: %s@." e;
+          exit 2
+      | Ok rep -> (
+          match format with
+          | `Text -> Fmt.pr "%s" rep.Framework.r_text
+          | `Json ->
+              Fmt.pr "%s@." (Ipcp_obs.Json.to_string rep.Framework.r_json)))
+    else begin
+      let target =
+        match target with
+        | Some t -> t
+        | None ->
+            Fmt.epr
+              "ipcp: explain requires PROC[.FORMAL] (or --contexts)@.";
+            exit 2
+      in
+      let proc, param =
+        match String.index_opt target '.' with
+        | None -> (target, None)
+        | Some i ->
+            ( String.sub target 0 i,
+              Some (String.sub target (i + 1) (String.length target - i - 1))
+            )
+      in
+      match
+        Framework.explain ~domain (Ipcp.Result.driver r) ~proc ?param ()
+      with
+      | Error e ->
+          Fmt.epr "ipcp: %s@." e;
+          exit 2
+      | Ok x -> (
+          (match format with
+          | `Text -> Fmt.pr "%s" x.Framework.x_text
+          | `Json ->
+              Fmt.pr "%s@." (Ipcp_obs.Json.to_string x.Framework.x_json));
+          (* every printed edge was re-evaluated against the fixpoint; a
+             violation means the tree lies, which is a hard failure *)
+          match x.Framework.x_violations with
+          | [] -> ()
+          | vs ->
+              List.iter
+                (fun v ->
+                  Fmt.epr "! explain: unverified edge %a@."
+                    Ipcp_core.Explain.pp_violation v)
+                vs;
+              exit 3)
+    end
   in
   Cmd.v
     (Cmd.info "explain"
@@ -208,8 +284,8 @@ let explain_cmd =
           entry value, the chain of call edges and jump functions that \
           lowered it, back to the main program's seed.")
     Term.(
-      const run $ config_term $ obs_term $ domain_arg $ format_arg $ file_arg
-      $ target_arg)
+      const run $ config_term $ obs_term $ domain_arg $ contexts_arg
+      $ format_arg $ file_arg $ target_arg)
 
 (* ------------------------------------------------------------------ *)
 (* substitute *)
@@ -412,6 +488,17 @@ let lint_cmd =
              fault checks consult the interval facts (adds proved \
              verdicts and the range-backed IPCP-W008 check).")
   in
+  let contexts_flag =
+    Arg.(
+      value & flag
+      & info [ "contexts" ]
+          ~doc:
+            "With --ranges (implied): additionally run the \
+             context-sensitive interval tabulation and refine the range \
+             facts with its per-context evidence before the fault checks \
+             consult them — verdicts the merged-context ranges leave \
+             Unknown can be decided.")
+  in
   let disable_arg =
     Arg.(
       value & opt_all string []
@@ -431,7 +518,8 @@ let lint_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"MiniFortran source file.")
   in
-  let run config obs cache format werror use_ranges disable list_checks path =
+  let run config obs cache format werror use_ranges use_contexts disable
+      list_checks path =
     if list_checks then (
       List.iter
         (fun c ->
@@ -464,9 +552,18 @@ let lint_cmd =
       with_obs obs @@ fun () ->
       let r = or_die (Ipcp.analyze ~config ~cache src) in
       let enabled c = not (List.mem c disabled) in
+      let use_ranges = use_ranges || use_contexts in
       let findings, verdicts =
         if use_ranges then
           let rng = Ipcp.Result.ranges r in
+          let rng =
+            if use_contexts then
+              let module Registry = Ipcp_contexts.Registry in
+              let ti = Registry.run_interval (Ipcp.Result.driver r) in
+              Ipcp_contexts.Compare.refine_facts rng
+                ti.Registry.TInterval.facts
+            else rng
+          in
           let fs, vt = Ipcp.Result.lints_with_verdicts ~enabled ~ranges:rng r in
           (fs, Some vt)
         else (Ipcp.Result.lints ~enabled r, None)
@@ -498,8 +595,8 @@ let lint_cmd =
           unreachable procedures).")
     Term.(
       const run $ config_term $ obs_term $ cache_term () $ format_arg
-      $ werror_arg $ ranges_flag $ disable_arg $ list_checks_arg
-      $ opt_file_arg)
+      $ werror_arg $ ranges_flag $ contexts_flag $ disable_arg
+      $ list_checks_arg $ opt_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* clone *)
@@ -515,6 +612,104 @@ let clone_cmd =
     (Cmd.info "clone"
        ~doc:"Suggest procedure clones from divergent constant vectors.")
     Term.(const run $ config_term $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compare-precision *)
+
+let compare_cmd =
+  let module Compare = Ipcp_contexts.Compare in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let gen_procs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "gen-procs" ] ~docv:"N"
+          ~doc:
+            "Also compare on generated programs with $(docv) procedures \
+             (one per call-graph shape: mixed and cyclic; 0 = suite \
+             only).")
+  in
+  let ctx_limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ctx-limit" ] ~docv:"N"
+          ~doc:"Exact contexts per procedure (default 64).")
+  in
+  let files_arg =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:"Additional MiniFortran sources to compare on.")
+  in
+  let run config obs ctx_limit gen_procs format files =
+    with_obs obs @@ fun () ->
+    let suite =
+      List.map
+        (fun (p : Ipcp_suite.Programs.program) ->
+          (p.Ipcp_suite.Programs.name, p.Ipcp_suite.Programs.source))
+        (Ipcp_suite.Programs.all @ Ipcp_suite.Programs.extras)
+    in
+    let generated =
+      if gen_procs <= 0 then []
+      else
+        List.map
+          (fun shape ->
+            ( Fmt.str "gen-%s-%d"
+                (Ipcp_gen.Generator.shape_name shape)
+                gen_procs,
+              Ipcp_gen.Generator.generate
+                ~params:
+                  {
+                    Ipcp_gen.Generator.default with
+                    Ipcp_gen.Generator.seed = 1;
+                    n_procs = gen_procs;
+                    shape;
+                  }
+                () ))
+          [ Ipcp_gen.Generator.Mixed; Ipcp_gen.Generator.Cyclic ]
+    in
+    let extra =
+      List.map
+        (fun path ->
+          let src = load_source path in
+          (Ipcp.Source.file src, Ipcp.Source.text src))
+        files
+    in
+    let rows =
+      List.map
+        (fun (name, source) ->
+          let r =
+            or_die
+              (Ipcp.analyze ~config (Ipcp.Source.of_string ~file:name source))
+          in
+          Compare.run_program ?ctx_limit ~name (Ipcp.Result.driver r))
+        (suite @ generated @ extra)
+    in
+    (match format with
+    | `Text -> Fmt.pr "%a" Compare.render_rows rows
+    | `Json -> Fmt.pr "%s@." (Json.to_string (Compare.json rows)));
+    (* the keystone: context sensitivity must never lose a constant the
+       jump-function solver proves — a violation is a soundness bug *)
+    if List.exists (fun r -> r.Compare.r_violations <> []) rows then exit 3
+  in
+  Cmd.v
+    (Cmd.info "compare-precision"
+       ~doc:
+         "Precision/cost study of context-sensitive IPCP: run both the \
+          1986 jump-function solver and the value-context tabulation \
+          over the bundled suite (plus generated and user programs) and \
+          report extra constants, lint verdicts decided only by the \
+          context-sensitive facts, context-table sizes, and time/memory \
+          for each side.  Exits nonzero if tabulation loses any constant \
+          the solver proves (soundness keystone).")
+    Term.(
+      const run $ config_term $ obs_term $ ctx_limit_arg $ gen_procs_arg
+      $ format_arg $ files_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
@@ -1231,6 +1426,7 @@ let () =
             complete_cmd;
             lint_cmd;
             ranges_cmd;
+            compare_cmd;
             stats_cmd;
             profile_cmd;
             cache_cmd;

@@ -166,6 +166,7 @@ end
 
 module Domains = struct
   module Framework = Ipcp_core.Framework
+  module Registry = Ipcp_contexts.Registry
 
   type report = { text : string; json : string }
 
@@ -183,6 +184,21 @@ module Domains = struct
           json = Ipcp_obs.Json.to_string rep.Framework.r_json;
         })
       (Framework.find name)
+
+  let context_names () = Registry.names
+
+  let describe_contexts name =
+    Option.map (fun e -> e.Registry.e_doc) (Registry.find name)
+
+  let run_contexts ?ctx_limit ?warm name (r : Result.t) : report option =
+    Option.map
+      (fun e ->
+        let rep = e.Registry.e_run ?ctx_limit ?warm r.Result.driver in
+        {
+          text = rep.Framework.r_text;
+          json = Ipcp_obs.Json.to_string rep.Framework.r_json;
+        })
+      (Registry.find name)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -258,6 +274,8 @@ module Session = struct
     mutable s_generation : int;
     mutable s_dirty : dirty;
     mutable s_ranges : Ipcp_core.Ranges.t option;  (** per-generation memo *)
+    mutable s_contexts : (string * Domains.report) list;
+        (** per-generation memo of context-sensitive reports, by domain *)
     mutable s_closed : bool;
   }
 
@@ -322,6 +340,7 @@ module Session = struct
               d_dirty_procs = [];
             };
           s_ranges = None;
+          s_contexts = [];
           s_closed = false;
         })
 
@@ -368,6 +387,7 @@ module Session = struct
         t.s_generation <- summary.d_generation;
         t.s_dirty <- summary;
         t.s_ranges <- None;
+        t.s_contexts <- [];
         summary)
 
   (* Invalidation drops the session's derived artifacts (the ranges
@@ -391,6 +411,7 @@ module Session = struct
     t.s_generation <- summary.d_generation;
     t.s_dirty <- summary;
     t.s_ranges <- None;
+    t.s_contexts <- [];
     summary
 
   let result t =
@@ -404,6 +425,20 @@ module Session = struct
     | None ->
         let r = Result.ranges t.s_result in
         t.s_ranges <- Some r;
+        r
+
+  (* Context-sensitive queries ride the process-global warm store keyed
+     by deep fingerprints, so even a fresh memo after an update only
+     re-settles the dirty subtree's contexts. *)
+  let contexts t domain : Domains.report option =
+    check_open t;
+    match List.assoc_opt domain t.s_contexts with
+    | Some _ as r -> r
+    | None ->
+        let r = Domains.run_contexts domain t.s_result in
+        (match r with
+        | Some rep -> t.s_contexts <- (domain, rep) :: t.s_contexts
+        | None -> ());
         r
 
   let source t = t.s_source

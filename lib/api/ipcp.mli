@@ -186,6 +186,47 @@ module Result : sig
       protocol" for the migration table. *)
 end
 
+(** The analysis registry: every monotone-framework instance behind
+    [ipcp analyze --domain=NAME], addressable by name, plus the
+    context-sensitive (value-context tabulation) instantiations behind
+    [--contexts].  Additive over api_version 1 — existing entry points
+    are untouched. *)
+module Domains : sig
+  type report = { text : string; json : string }
+  (** Deterministic renderings of one analysis run: human-readable text
+      and a JSON document (procedures and facts in sorted order). *)
+
+  val names : unit -> string list
+  (** Registered analysis names, in registry order. *)
+
+  val describe : string -> string option
+  (** One-line description of a registered analysis. *)
+
+  val run : string -> Result.t -> report option
+  (** Run the named analysis over an existing result's artifacts
+      (jump functions, call graph, CFGs are reused, not rebuilt);
+      [None] if the name is not registered. *)
+
+  val context_names : unit -> string list
+  (** Value domains with a context-sensitive (value-context tabulation)
+      instantiation — the names [ipcp analyze --contexts] accepts.  A
+      subset of {!names}: flow problems have no entry environment to
+      tabulate. *)
+
+  val describe_contexts : string -> string option
+
+  val run_contexts :
+    ?ctx_limit:int -> ?warm:bool -> string -> Result.t -> report option
+  (** Run the named domain's value-context tabulation
+      ({!Ipcp_contexts.Tabulation}): a context table keyed by
+      (procedure, entry abstract value), reported as the per-context
+      entry/exit table plus the per-procedure merged view.  [ctx_limit]
+      caps exact contexts per procedure (overflow merges into a widened
+      fallback context); [warm] (default true) consults the
+      process-global context-exit cache keyed by deep fingerprints.
+      [None] if the domain has no context-sensitive instantiation. *)
+end
+
 (** A resident analysis session: one compilation unit held warm across
     incremental updates and queries.  This is the primary surface of
     api_version 2 and the contract the [ipcp serve] daemon exposes over
@@ -241,6 +282,13 @@ module Session : sig
   (** As {!Result.ranges}, memoized per generation — repeated range
       queries against a warm session pay the interval fixpoint once. *)
 
+  val contexts : t -> string -> Domains.report option
+  (** As {!Domains.run_contexts} with default cap and warm store,
+      memoized per generation; the underlying context-exit cache is
+      process-global and keyed by deep per-procedure fingerprints, so
+      after an {!update} only the dirty subtree's contexts re-settle.
+      [None] if the domain has no context-sensitive instantiation. *)
+
   val fingerprint : t -> string
   (** The whole-program content key of the current generation (the
       incremental engine's {!Ipcp_incr.Incr.program_key}): equal keys
@@ -267,26 +315,6 @@ module Session : sig
   val close : t -> unit
   (** Mark the session closed; subsequent queries raise
       [Invalid_argument].  Idempotent. *)
-end
-
-(** The analysis registry: every monotone-framework instance behind
-    [ipcp analyze --domain=NAME], addressable by name.  Additive over
-    api_version 1 — existing entry points are untouched. *)
-module Domains : sig
-  type report = { text : string; json : string }
-  (** Deterministic renderings of one analysis run: human-readable text
-      and a JSON document (procedures and facts in sorted order). *)
-
-  val names : unit -> string list
-  (** Registered analysis names, in registry order. *)
-
-  val describe : string -> string option
-  (** One-line description of a registered analysis. *)
-
-  val run : string -> Result.t -> report option
-  (** Run the named analysis over an existing result's artifacts
-      (jump functions, call graph, CFGs are reused, not rebuilt);
-      [None] if the name is not registered. *)
 end
 
 val analyze :

@@ -1,0 +1,267 @@
+(** The context-sensitive analysis registry: one tabulation
+    instantiation per value domain, under the same name-indexed,
+    report-producing interface as the {!Ipcp_core.Framework} registry —
+    [ipcp analyze --domain=NAME --contexts], the API's context methods
+    and the serve wire method all select from here at runtime.
+
+    Flow problems ([live], [avail]) have no entry environments to
+    tabulate, so only the value domains appear.
+
+    Each instantiation owns a process-global {!Ipcp_incr.Ctxcache}: a
+    resident session (or a bench warm pass) that re-analyses a program
+    finds every converged context exit keyed by deep fingerprint +
+    entry digest and adopts it at context creation, which collapses the
+    suspend/resume rounds of unchanged subtrees. *)
+
+module Loc = Ipcp_frontend.Loc
+module Driver = Ipcp_core.Driver
+module Framework = Ipcp_core.Framework
+module Provenance = Ipcp_core.Provenance
+module Ctxcache = Ipcp_incr.Ctxcache
+module Json = Ipcp_obs.Json
+module CL = Ipcp_domains.Clattice
+module I = Ipcp_domains.Interval
+module C = Ipcp_domains.Copyprop
+open Ipcp_frontend.Names
+
+module TConst = Tabulation.Make (CL)
+module TInterval = Tabulation.Make (I)
+module TCopy = Tabulation.Make (C)
+
+(* process-global warm stores, one per instantiation *)
+let const_store : CL.t Tabulation.RT.t Ctxcache.t = Ctxcache.create ()
+
+let interval_store : I.t Tabulation.RT.t Ctxcache.t = Ctxcache.create ()
+
+let copy_store : C.t Tabulation.RT.t Ctxcache.t = Ctxcache.create ()
+
+let reset_caches () =
+  Ctxcache.clear const_store;
+  Ctxcache.clear interval_store;
+  Ctxcache.clear copy_store
+
+let cache_stats () =
+  [
+    ( "const",
+      Ctxcache.hits const_store,
+      Ctxcache.misses const_store,
+      Ctxcache.size const_store );
+    ( "interval",
+      Ctxcache.hits interval_store,
+      Ctxcache.misses interval_store,
+      Ctxcache.size interval_store );
+    ( "copyprop",
+      Ctxcache.hits copy_store,
+      Ctxcache.misses copy_store,
+      Ctxcache.size copy_store );
+  ]
+
+let const_cache (d : Driver.t) : TConst.cache =
+  let deep =
+    Ctxcache.deep_fingerprints ~config:d.Driver.config d.Driver.symtab
+      d.Driver.cg
+  in
+  let key proc entry =
+    Option.map
+      (fun fp -> Ctxcache.key ~deep_fp:fp ~entry)
+      (SM.find_opt proc deep)
+  in
+  {
+    TConst.c_find =
+      (fun ~proc ~entry ->
+        Option.bind (key proc entry) (Ctxcache.find const_store));
+    c_store =
+      (fun ~proc ~entry exits ->
+        match key proc entry with
+        | Some k -> Ctxcache.add const_store k exits
+        | None -> ());
+  }
+
+let interval_cache (d : Driver.t) : TInterval.cache =
+  let deep =
+    Ctxcache.deep_fingerprints ~config:d.Driver.config d.Driver.symtab
+      d.Driver.cg
+  in
+  let key proc entry =
+    Option.map
+      (fun fp -> Ctxcache.key ~deep_fp:fp ~entry)
+      (SM.find_opt proc deep)
+  in
+  {
+    TInterval.c_find =
+      (fun ~proc ~entry ->
+        Option.bind (key proc entry) (Ctxcache.find interval_store));
+    c_store =
+      (fun ~proc ~entry exits ->
+        match key proc entry with
+        | Some k -> Ctxcache.add interval_store k exits
+        | None -> ());
+  }
+
+let copy_cache (d : Driver.t) : TCopy.cache =
+  let deep =
+    Ctxcache.deep_fingerprints ~config:d.Driver.config d.Driver.symtab
+      d.Driver.cg
+  in
+  let key proc entry =
+    Option.map
+      (fun fp -> Ctxcache.key ~deep_fp:fp ~entry)
+      (SM.find_opt proc deep)
+  in
+  {
+    TCopy.c_find =
+      (fun ~proc ~entry ->
+        Option.bind (key proc entry) (Ctxcache.find copy_store));
+    c_store =
+      (fun ~proc ~entry exits ->
+        match key proc entry with
+        | Some k -> Ctxcache.add copy_store k exits
+        | None -> ());
+  }
+
+let run_const ?ctx_limit ?(warm = true) (d : Driver.t) : TConst.t =
+  let cache = if warm then Some (const_cache d) else None in
+  TConst.run ?ctx_limit ?cache d
+
+let run_interval ?ctx_limit ?(warm = true) (d : Driver.t) : TInterval.t =
+  let cache = if warm then Some (interval_cache d) else None in
+  TInterval.run ?ctx_limit ?cache d
+
+let run_copyprop ?ctx_limit ?(warm = true) (d : Driver.t) : TCopy.t =
+  let cache = if warm then Some (copy_cache d) else None in
+  TCopy.run ?ctx_limit ?cache d
+
+(* ------------------------------------------------------------------ *)
+(* The registry *)
+
+type entry = {
+  e_name : string;
+  e_doc : string;
+  e_run : ?ctx_limit:int -> ?warm:bool -> Driver.t -> Framework.report;
+}
+
+let report_const ?ctx_limit ?warm d =
+  let t = run_const ?ctx_limit ?warm d in
+  {
+    Framework.r_text = Fmt.str "%a" TConst.render_text t;
+    r_json = TConst.json t;
+  }
+
+let report_interval ?ctx_limit ?warm d =
+  let t = run_interval ?ctx_limit ?warm d in
+  {
+    Framework.r_text = Fmt.str "%a" TInterval.render_text t;
+    r_json = TInterval.json t;
+  }
+
+let report_copyprop ?ctx_limit ?warm d =
+  let t = run_copyprop ?ctx_limit ?warm d in
+  {
+    Framework.r_text = Fmt.str "%a" TCopy.render_text t;
+    r_json = TCopy.json t;
+  }
+
+let all : entry list =
+  [
+    {
+      e_name = "const";
+      e_doc = "context-sensitive constant propagation (value contexts)";
+      e_run = report_const;
+    };
+    {
+      e_name = "interval";
+      e_doc = "context-sensitive value ranges (value contexts)";
+      e_run = report_interval;
+    };
+    {
+      e_name = "copyprop";
+      e_doc = "context-sensitive copy propagation (value contexts)";
+      e_run = report_copyprop;
+    };
+  ]
+
+let names = List.map (fun e -> e.e_name) all
+
+let find name = List.find_opt (fun e -> String.equal e.e_name name) all
+
+(* ------------------------------------------------------------------ *)
+(* Explain: the context table plus its creation edges *)
+
+let edge_json (e : Provenance.edge) : Json.t =
+  let kind_fields =
+    match e.Provenance.e_kind with
+    | Provenance.Seed _ -> [ ("kind", Json.Str "root") ]
+    | Provenance.Call { caller; site_id; loc; _ } ->
+        [
+          ("kind", Json.Str "call");
+          ("caller", Json.Str caller);
+          ("site", Json.Int site_id);
+          ("loc", Json.Str loc);
+        ]
+  in
+  Json.Obj
+    ([
+       ("procedure", Json.Str e.Provenance.e_proc);
+       ("context", Json.Str e.Provenance.e_param);
+       ("entry", Json.Str e.Provenance.e_contrib);
+     ]
+    @ kind_fields)
+
+let render_edges ppf (edges : Provenance.edge list) =
+  List.iter
+    (fun (e : Provenance.edge) ->
+      match e.Provenance.e_kind with
+      | Provenance.Seed _ ->
+          Fmt.pf ppf "%s %s created as root, entry %s@." e.Provenance.e_proc
+            e.Provenance.e_param e.Provenance.e_contrib
+      | Provenance.Call { caller; loc; site_id; _ } ->
+          Fmt.pf ppf "%s %s created by %s at %s (site %d), entry %s@."
+            e.Provenance.e_proc e.Provenance.e_param caller loc site_id
+            e.Provenance.e_contrib)
+    edges
+
+(** Run the named domain's tabulation with provenance forced on and
+    report the context table together with every context-creation edge
+    (who created which context, at which call site, with which entry
+    values).  The run is cold — adopting warm exits would skip the
+    settling whose derivation the edges describe. *)
+let explain ~domain (d : Driver.t) : (Framework.report, string) result =
+  let render ~text ~table ~prov =
+    let edges =
+      match prov with Some pr -> Provenance.edges pr | None -> []
+    in
+    let r_text =
+      text
+      ^ Fmt.str "context creation edges: %d@.%a" (List.length edges)
+          render_edges edges
+    in
+    let r_json =
+      Json.Obj
+        [
+          ("contexts", table);
+          ("creation_edges", Json.Arr (List.map edge_json edges));
+        ]
+    in
+    Ok { Framework.r_text; r_json }
+  in
+  Provenance.with_enabled @@ fun () ->
+  match domain with
+  | "const" ->
+      let t = run_const ~warm:false d in
+      render
+        ~text:(Fmt.str "%a" TConst.render_text t)
+        ~table:(TConst.json t) ~prov:t.TConst.prov
+  | "interval" ->
+      let t = run_interval ~warm:false d in
+      render
+        ~text:(Fmt.str "%a" TInterval.render_text t)
+        ~table:(TInterval.json t) ~prov:t.TInterval.prov
+  | "copyprop" ->
+      let t = run_copyprop ~warm:false d in
+      render
+        ~text:(Fmt.str "%a" TCopy.render_text t)
+        ~table:(TCopy.json t) ~prov:t.TCopy.prov
+  | _ ->
+      Error
+        (Fmt.str "unknown context-sensitive domain %s (known: %s)" domain
+           (String.concat ", " names))

@@ -1,0 +1,834 @@
+(** Context-sensitive interprocedural propagation by value-context
+    tabulation (Padhye–Khedker, "Interprocedural data flow analysis in
+    Soot using value contexts"), over any {!Ipcp_domains.Domain.S}.
+
+    Where the 1986 pipeline summarizes every call with jump functions and
+    merges all edges into one VAL set per procedure, this engine tabulates
+    {e contexts} — pairs of (procedure, entry abstract environment) — and
+    runs the full intraprocedural abstract interpreter ({!Abseval}) once
+    per context, so two call sites passing different values never pollute
+    each other.
+
+    {b The table.}  Contexts are keyed by the canonical string of their
+    entry environment (every scalar formal and scalar global of
+    {!Solver.params_of}, in name order).  A call site whose callee context
+    is not yet tabulated proceeds {e optimistically} with ⊤ for the
+    callee's returned values and records the request; the context is
+    created at the end of the round and the caller is re-evaluated when
+    the callee's exit values settle — the worklist formulation of
+    suspend/resume.  Exit values only descend (every update is a meet with
+    the previous exit, widened past {!Solver.widen_after} lowerings for
+    infinite-height domains), so the optimistic start is sound at the
+    fixpoint.
+
+    {b Boundedness.}  Each procedure keeps at most [ctx_limit] exact
+    contexts.  Requests beyond the limit merge into the procedure's single
+    {e fallback context}, whose entry environment descends by per-symbol
+    meet — widened past {!Solver.widen_after} lowerings — so the table
+    stays finite even for recursion that keeps manufacturing fresh entry
+    values (the widening-at-context-creation policy for the interval
+    domain, and the ⊥-collapse for descending constant chains).
+
+    {b Determinism and staging.}  The worklist is staged along the call
+    graph's SCC condensation: pending contexts are bucketed by their
+    procedure's component index (callees before callers) and each step
+    takes the lowest-indexed bucket as one batch.  A batch is Jacobi:
+    every context in it is evaluated against the immutable current table
+    (pure, parallel over {!Ipcp_par.Pool}), then a single sequential
+    apply phase walks the results in ascending context-id order —
+    updating exits, creating requested contexts, and re-queueing the
+    dependents of every exit that moved.  Batch membership and order
+    derive only from the graph and creation order, so parallel
+    evaluation is byte-identical to sequential evaluation by
+    construction.  The staging makes the fixpoint cheap: context
+    creation descends one level per batch while settled callee exits
+    reach re-queued callers in the immediately following batches,
+    instead of one global round per propagation step.  Dependencies are
+    tracked per {e context} (procedure + entry key), not per procedure,
+    so a context is only re-evaluated when an exit it actually consulted
+    moves.
+
+    {b MOD/REF.}  Call-site frame transfer mirrors
+    {!Abseval.returnjf_policy}: a target MOD says the callee cannot touch
+    keeps its incoming value; an unpassed caller scalar is transparent
+    exactly when MOD information exists; everything else takes the callee
+    context's exit value for the corresponding return target. *)
+
+open Ipcp_frontend.Names
+module Ast = Ipcp_frontend.Ast
+module Loc = Ipcp_frontend.Loc
+module Symtab = Ipcp_frontend.Symtab
+module Instr = Ipcp_ir.Instr
+module Cfg = Ipcp_ir.Cfg
+module Ssa = Ipcp_ir.Ssa
+module Callgraph = Ipcp_callgraph.Callgraph
+module Modref = Ipcp_summary.Modref
+module Solver = Ipcp_core.Solver
+module Returnjf = Ipcp_core.Returnjf
+module Provenance = Ipcp_core.Provenance
+module Driver = Ipcp_core.Driver
+module Valueflow = Ipcp_core.Valueflow
+module Json = Ipcp_obs.Json
+module Obs = Ipcp_obs.Obs
+module Metrics = Ipcp_obs.Metrics
+module Trace = Ipcp_obs.Trace
+module Pool = Ipcp_par.Pool
+module Scc = Ipcp_callgraph.Scc
+module RT = Returnjf.RT
+
+(** Exact contexts tabulated per procedure before requests spill into its
+    fallback context. *)
+let default_ctx_limit = 64
+
+let fallback_key = "*"
+
+type summary = {
+  s_contexts : int;  (** contexts kept after pruning *)
+  s_created : int;  (** contexts ever created, including pruned ones *)
+  s_fallbacks : int;  (** procedures whose requests overflowed [ctx_limit] *)
+  s_procs : int;  (** procedures with at least one kept context *)
+  s_rounds : int;  (** level-staged evaluation batches until fixpoint *)
+  s_evals : int;  (** abstract-interpreter runs across all batches *)
+  s_cache_seeds : int;  (** contexts created with a warm cached exit *)
+}
+
+module Make (D : Ipcp_domains.Domain.S) = struct
+  module VF = Valueflow.Make (D)
+  module S = VF.S
+  module A = VF.A
+
+  type ctx = {
+    cx_id : int;  (** creation order; scheduling key, not part of output *)
+    cx_proc : string;
+    cx_fallback : bool;
+    mutable cx_entry : D.t SM.t;  (** descends only for fallback contexts *)
+    mutable cx_key : string;  (** canonical entry string; {!fallback_key} *)
+    mutable cx_exit : D.t RT.t option;  (** [None] until first evaluated *)
+    mutable cx_eval : A.t option;  (** the last evaluation *)
+    mutable cx_deps : SS.t;
+        (** dependency tokens — ["proc\x00key"] for every callee context
+            the last eval consulted (including transient mid-fixpoint
+            lookups), driving the reverse index that re-queues this
+            context when a consulted exit moves *)
+    mutable cx_calls : (string * string) list;
+        (** (procedure, key) contexts the last apply resolved its call
+            sites to — the edges context pruning walks *)
+    mutable cx_exit_lowerings : int;
+    mutable cx_entry_lowerings : int;
+    mutable cx_seeded : bool;  (** exit adopted from the warm cache *)
+  }
+
+  (** Warm exits, keyed outside the engine (deep fingerprint + entry
+      digest, see {!Ipcp_incr.Ctxcache}). *)
+  type cache = {
+    c_find : proc:string -> entry:string -> D.t RT.t option;
+    c_store : proc:string -> entry:string -> D.t RT.t -> unit;
+  }
+
+  type t = {
+    ctxs : ctx list;  (** kept contexts, sorted by (procedure, key) *)
+    by_proc : ctx list SM.t;
+    merged : D.t SM.t SM.t;
+        (** procedure -> parameter -> meet over its kept contexts'
+            entries: the context-insensitive projection, comparable to
+            the solver's VAL sets *)
+    facts : D.t Loc.Map.t;
+        (** per located scalar use, the meet over all kept contexts —
+            the context-sensitive counterpart of {!Valueflow.t.facts} *)
+    summary : summary;
+    prov : Provenance.t option;
+  }
+
+  let entry_key (env : D.t SM.t) : string =
+    String.concat ";"
+      (List.map
+         (fun (n, v) -> n ^ "=" ^ D.to_string v)
+         (SM.bindings env))
+
+  let digest_of_key key =
+    if String.equal key fallback_key then fallback_key
+    else String.sub (Digest.to_hex (Digest.string key)) 0 8
+
+  (** The callee's entry environment at a call site, from the caller's
+      abstract values: scalar formals from the actuals (by declaration
+      position), scalar globals from their values just before the call. *)
+  let entry_env_of ~(symtab : Symtab.t) (callee_psym : Symtab.proc_sym)
+      (view : A.site_view) : D.t SM.t =
+    let env = ref SM.empty in
+    List.iteri
+      (fun i f ->
+        if not (Symtab.is_array (Symtab.var_exn callee_psym f)) then
+          env := SM.add f (view.A.actual i) !env)
+      (Symtab.formals callee_psym);
+    List.iter
+      (fun g ->
+        match SM.find_opt g symtab.Symtab.globals with
+        | Some { Symtab.gdim = None; _ } ->
+            env := SM.add g (view.A.global_at g) !env
+        | _ -> ())
+      (Symtab.global_names symtab);
+    !env
+
+  (** The root context's entry: the main program's seed (DATA globals are
+      constants, the rest ⊥), over exactly its tracked parameters. *)
+  let root_env ~(symtab : Symtab.t) ~(cg : Callgraph.t) : D.t SM.t =
+    let psym = Symtab.proc symtab cg.Callgraph.main in
+    let seed = S.main_seed symtab in
+    List.fold_left
+      (fun env name ->
+        let v =
+          match SM.find_opt name seed with Some v -> v | None -> D.bot
+        in
+        SM.add name v env)
+      SM.empty
+      (Solver.params_of symtab psym)
+
+  (** Exit values of one evaluated context: for every return target of
+      the procedure (scalar formals, scalar globals, the function
+      result), the meet over RETURN exits of the SSA name reaching that
+      exit — an unmentioned variable returns its entry value, and a
+      procedure with no returning path gets ⊤ (its callers' post-call
+      code is unreachable).  The abstract-value mirror of
+      {!Returnjf.of_proc}. *)
+  let exit_of ~(symtab : Symtab.t) ~(psym : Symtab.proc_sym)
+      ~(conv : Ssa.conv) ~(entry : D.t SM.t) (ev : A.t) : D.t RT.t =
+    let exit_value name =
+      List.fold_left
+        (fun acc (_, term, env) ->
+          match term with
+          | Cfg.Treturn ->
+              let v =
+                match SM.find_opt name env with
+                | Some ssa -> A.value ev ssa
+                | None -> (
+                    match SM.find_opt name entry with
+                    | Some v -> v
+                    | None -> D.bot)
+              in
+              D.meet acc v
+          | _ -> acc)
+        D.top conv.Ssa.exits
+    in
+    let proc = psym.Symtab.proc in
+    let targets = ref RT.empty in
+    List.iteri
+      (fun i f ->
+        if not (Symtab.is_array (Symtab.var_exn psym f)) then
+          targets := RT.add (Returnjf.RFormal i) (exit_value f) !targets)
+      proc.Ast.formals;
+    List.iter
+      (fun g ->
+        match SM.find_opt g symtab.Symtab.globals with
+        | Some { Symtab.gdim = None; _ } ->
+            targets := RT.add (Returnjf.RGlobal g) (exit_value g) !targets
+        | _ -> ())
+      (Symtab.global_names symtab);
+    if proc.Ast.kind = Ast.Function then
+      targets := RT.add Returnjf.RResult (exit_value proc.Ast.name) !targets;
+    !targets
+
+  let rtarget_of = function
+    | Instr.Tformal i -> Returnjf.RFormal i
+    | Instr.Tglobal g -> Returnjf.RGlobal g
+    | Instr.Tcaller -> assert false
+
+  let pp_env ppf (env : D.t SM.t) =
+    Fmt.pf ppf "{%a}"
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (n, v) ->
+            Fmt.pf ppf "%s = %a" n D.pp v))
+      (SM.bindings env)
+
+  (* ---------------------------------------------------------------- *)
+  (* The tabulation fixpoint *)
+
+  let run ?(ctx_limit = default_ctx_limit) ?cache (d : Driver.t) : t =
+    Trace.span ("ctx:" ^ D.name) @@ fun () ->
+    let symtab = d.Driver.symtab in
+    let cg = d.Driver.cg in
+    let modref = d.Driver.modref in
+    let convs = d.Driver.convs in
+    let jobs = max 1 d.Driver.config.Ipcp_core.Config.jobs in
+    let prov =
+      if Provenance.on () then Some (Provenance.create ()) else None
+    in
+    let mtr name = "ctx." ^ D.name ^ name in
+    (* the table, and per-procedure exact-context counts for the limit *)
+    let table : (string * string, ctx) Hashtbl.t = Hashtbl.create 64 in
+    let exact_counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let all_ctxs : ctx list ref = ref [] in
+    let next_id = ref 0 in
+    (* the staged worklist: pending contexts bucketed by their
+       procedure's SCC condensation index (callees below callers);
+       every step drains the lowest bucket as one Jacobi batch *)
+    let scc = Scc.compute cg in
+    let level_of p =
+      Option.value ~default:0 (SM.find_opt p scc.Scc.comp_of)
+    in
+    let buckets : (int, (int, ctx) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let schedule (cx : ctx) =
+      let l = level_of cx.cx_proc in
+      let b =
+        match Hashtbl.find_opt buckets l with
+        | Some b -> b
+        | None ->
+            let b = Hashtbl.create 8 in
+            Hashtbl.replace buckets l b;
+            b
+      in
+      Hashtbl.replace b cx.cx_id cx
+    in
+    (* context-granular dependency tokens and their reverse index *)
+    let dep_token proc key = proc ^ "\x00" ^ key in
+    let rev_deps : (string, (int, ctx) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let set_deps (cx : ctx) (deps : SS.t) =
+      let old = cx.cx_deps in
+      SS.iter
+        (fun tok ->
+          if not (SS.mem tok deps) then
+            match Hashtbl.find_opt rev_deps tok with
+            | Some t -> Hashtbl.remove t cx.cx_id
+            | None -> ())
+        old;
+      SS.iter
+        (fun tok ->
+          if not (SS.mem tok old) then begin
+            let t =
+              match Hashtbl.find_opt rev_deps tok with
+              | Some t -> t
+              | None ->
+                  let t = Hashtbl.create 4 in
+                  Hashtbl.replace rev_deps tok t;
+                  t
+            in
+            Hashtbl.replace t cx.cx_id cx
+          end)
+        deps;
+      cx.cx_deps <- deps
+    in
+    let n_created = ref 0 and n_seeded = ref 0 and n_evals = ref 0 in
+    let exact_count p =
+      Option.value ~default:0 (Hashtbl.find_opt exact_counts p)
+    in
+    let new_ctx ~proc ~fallback ~entry ~key =
+      let exit =
+        if fallback then None
+        else
+          match cache with
+          | None -> None
+          | Some c -> c.c_find ~proc ~entry:key
+      in
+      let cx =
+        {
+          cx_id = !next_id;
+          cx_proc = proc;
+          cx_fallback = fallback;
+          cx_entry = entry;
+          cx_key = key;
+          cx_exit = exit;
+          cx_eval = None;
+          cx_deps = SS.empty;
+          cx_calls = [];
+          cx_exit_lowerings = 0;
+          cx_entry_lowerings = 0;
+          cx_seeded = exit <> None;
+        }
+      in
+      incr next_id;
+      incr n_created;
+      if cx.cx_seeded then incr n_seeded;
+      Hashtbl.replace table (proc, key) cx;
+      if not fallback then
+        Hashtbl.replace exact_counts proc (exact_count proc + 1);
+      all_ctxs := cx :: !all_ctxs;
+      schedule cx;
+      cx
+    in
+    (* MOD/REF-aware call policy against the current table snapshot;
+       [deps] collects a token for every callee context consulted,
+       including transient lookups mid-fixpoint, so re-queueing is
+       conservative.  An unresolved lookup records both the exact and
+       the fallback token: its request may be routed either way by the
+       apply phase (the exact-context cap can fill up mid-batch), and
+       the dependent must wake whichever context ends up answering. *)
+    let may_modify (view : A.site_view) target =
+      match modref with
+      | None -> true
+      | Some m ->
+          Modref.may_modify m ~callee:view.A.sv_site.Instr.callee target
+    in
+    let policy_for ~(deps : SS.t ref) : A.policy =
+      let exit_value (callee_psym : Symtab.proc_sym) (view : A.site_view)
+          target : D.t =
+        let callee = callee_psym.Symtab.proc.Ast.name in
+        let env = entry_env_of ~symtab callee_psym view in
+        let key = entry_key env in
+        let dep k = deps := SS.add (dep_token callee k) !deps in
+        let resolved =
+          match Hashtbl.find_opt table (callee, key) with
+          | Some c ->
+              dep key;
+              c.cx_exit
+          | None ->
+              if exact_count callee >= ctx_limit then begin
+                dep fallback_key;
+                Option.bind
+                  (Hashtbl.find_opt table (callee, fallback_key))
+                  (fun fb -> fb.cx_exit)
+              end
+              else begin
+                dep key;
+                dep fallback_key;
+                None
+              end
+        in
+        match resolved with
+        | None -> D.top (* unresolved: proceed optimistically, suspend *)
+        | Some exits -> (
+            match RT.find_opt target exits with
+            | Some v -> v
+            | None -> D.bot)
+      in
+      {
+        A.on_calldef =
+          (fun view target incoming ->
+            match target with
+            | Instr.Tcaller -> if modref <> None then incoming else D.bot
+            | _ -> (
+                if not (may_modify view target) then incoming
+                else
+                  match
+                    Symtab.find_proc symtab view.A.sv_site.Instr.callee
+                  with
+                  | None -> D.bot
+                  | Some cp -> exit_value cp view (rtarget_of target)));
+        on_result =
+          (fun view ->
+            match Symtab.find_proc symtab view.A.sv_site.Instr.callee with
+            | None -> D.bot
+            | Some cp -> exit_value cp view Returnjf.RResult);
+      }
+    in
+    (* one pure evaluation; requests are read off the converged site
+       views only, so transient mid-fixpoint environments never create
+       contexts *)
+    let evaluate (cx : ctx) =
+      let psym = Symtab.proc symtab cx.cx_proc in
+      let conv = SM.find cx.cx_proc convs in
+      let deps = ref SS.empty in
+      let policy = policy_for ~deps in
+      let entry_binding name = SM.find_opt name cx.cx_entry in
+      let ev = A.run ~entry_binding ~symtab ~psym ~policy conv.Ssa.ssa in
+      let seen : (string * string, unit) Hashtbl.t = Hashtbl.create 8 in
+      let reqs = ref [] in
+      List.iter
+        (fun (s : Instr.site) ->
+          match Symtab.find_proc symtab s.Instr.callee with
+          | None -> ()
+          | Some cp ->
+              let env = entry_env_of ~symtab cp (A.site_view ev s) in
+              let key = entry_key env in
+              if not (Hashtbl.mem seen (s.Instr.callee, key)) then begin
+                Hashtbl.replace seen (s.Instr.callee, key) ();
+                (* depend on the converged view's context (and the
+                   fallback it may route to) even if no mid-fixpoint
+                   sweep looked it up with exactly this entry *)
+                deps :=
+                  SS.add
+                    (dep_token s.Instr.callee key)
+                    (SS.add (dep_token s.Instr.callee fallback_key) !deps);
+                reqs := (s, s.Instr.callee, key, env) :: !reqs
+              end)
+        ev.A.cfg.Cfg.sites;
+      let exit =
+        exit_of ~symtab ~psym ~conv ~entry:cx.cx_entry ev
+      in
+      (ev, exit, List.rev !reqs, !deps)
+    in
+    (* sequential apply phase: exits, context creation, fallback entry
+       merging — all in deterministic batch order *)
+    let changed = ref SS.empty in
+    let mark_changed (cx : ctx) =
+      changed := SS.add (dep_token cx.cx_proc cx.cx_key) !changed
+    in
+    let apply_exit (cx : ctx) (fresh : D.t RT.t) =
+      match cx.cx_exit with
+      | None ->
+          cx.cx_exit <- Some fresh;
+          mark_changed cx
+      | Some old ->
+          cx.cx_exit_lowerings <- cx.cx_exit_lowerings + 1;
+          let widen = (not D.finite_height)
+                      && cx.cx_exit_lowerings > Solver.widen_after in
+          let next =
+            RT.mapi
+              (fun tgt ov ->
+                let fv =
+                  match RT.find_opt tgt fresh with
+                  | Some v -> v
+                  | None -> D.top
+                in
+                let nv = D.meet ov fv in
+                if widen && not (D.equal nv ov) then D.widen ov nv else nv)
+              old
+          in
+          if not (RT.equal D.equal old next) then begin
+            cx.cx_exit <- Some next;
+            mark_changed cx;
+            if Obs.on () then Metrics.incr (mtr ".exit_lowerings")
+          end
+    in
+    let record_creation ~(creator : ctx) ~(site : Instr.site) (cx : ctx) =
+      match prov with
+      | None -> ()
+      | Some pr ->
+          let entry = Fmt.str "%a" pp_env cx.cx_entry in
+          Provenance.record pr ~proc:cx.cx_proc
+            ~param:("ctx:" ^ digest_of_key cx.cx_key)
+            ~kind:
+              (Provenance.Call
+                 {
+                   caller = creator.cx_proc;
+                   site_id = site.Instr.site_id;
+                   loc = Fmt.str "%a" Loc.pp site.Instr.s_loc;
+                   jf_kind = "context";
+                   jf = entry;
+                   support =
+                     SM.bindings cx.cx_entry
+                     |> List.map (fun (n, v) -> (n, Fmt.str "%a" D.pp v));
+                   widened = cx.cx_fallback;
+                 })
+            ~before:"unreached" ~contrib:entry ~after:entry
+    in
+    let resolve_request ~(creator : ctx) (site, callee, key, env) =
+      match Hashtbl.find_opt table (callee, key) with
+      | Some cx -> (callee, cx.cx_key)
+      | None ->
+          if exact_count callee < ctx_limit then begin
+            let cx = new_ctx ~proc:callee ~fallback:false ~entry:env ~key in
+            record_creation ~creator ~site cx;
+            if cx.cx_seeded then
+              (* adopted exit: dependents can resolve against it now *)
+              mark_changed cx;
+            if Obs.on () then Metrics.incr (mtr ".created");
+            (callee, key)
+          end
+          else begin
+            (* over the limit: widen-merge into the fallback context *)
+            let fb =
+              match Hashtbl.find_opt table (callee, fallback_key) with
+              | Some fb -> fb
+              | None ->
+                  let fb =
+                    new_ctx ~proc:callee ~fallback:true ~entry:env
+                      ~key:fallback_key
+                  in
+                  record_creation ~creator ~site fb;
+                  if Obs.on () then Metrics.incr (mtr ".fallbacks");
+                  fb
+            in
+            let merged =
+              SM.merge
+                (fun _ o n ->
+                  match (o, n) with
+                  | Some ov, Some nv ->
+                      let m = D.meet ov nv in
+                      if
+                        (not D.finite_height)
+                        && (not (D.equal m ov))
+                        && fb.cx_entry_lowerings > Solver.widen_after
+                      then Some (D.widen ov m)
+                      else Some m
+                  | Some ov, None -> Some ov
+                  | None, nv -> nv)
+                fb.cx_entry env
+            in
+            if not (SM.equal D.equal merged fb.cx_entry) then begin
+              fb.cx_entry <- merged;
+              fb.cx_entry_lowerings <- fb.cx_entry_lowerings + 1;
+              (* a lowered entry invalidates the fallback's own fixpoint *)
+              schedule fb;
+              if Obs.on () then Metrics.incr (mtr ".fallback_merges")
+            end;
+            (callee, fallback_key)
+          end
+    in
+    (* ---------------------------------------------------------------- *)
+    let root =
+      let env = root_env ~symtab ~cg in
+      new_ctx ~proc:cg.Callgraph.main ~fallback:false ~entry:env
+        ~key:(entry_key env)
+    in
+    (match prov with
+    | None -> ()
+    | Some pr ->
+        let entry = Fmt.str "%a" pp_env root.cx_entry in
+        Provenance.record pr ~proc:root.cx_proc
+          ~param:("ctx:" ^ digest_of_key root.cx_key)
+          ~kind:(Provenance.Seed { init = None })
+          ~before:"unreached" ~contrib:entry ~after:entry);
+    let rounds = ref 0 in
+    let min_level () =
+      Hashtbl.fold
+        (fun l b acc ->
+          if Hashtbl.length b = 0 then acc
+          else
+            match acc with
+            | None -> Some l
+            | Some m -> Some (min l m))
+        buckets None
+    in
+    let rec drain () =
+      match min_level () with
+      | None -> ()
+      | Some l ->
+          incr rounds;
+          let b = Hashtbl.find buckets l in
+          Hashtbl.remove buckets l;
+          let batch =
+            Hashtbl.fold (fun _ cx acc -> cx :: acc) b []
+            |> List.sort (fun a b -> compare a.cx_id b.cx_id)
+            |> Array.of_list
+          in
+          let costs =
+            Array.map
+              (fun cx -> Cfg.weight (SM.find cx.cx_proc convs).Ssa.ssa)
+              batch
+          in
+          let results =
+            Pool.map_array ~jobs ~costs ~seq_below:Pool.default_seq_cost
+              evaluate batch
+          in
+          n_evals := !n_evals + Array.length batch;
+          changed := SS.empty;
+          Array.iteri
+            (fun i (ev, exit, reqs, deps) ->
+              let cx = batch.(i) in
+              cx.cx_eval <- Some ev;
+              set_deps cx deps;
+              apply_exit cx exit;
+              cx.cx_calls <- List.map (resolve_request ~creator:cx) reqs)
+            results;
+          (* resume every context that read an exit that moved *)
+          SS.iter
+            (fun tok ->
+              match Hashtbl.find_opt rev_deps tok with
+              | None -> ()
+              | Some tbl ->
+                  Hashtbl.iter
+                    (fun _ dep -> if dep.cx_eval <> None then schedule dep)
+                    tbl)
+            !changed;
+          drain ()
+    in
+    drain ();
+    (* prune to the contexts the converged evaluations actually reach:
+       transient contexts created for mid-convergence entry values drop
+       out, so the kept table is the same whether the run was cold, warm,
+       sequential or parallel *)
+    let keep : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let rec visit key =
+      if not (Hashtbl.mem keep key) then begin
+        Hashtbl.replace keep key ();
+        match Hashtbl.find_opt table key with
+        | None -> ()
+        | Some cx -> List.iter visit cx.cx_calls
+      end
+    in
+    visit (root.cx_proc, root.cx_key);
+    let kept =
+      List.filter
+        (fun cx -> Hashtbl.mem keep (cx.cx_proc, cx.cx_key))
+        !all_ctxs
+      |> List.sort (fun a b ->
+             match String.compare a.cx_proc b.cx_proc with
+             | 0 -> String.compare a.cx_key b.cx_key
+             | c -> c)
+    in
+    (* store converged exact exits for the next warm run *)
+    (match cache with
+    | None -> ()
+    | Some c ->
+        List.iter
+          (fun cx ->
+            match cx.cx_exit with
+            | Some exits when not cx.cx_fallback ->
+                c.c_store ~proc:cx.cx_proc ~entry:cx.cx_key exits
+            | _ -> ())
+          kept);
+    let by_proc =
+      List.fold_left
+        (fun acc cx ->
+          SM.update cx.cx_proc
+            (function None -> Some [ cx ] | Some l -> Some (l @ [ cx ]))
+            acc)
+        SM.empty kept
+    in
+    let merged =
+      SM.map
+        (fun ctxs ->
+          List.fold_left
+            (fun acc (cx : ctx) ->
+              SM.merge
+                (fun _ a b ->
+                  match (a, b) with
+                  | Some a, Some b -> Some (D.meet a b)
+                  | Some a, None -> Some a
+                  | None, b -> b)
+                acc cx.cx_entry)
+            SM.empty ctxs)
+        by_proc
+    in
+    let facts =
+      SM.fold
+        (fun _ ctxs acc ->
+          List.fold_left
+            (fun acc (cx : ctx) ->
+              match cx.cx_eval with
+              | Some ev -> VF.proc_facts ev acc
+              | None -> acc)
+            acc ctxs)
+        by_proc Loc.Map.empty
+    in
+    let summary =
+      {
+        s_contexts = List.length kept;
+        s_created = !n_created;
+        s_fallbacks =
+          List.length (List.filter (fun cx -> cx.cx_fallback) kept);
+        s_procs = SM.cardinal by_proc;
+        s_rounds = !rounds;
+        s_evals = !n_evals;
+        s_cache_seeds = !n_seeded;
+      }
+    in
+    if Obs.on () then begin
+      Metrics.add (mtr ".contexts") summary.s_contexts;
+      Metrics.add (mtr ".rounds") summary.s_rounds;
+      Metrics.add (mtr ".evals") summary.s_evals
+    end;
+    { ctxs = kept; by_proc; merged; facts; summary; prov }
+
+  (* ---------------------------------------------------------------- *)
+  (* Read-off and rendering *)
+
+  let pp_exit ppf (exits : D.t RT.t) =
+    Fmt.pf ppf "{%a}"
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (t, v) ->
+            Fmt.pf ppf "%a = %a" Returnjf.pp_rtarget t D.pp v))
+      (RT.bindings exits)
+
+  (** Entry constants of the context-insensitive projection, comparable
+      to {!Solver.Make.constants}. *)
+  let constants (t : t) p : int SM.t =
+    match SM.find_opt p t.merged with
+    | None -> SM.empty
+    | Some m ->
+        SM.fold
+          (fun name v acc ->
+            match D.is_const v with
+            | Some c -> SM.add name c acc
+            | None -> acc)
+          m SM.empty
+
+  (** The merged entry value tracked for [(p, name)].  A procedure with
+      no kept context was never called from the root: ⊤ (no information
+      ever arrives), which is where the solver's ⊤-initialised VAL sets
+      for dead procedures also sit. *)
+  let merged_val (t : t) p name : D.t =
+    match SM.find_opt p t.merged with
+    | None -> D.top
+    | Some m -> Option.value ~default:D.bot (SM.find_opt name m)
+
+  let render_text ppf (t : t) =
+    SM.iter
+      (fun p ctxs ->
+        Fmt.pf ppf "CTXS(%s) = %d@." p (List.length ctxs);
+        List.iter
+          (fun (cx : ctx) ->
+            Fmt.pf ppf "  [%s] %a -> %a@."
+              (digest_of_key cx.cx_key)
+              pp_env cx.cx_entry
+              Fmt.(option ~none:(any "<unresolved>") pp_exit)
+              cx.cx_exit)
+          ctxs;
+        match SM.find_opt p t.merged with
+        | Some m when not (SM.is_empty m) ->
+            Fmt.pf ppf "  merged %a@." pp_env m
+        | _ -> ())
+      t.by_proc;
+    let s = t.summary in
+    Fmt.pf ppf
+      "contexts: %d kept of %d created (%d fallback) across %d procedures, \
+       %d rounds, %d evals, %d cache-seeded@."
+      s.s_contexts s.s_created s.s_fallbacks s.s_procs s.s_rounds s.s_evals
+      s.s_cache_seeds
+
+  let summary_json (s : summary) : Json.t =
+    Json.Obj
+      [
+        ("contexts", Json.Int s.s_contexts);
+        ("created", Json.Int s.s_created);
+        ("fallbacks", Json.Int s.s_fallbacks);
+        ("procedures", Json.Int s.s_procs);
+        ("rounds", Json.Int s.s_rounds);
+        ("evals", Json.Int s.s_evals);
+        ("cache_seeded", Json.Int s.s_cache_seeds);
+      ]
+
+  let json (t : t) : Json.t =
+    Json.Obj
+      [
+        ("domain", Json.Str D.name);
+        ( "procedures",
+          Json.Arr
+            (SM.bindings t.by_proc
+            |> List.map (fun (p, ctxs) ->
+                   Json.Obj
+                     [
+                       ("procedure", Json.Str p);
+                       ( "contexts",
+                         Json.Arr
+                           (List.map
+                              (fun (cx : ctx) ->
+                                Json.Obj
+                                  [
+                                    ( "digest",
+                                      Json.Str (digest_of_key cx.cx_key) );
+                                    ("fallback", Json.Bool cx.cx_fallback);
+                                    ( "entry",
+                                      Json.Obj
+                                        (SM.bindings cx.cx_entry
+                                        |> List.map (fun (n, v) ->
+                                               (n, Json.Str (D.to_string v))))
+                                    );
+                                    ( "exit",
+                                      match cx.cx_exit with
+                                      | None -> Json.Null
+                                      | Some exits ->
+                                          Json.Obj
+                                            (RT.bindings exits
+                                            |> List.map (fun (tgt, v) ->
+                                                   ( Fmt.str "%a"
+                                                       Returnjf.pp_rtarget
+                                                       tgt,
+                                                     Json.Str (D.to_string v)
+                                                   ))) );
+                                  ])
+                              ctxs) );
+                       ( "merged",
+                         Json.Obj
+                           (SM.bindings
+                              (Option.value ~default:SM.empty
+                                 (SM.find_opt p t.merged))
+                           |> List.map (fun (n, v) ->
+                                  (n, Json.Str (D.to_string v)))) );
+                     ])) );
+        ("summary", summary_json t.summary);
+      ]
+end

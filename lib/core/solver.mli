@@ -35,6 +35,11 @@ val params_of : Symtab.t -> Symtab.proc_sym -> string list
     scalar global of the program (the paper's extended definition of
     "parameter"). *)
 
+val widen_after : int
+(** Lowerings of one entry tolerated before the fixpoint engines switch
+    it to [D.widen] (consulted only for domains without finite height);
+    shared with the value-context tabulation engine. *)
+
 (** The domain-generic solver. *)
 module Make (D : Ipcp_domains.Domain.S) : sig
   type t = {

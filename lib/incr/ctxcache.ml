@@ -1,0 +1,105 @@
+(** In-memory summary cache for the value-context tabulation engine.
+
+    A converged context exit is a pure function of (the procedure's code,
+    everything it transitively calls, the analysis configuration, the
+    COMMON table, the entry abstract value).  The first four are folded
+    into a {e deep fingerprint} — the transitive closure of the PR 4
+    per-procedure content fingerprints over the call-graph SCC
+    condensation — and the entry value contributes its canonical-string
+    digest.  A warm tabulation run that creates a context whose key is
+    already stored adopts the cached exit as the context's initial exit
+    value, which lets dependent callers settle without waiting for the
+    callee subtree to re-converge.
+
+    The store itself is polymorphic (each {!Ipcp_contexts.Tabulation}
+    instantiation holds values of its own domain type) and process-local:
+    unlike the on-disk {!Store}, context exits are only worth keeping
+    while the analysis service stays resident. *)
+
+open Ipcp_frontend.Names
+module Symtab = Ipcp_frontend.Symtab
+module Config = Ipcp_core.Config
+module Callgraph = Ipcp_callgraph.Callgraph
+module Scc = Ipcp_callgraph.Scc
+
+(** Transitive per-procedure fingerprints: a procedure's deep fingerprint
+    covers its own content, the configuration and COMMON keys, and the
+    deep fingerprints of everything it calls.  Members of a recursive
+    component share the component digest, salted with their own content
+    fingerprint so two members never collide. *)
+let deep_fingerprints ~(config : Config.t) (symtab : Symtab.t)
+    (cg : Callgraph.t) : string SM.t =
+  let base =
+    List.fold_left
+      (fun m (p, fp) -> SM.add p fp m)
+      SM.empty
+      (Incr.content_fingerprints symtab)
+  in
+  let own p = Option.value ~default:"?" (SM.find_opt p base) in
+  let seed = Fingerprint.config config ^ "|" ^ Fingerprint.globals symtab in
+  let deep = ref SM.empty in
+  List.iter
+    (fun comp ->
+      let comp_set = SS.of_list comp in
+      let member_part p =
+        let outs =
+          Callgraph.callees cg p
+          |> List.filter (fun q -> not (SS.mem q comp_set))
+          |> List.map (fun q ->
+                 Option.value ~default:"?" (SM.find_opt q !deep))
+        in
+        String.concat "," (own p :: outs)
+      in
+      let combined =
+        Digest.to_hex
+          (Digest.string
+             (seed ^ "|"
+             ^ String.concat ";"
+                 (List.map member_part (List.sort compare comp))))
+      in
+      List.iter
+        (fun p ->
+          deep :=
+            SM.add p
+              (Digest.to_hex (Digest.string (combined ^ "#" ^ own p)))
+              !deep)
+        comp)
+    (Scc.bottom_up (Scc.compute cg));
+  !deep
+
+(* ------------------------------------------------------------------ *)
+(* The store *)
+
+type 'a t = {
+  tbl : (string, 'a) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+(** Cache key of one context: the procedure's deep fingerprint plus the
+    digest of the canonical entry-environment string. *)
+let key ~deep_fp ~entry = deep_fp ^ ":" ^ Digest.to_hex (Digest.string entry)
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Some v
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t k v = Hashtbl.replace t.tbl k v
+
+let size t = Hashtbl.length t.tbl
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.hits <- 0;
+  t.misses <- 0

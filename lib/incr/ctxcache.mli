@@ -1,0 +1,38 @@
+(** In-memory summary cache for value-context tabulation: converged
+    context exits keyed by a transitive per-procedure fingerprint plus
+    the entry-value digest. *)
+
+open Ipcp_frontend.Names
+module Symtab = Ipcp_frontend.Symtab
+module Config = Ipcp_core.Config
+module Callgraph = Ipcp_callgraph.Callgraph
+
+val deep_fingerprints :
+  config:Config.t -> Symtab.t -> Callgraph.t -> string SM.t
+(** Per-procedure digest covering the procedure's own content, the
+    configuration and COMMON keys, and the deep fingerprints of every
+    transitive callee (component-shared within a recursive SCC, salted by
+    the member's own content fingerprint). *)
+
+type 'a t
+(** A process-local store with hit/miss counters; ['a] is the context
+    exit representation of one tabulation instantiation. *)
+
+val create : unit -> 'a t
+
+val key : deep_fp:string -> entry:string -> string
+(** Cache key of one context: [deep_fp] from {!deep_fingerprints}, and
+    the canonical entry-environment string (digested here). *)
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+
+val size : 'a t -> int
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+
+val clear : 'a t -> unit

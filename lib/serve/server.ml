@@ -257,6 +257,34 @@ let query_payload s ~proc ~what =
             "unknown query target " ^ other
             ^ " (expected constants, ranges or lints)" )
 
+(* The registry listing: every name-addressable analysis, flow- and
+   context-sensitive, with its one-line description — what a client
+   enumerates before issuing [domain]/[contexts] requests. *)
+let domain_list_payload () =
+  let entry describe name =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("doc", Json.Str (Option.value ~default:"" (describe name)));
+      ]
+  in
+  Json.Obj
+    [
+      ( "domains",
+        Json.Arr
+          (List.map (entry Ipcp.Domains.describe) (Ipcp.Domains.names ())) );
+      ( "contexts",
+        Json.Arr
+          (List.map
+             (entry Ipcp.Domains.describe_contexts)
+             (Ipcp.Domains.context_names ())) );
+    ]
+
+let report_payload (rep : Ipcp.Domains.report) =
+  match Json.parse rep.Ipcp.Domains.json with
+  | Ok j -> j
+  | Error _ -> Json.Str rep.Ipcp.Domains.text
+
 let stats_payload t =
   let requests =
     Hashtbl.fold (fun k r acc -> (k, Json.Int !r) :: acc) t.sv_counts []
@@ -282,9 +310,20 @@ let stats_payload t =
 (* Method execution *)
 
 let session_methods =
-  [ "analyze"; "ranges"; "lint"; "query"; "update"; "invalidate"; "close" ]
+  [
+    "analyze";
+    "ranges";
+    "lint";
+    "query";
+    "domain";
+    "contexts";
+    "update";
+    "invalidate";
+    "close";
+  ]
 
-let readonly_methods = [ "analyze"; "ranges"; "lint"; "query" ]
+let readonly_methods =
+  [ "analyze"; "ranges"; "lint"; "query"; "domain"; "contexts" ]
 
 let exec_open t (rq : P.request) =
   match P.param_str rq "source" with
@@ -402,6 +441,39 @@ let exec_session t (se : session_entry) memo (rq : P.request) =
                                   (P.param_str rq "what")
                               in
                               query_payload s ~proc ~what)
+                      | "domain" -> (
+                          (* no name = enumerate the registries *)
+                          match P.param_str rq "name" with
+                          | None -> Ok (domain_list_payload ())
+                          | Some name -> (
+                              match
+                                Ipcp.Domains.run name (S.result s)
+                              with
+                              | Some rep -> Ok (report_payload rep)
+                              | None ->
+                                  Error
+                                    ( P.unknown_domain,
+                                      Fmt.str
+                                        "unknown domain %s (known: %s)" name
+                                        (String.concat ", "
+                                           (Ipcp.Domains.names ())) )))
+                      | "contexts" -> (
+                          match P.param_str rq "domain" with
+                          | None ->
+                              Error (P.invalid_params, "missing \"domain\"")
+                          | Some name -> (
+                              match S.contexts s name with
+                              | Some rep -> Ok (report_payload rep)
+                              | None ->
+                                  Error
+                                    ( P.unknown_domain,
+                                      Fmt.str
+                                        "no context-sensitive instantiation \
+                                         of %s (known: %s)"
+                                        name
+                                        (String.concat ", "
+                                           (Ipcp.Domains.context_names ()))
+                                    )))
                       | _ -> assert false
                     in
                     match computed with

@@ -65,7 +65,20 @@ let all : program list =
     };
   ]
 
-let by_name n = List.find_opt (fun p -> p.name = n) all
+(** Demonstration programs that ride along with the suite but are not
+    part of the paper's twelve (so every "all twelve programs" totals
+    stays comparable): currently the context-sensitivity demonstrator
+    used by [ipcp compare-precision] and the lint upgrade tests. *)
+let extras : program list =
+  [
+    {
+      name = Suite_ctxdemo.name;
+      source = Suite_ctxdemo.source;
+      notes = Suite_ctxdemo.notes;
+    };
+  ]
+
+let by_name n = List.find_opt (fun p -> p.name = n) (all @ extras)
 
 let names = List.map (fun p -> p.name) all
 

@@ -1,0 +1,58 @@
+(** [ctxdemo] — the context-sensitivity demonstrator (not part of the
+    paper's twelve-program suite; shipped as an {e extra} for the
+    precision/cost study and the lint upgrade test).
+
+    Two mechanisms the 1986 jump-function solver cannot express, each
+    guarding an IPCP-E002 subscript candidate that only the value-context
+    tabulation proves safe:
+
+    - [cpair(a, x, y)] is called with [(1, 1)] and [(5, 5)].  The merged
+      entries are x ∈ [1,5], y ∈ [1,5], so the local [d = y - x + 1]
+      spans [-3,5] and the subscript [a(d)] with [a] declared [a(1)]
+      stays Unknown.  Per context d is exactly 1 in both, and the
+      per-location meet of the two context facts keeps [1,1].
+
+    - [codd(b, x)] is called with 3 and 7 and passes [MOD(x, 2)] on to
+      [cuse].  The jump function for the actual is the (exact) symbolic
+      expression mod(x, 2), but the solver evaluates it at the merged
+      VAL(codd.x) = ⊥, so [cuse.r] enters as ⊥ — while every context
+      evaluates the actual to the constant 1, giving the tabulation an
+      entry constant the solver misses and deciding the [b(r)]
+      subscript. *)
+
+let name = "ctxdemo"
+
+let source =
+  {|
+PROGRAM ctxdemo
+  INTEGER a(1), b(1)
+  a(1) = 0
+  b(1) = 0
+  CALL cpair(a, 1, 1)
+  CALL cpair(a, 5, 5)
+  CALL codd(b, 3)
+  CALL codd(b, 7)
+  PRINT *, a(1), b(1)
+END
+
+SUBROUTINE cpair(a, x, y)
+  INTEGER a(1), x, y, d
+  d = y - x + 1
+  a(d) = a(d) + x
+END
+
+SUBROUTINE codd(b, x)
+  INTEGER b(1), x
+  CALL cuse(b, MOD(x, 2))
+END
+
+SUBROUTINE cuse(b, r)
+  INTEGER b(1), r
+  b(r) = b(r) + 1
+END
+|}
+
+let notes =
+  "context-sensitivity demonstrator: correlated actuals and a non-affine \
+   actual (MOD) give the tabulation an extra entry constant and decide \
+   two E002 subscripts the merged-context ranges leave Unknown"

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "ipcp"
-    (Test_frontend.suites @ Test_core.suites @ Test_props.suites @ Test_ir.suites @ Test_vn.suites @ Test_interp.suites @ Test_analysis.suites @ Test_suite.suites @ Test_alt.suites @ Test_misc.suites @ Test_opt.suites @ Test_qcheck.suites @ Test_lint.suites @ Test_obs.suites @ Test_explain.suites @ Test_par.suites @ Test_incr.suites @ Test_api.suites @ Test_domains.suites @ Test_framework.suites @ Test_serve.suites)
+    (Test_frontend.suites @ Test_core.suites @ Test_props.suites @ Test_ir.suites @ Test_vn.suites @ Test_interp.suites @ Test_analysis.suites @ Test_suite.suites @ Test_alt.suites @ Test_misc.suites @ Test_opt.suites @ Test_qcheck.suites @ Test_lint.suites @ Test_obs.suites @ Test_explain.suites @ Test_par.suites @ Test_incr.suites @ Test_api.suites @ Test_domains.suites @ Test_framework.suites @ Test_serve.suites @ Test_contexts.suites)
